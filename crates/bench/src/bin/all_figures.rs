@@ -1,0 +1,22 @@
+//! Regenerates every figure of the paper in one run and writes all CSVs
+//! to `results/`.  Pass `--quick` for a fast smoke run.
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "-q");
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin dir");
+    for fig in ["fig2", "fig3", "fig4", "fig5", "fig6"] {
+        let mut cmd = Command::new(dir.join(fig));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().unwrap_or_else(|e| {
+            panic!("failed to launch {fig}: {e} (build with `cargo build --release -p wimnet-bench`)")
+        });
+        assert!(status.success(), "{fig} failed");
+        println!();
+    }
+    println!("all figures regenerated.");
+}

@@ -1,0 +1,45 @@
+//! Fig 2: peak achievable bandwidth per core and average packet energy
+//! for 4C4M Substrate / Interposer / Wireless under uniform random
+//! traffic with 20% memory accesses at saturation.
+
+use wimnet_bench::{banner, results_dir, scale_from_args};
+use wimnet_core::experiments::fig2;
+use wimnet_core::report::{format_table, write_csv};
+
+fn main() {
+    let scale = scale_from_args();
+    banner(
+        "Fig 2 — peak bandwidth per core & average packet energy (4C4M)",
+        scale,
+    );
+    let rows = fig2(scale).expect("fig2 experiments");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{:.2}", r.peak_bandwidth_gbps_per_core),
+                format!("{:.2}", r.avg_packet_energy_nj),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["architecture", "peak bandwidth/core (Gbps)", "avg packet energy (nJ)"],
+            &table,
+        )
+    );
+    println!(
+        "paper shape: Wireless highest bandwidth / lowest energy; \
+         Interposer beats Substrate on both."
+    );
+    let path = results_dir().join("fig2.csv");
+    write_csv(
+        &path,
+        &["architecture", "peak_bandwidth_gbps_per_core", "avg_packet_energy_nj"],
+        &table,
+    )
+    .expect("write fig2.csv");
+    println!("wrote {}", path.display());
+}

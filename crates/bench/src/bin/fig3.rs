@@ -1,0 +1,37 @@
+//! Fig 3: average packet latency versus injection load for the three
+//! 4C4M architectures under uniform random traffic (20% memory).
+
+use wimnet_bench::{banner, results_dir, scale_from_args};
+use wimnet_core::experiments::{fig3, fig3_loads};
+use wimnet_core::report::{fmt_opt, format_table, write_csv};
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Fig 3 — average packet latency vs injection load (4C4M)", scale);
+    let series = fig3(scale).expect("fig3 experiments");
+    let loads = fig3_loads(scale);
+
+    let mut headers: Vec<String> = vec!["load (pkt/core/cycle)".into()];
+    headers.extend(series.iter().map(|s| format!("{} (cycles)", s.label)));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let rows: Vec<Vec<String>> = loads
+        .iter()
+        .enumerate()
+        .map(|(i, &load)| {
+            let mut row = vec![format!("{load:.3}")];
+            for s in &series {
+                row.push(fmt_opt(s.points[i].1, 1));
+            }
+            row
+        })
+        .collect();
+    println!("{}", format_table(&header_refs, &rows));
+    println!(
+        "paper shape: Wireless lowest latency at every load (shortest \
+         average paths); Substrate saturates earliest."
+    );
+    let path = results_dir().join("fig3.csv");
+    write_csv(&path, &header_refs, &rows).expect("write fig3.csv");
+    println!("wrote {}", path.display());
+}

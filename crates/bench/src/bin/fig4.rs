@@ -1,0 +1,48 @@
+//! Fig 4: percentage gain in bandwidth and packet energy of the
+//! wireless system over the interposer baseline as a 64-core system is
+//! disintegrated into 1, 4 and 8 chips (chip-to-chip traffic rises from
+//! 20% to 90%).
+
+use wimnet_bench::{banner, results_dir, scale_from_args};
+use wimnet_core::experiments::fig4;
+use wimnet_core::report::{format_table, write_csv};
+
+fn main() {
+    let scale = scale_from_args();
+    banner(
+        "Fig 4 — % gain (Wireless vs Interposer) vs chip-to-chip traffic",
+        scale,
+    );
+    let rows = fig4(scale).expect("fig4 experiments");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{:.1}", r.off_chip_traffic_pct),
+                format!("{:+.1}", r.bandwidth_gain_pct),
+                format!("{:+.1}", r.energy_gain_pct),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["configuration", "off-chip traffic (%)", "bandwidth gain (%)", "energy gain (%)"],
+            &table,
+        )
+    );
+    println!(
+        "paper shape: wireless wins at every disintegration level \
+         (the paper further reports gains shrinking with chip count; see \
+         EXPERIMENTS.md for where and why this reproduction diverges)."
+    );
+    let path = results_dir().join("fig4.csv");
+    write_csv(
+        &path,
+        &["configuration", "off_chip_traffic_pct", "bandwidth_gain_pct", "energy_gain_pct"],
+        &table,
+    )
+    .expect("write fig4.csv");
+    println!("wrote {}", path.display());
+}

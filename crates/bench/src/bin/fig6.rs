@@ -1,0 +1,48 @@
+//! Fig 6: percentage gain in packet latency and packet energy of the
+//! 4C4M wireless system over the interposer baseline under
+//! application-specific (SynFull-substitute) traffic.
+
+use wimnet_bench::{banner, results_dir, scale_from_args};
+use wimnet_core::experiments::fig6;
+use wimnet_core::report::{format_table, write_csv};
+
+fn main() {
+    let scale = scale_from_args();
+    banner(
+        "Fig 6 — % gain (Wireless vs Interposer), application traffic (4C4M)",
+        scale,
+    );
+    let rows = fig6(scale).expect("fig6 experiments");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.clone(),
+                r.suite.clone(),
+                format!("{:+.1}", r.latency_gain_pct),
+                format!("{:+.1}", r.energy_gain_pct),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["application", "suite", "latency gain (%)", "energy gain (%)"],
+            &table,
+        )
+    );
+    let lat_avg: f64 =
+        rows.iter().map(|r| r.latency_gain_pct).sum::<f64>() / rows.len() as f64;
+    let e_avg: f64 =
+        rows.iter().map(|r| r.energy_gain_pct).sum::<f64>() / rows.len() as f64;
+    println!("average gains: latency {lat_avg:+.1}%, energy {e_avg:+.1}%");
+    println!("paper: average reductions of 54% (latency) and 45% (energy).");
+    let path = results_dir().join("fig6.csv");
+    write_csv(
+        &path,
+        &["application", "suite", "latency_gain_pct", "energy_gain_pct"],
+        &table,
+    )
+    .expect("write fig6.csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,41 @@
+//! Saturation-point summary: the injection load at which each
+//! architecture's latency diverges (3× its zero-load latency) — the
+//! quantitative version of the Fig 3 saturation discussion.
+
+use wimnet_bench::{banner, results_dir, scale_from_args};
+use wimnet_core::report::{format_table, write_csv};
+use wimnet_core::{find_saturation_load, SystemConfig};
+use wimnet_topology::Architecture;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Saturation points — load where latency reaches 3x zero-load", scale);
+    let mut table = Vec::new();
+    for arch in [Architecture::Interposer, Architecture::Wireless] {
+        let cfg = scale.apply(SystemConfig::xcym(4, 4, arch));
+        match find_saturation_load(&cfg, 3.0, 0.005) {
+            Ok(load) => table.push(vec![
+                cfg.label(),
+                format!("{load:.4}"),
+                format!("{:.2}", load * 64.0 * 32.0 * 2.5), // Gbps offered system-wide
+            ]),
+            Err(e) => table.push(vec![cfg.label(), format!("{e}"), "-".into()]),
+        }
+    }
+    println!(
+        "{}",
+        format_table(
+            &["architecture", "saturation load (pkt/core/cycle)", "offered at saturation (Gbps/core x packet)"],
+            &table,
+        )
+    );
+    println!(
+        "note: the substrate is omitted — its measured latency plateaus \
+         from survivor bias past saturation, so the threshold criterion \
+         cannot bracket it (see EXPERIMENTS.md, Fig 3)."
+    );
+    let path = results_dir().join("saturation_points.csv");
+    write_csv(&path, &["architecture", "saturation_load", "offered_gbps"], &table)
+        .expect("write csv");
+    println!("wrote {}", path.display());
+}

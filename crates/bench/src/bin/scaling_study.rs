@@ -1,0 +1,58 @@
+//! Extended evaluation (beyond the paper): scaling the package from 1
+//! to 16 chiplets at constant 64-core compute — how far does the
+//! "seamless, scalable" claim of §I carry?
+
+use wimnet_bench::{banner, results_dir, scale_from_args};
+use wimnet_core::report::{format_table, write_csv};
+use wimnet_core::{Experiment, SystemConfig};
+use wimnet_topology::Architecture;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Extended — chiplet scaling at constant compute (64 cores)", scale);
+    let mut table = Vec::new();
+    for chips in [1usize, 2, 4, 8, 16] {
+        let mut row = vec![format!("{chips} chips x {} cores", 64 / chips)];
+        for arch in [Architecture::Interposer, Architecture::Wireless] {
+            let cfg = scale.apply(SystemConfig::xcym(chips, 4, arch));
+            match Experiment::saturation(&cfg, 0.20).run() {
+                Ok(o) => {
+                    row.push(format!("{:.2}", o.bandwidth_gbps_per_core));
+                    row.push(format!("{:.2}", o.packet_energy_nj()));
+                }
+                Err(e) => {
+                    row.push(format!("{e}"));
+                    row.push("-".into());
+                }
+            }
+        }
+        table.push(row);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "configuration",
+                "ip bw/core (Gbps)",
+                "ip energy (nJ)",
+                "wl bw/core (Gbps)",
+                "wl energy (nJ)",
+            ],
+            &table,
+        )
+    );
+    println!(
+        "reading: interposer efficiency decays with every extra boundary \
+         a packet must cross; wireless holds its single-hop energy nearly \
+         flat — the paper's core scalability argument, extended to 16 \
+         chiplets."
+    );
+    let path = results_dir().join("scaling_study.csv");
+    write_csv(
+        &path,
+        &["configuration", "ip_bw", "ip_energy_nj", "wl_bw", "wl_energy_nj"],
+        &table,
+    )
+    .expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,61 @@
+//! Shared plumbing for the figure-reproduction binaries.
+//!
+//! Every binary accepts `--quick` (reduced windows/sweeps, seconds) or
+//! `--paper` (the full §IV windows, default), prints the paper's
+//! rows/series as an aligned table, and drops a CSV into `results/`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+use wimnet_core::Scale;
+
+/// Parses the common `--quick` / `--paper` flag.
+pub fn scale_from_args() -> Scale {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "-q");
+    if quick {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    }
+}
+
+/// Where CSV outputs land (`results/` under the workspace root, or the
+/// current directory as a fallback).
+pub fn results_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    // Walk up until a Cargo workspace root is found.
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir.join("results");
+        }
+        if !dir.pop() {
+            return PathBuf::from("results");
+        }
+    }
+}
+
+/// Prints a figure banner.
+pub fn banner(title: &str, scale: Scale) {
+    println!("================================================================");
+    println!("{title}");
+    println!(
+        "scale: {}",
+        match scale {
+            Scale::Paper => "paper (1,000 warmup + 9,000 measured cycles)",
+            Scale::Quick => "quick (300 warmup + 1,500 measured cycles)",
+        }
+    );
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_under_workspace() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+}

@@ -1,0 +1,46 @@
+//! The SOCC'17 wireless multichip interconnection framework.
+//!
+//! This crate is the paper's primary contribution assembled from the
+//! `wimnet` substrates: it builds complete multichip systems
+//! ([`MultichipSystem`]) for the three compared architectures, drives
+//! them with workloads, and regenerates every figure of the paper's
+//! evaluation (§IV).
+//!
+//! * [`system`] — [`SystemConfig`] (every §IV parameter in one place)
+//!   and [`MultichipSystem`] (topology + routing + engine + wireless
+//!   medium + memory stacks, with request/reply service).
+//! * [`metrics`] — [`RunOutcome`]: peak bandwidth per core, average
+//!   packet energy, average packet latency, energy breakdowns, and the
+//!   percentage-gain arithmetic behind Figs 4–6.
+//! * [`experiments`] — one function per figure (`fig2` … `fig6`) plus
+//!   the [`Experiment`] runner they share.
+//! * [`report`] — plain-text tables and CSV output for the harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wimnet_core::{Experiment, SystemConfig};
+//! use wimnet_topology::Architecture;
+//!
+//! let config = SystemConfig::xcym(4, 4, Architecture::Wireless)
+//!     .quick_test_profile();
+//! let outcome = Experiment::uniform_random(&config, 0.005).run()?;
+//! assert!(outcome.packets_delivered() > 0);
+//! # Ok::<(), wimnet_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod error;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod system;
+
+pub use driver::{compare_on_shared_trace, find_saturation_load, latency_curve};
+pub use error::CoreError;
+pub use experiments::{Experiment, Scale, WorkloadSpec};
+pub use metrics::{percentage_gain, RunOutcome};
+pub use system::{MacKind, MultichipSystem, SystemConfig, WirelessModel};

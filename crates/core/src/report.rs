@@ -1,0 +1,142 @@
+//! Plain-text tables and CSV output for the reproduction harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Formats an aligned plain-text table.
+///
+/// # Example
+///
+/// ```
+/// use wimnet_core::report::format_table;
+///
+/// let t = format_table(
+///     &["arch", "gbps"],
+///     &[vec!["Wireless".into(), "11.2".into()]],
+/// );
+/// assert!(t.contains("Wireless"));
+/// assert!(t.lines().count() >= 3);
+/// ```
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(line, "{:<width$}  ", h, width = widths[i]);
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    let mut rule = String::new();
+    for (i, _) in headers.iter().enumerate() {
+        rule.push_str(&"-".repeat(widths[i]));
+        rule.push_str("  ");
+    }
+    out.push_str(rule.trim_end());
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            let _ = write!(line, "{:<width$}  ", cell, width = widths[i]);
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a CSV file (simple quoting: cells containing commas or quotes
+/// are quoted with doubled quotes).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(
+    path: &Path,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    fn escape(cell: &str) -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(
+            &row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+    }
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, out)
+}
+
+/// Formats a float with `digits` decimals, rendering `None` as `"-"`.
+pub fn fmt_opt(value: Option<f64>, digits: usize) -> String {
+    match value {
+        Some(v) => format!("{v:.digits$}"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = format_table(
+            &["a", "long-header"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer-cell".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The header separator is as wide as the widest cell.
+        assert!(lines[1].starts_with("-----------"));
+        assert!(lines[2].starts_with("x "));
+    }
+
+    #[test]
+    fn csv_escapes_properly() {
+        let dir = std::env::temp_dir().join("wimnet-report-test");
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec!["plain".into(), "with,comma \"q\"".into()]],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("plain,\"with,comma \"\"q\"\"\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fmt_opt_renders_none_as_dash() {
+        assert_eq!(fmt_opt(Some(1.23456), 2), "1.23");
+        assert_eq!(fmt_opt(None, 2), "-");
+    }
+}

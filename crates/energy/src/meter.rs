@@ -1,0 +1,355 @@
+//! Per-category energy accounting with a conservation invariant.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::Energy;
+
+/// Where a quantum of energy was spent.
+///
+/// The categories follow the components of the SOCC'17 multichip system so
+/// that experiment reports can break a packet's energy down the same way the
+/// paper's §IV discussion does.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[non_exhaustive]
+pub enum EnergyCategory {
+    /// Dynamic switch traversal (buffers, arbitration, crossbar).
+    SwitchDynamic,
+    /// Switch leakage integrated over simulated time.
+    SwitchStatic,
+    /// On-chip wires between mesh switches.
+    Wire,
+    /// Interposer metal-layer wiring including µbump crossings.
+    InterposerWire,
+    /// High-speed serial chip-to-chip I/O.
+    SerialIo,
+    /// Serial I/O static (PLL, RX front end) integrated over time.
+    SerialIoStatic,
+    /// 128-bit wide memory I/O.
+    WideIo,
+    /// Wireless transmitters (data).
+    WirelessTx,
+    /// Wireless receivers (data decode).
+    WirelessRx,
+    /// Wireless control packets (MAC overhead, all receivers awake).
+    WirelessControl,
+    /// Awake-but-idle wireless receivers.
+    WirelessIdle,
+    /// Power-gated wireless receivers.
+    WirelessSleep,
+    /// Through-silicon vias inside memory stacks.
+    Tsv,
+    /// DRAM array accesses (zero under the paper's assumptions).
+    DramAccess,
+}
+
+impl EnergyCategory {
+    /// All categories, in report order.
+    pub const ALL: [EnergyCategory; 14] = [
+        EnergyCategory::SwitchDynamic,
+        EnergyCategory::SwitchStatic,
+        EnergyCategory::Wire,
+        EnergyCategory::InterposerWire,
+        EnergyCategory::SerialIo,
+        EnergyCategory::SerialIoStatic,
+        EnergyCategory::WideIo,
+        EnergyCategory::WirelessTx,
+        EnergyCategory::WirelessRx,
+        EnergyCategory::WirelessControl,
+        EnergyCategory::WirelessIdle,
+        EnergyCategory::WirelessSleep,
+        EnergyCategory::Tsv,
+        EnergyCategory::DramAccess,
+    ];
+
+    /// Short, stable label used in CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            EnergyCategory::SwitchDynamic => "switch_dynamic",
+            EnergyCategory::SwitchStatic => "switch_static",
+            EnergyCategory::Wire => "wire",
+            EnergyCategory::InterposerWire => "interposer_wire",
+            EnergyCategory::SerialIo => "serial_io",
+            EnergyCategory::SerialIoStatic => "serial_io_static",
+            EnergyCategory::WideIo => "wide_io",
+            EnergyCategory::WirelessTx => "wireless_tx",
+            EnergyCategory::WirelessRx => "wireless_rx",
+            EnergyCategory::WirelessControl => "wireless_control",
+            EnergyCategory::WirelessIdle => "wireless_idle",
+            EnergyCategory::WirelessSleep => "wireless_sleep",
+            EnergyCategory::Tsv => "tsv",
+            EnergyCategory::DramAccess => "dram_access",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            EnergyCategory::SwitchDynamic => 0,
+            EnergyCategory::SwitchStatic => 1,
+            EnergyCategory::Wire => 2,
+            EnergyCategory::InterposerWire => 3,
+            EnergyCategory::SerialIo => 4,
+            EnergyCategory::SerialIoStatic => 5,
+            EnergyCategory::WideIo => 6,
+            EnergyCategory::WirelessTx => 7,
+            EnergyCategory::WirelessRx => 8,
+            EnergyCategory::WirelessControl => 9,
+            EnergyCategory::WirelessIdle => 10,
+            EnergyCategory::WirelessSleep => 11,
+            EnergyCategory::Tsv => 12,
+            EnergyCategory::DramAccess => 13,
+        }
+    }
+}
+
+impl fmt::Display for EnergyCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+const NUM_CATEGORIES: usize = 14;
+
+/// Accumulates energy per [`EnergyCategory`].
+///
+/// The meter maintains the invariant that [`EnergyMeter::total`] equals the
+/// sum over all categories (verified by [`EnergyMeter::verify_conservation`]
+/// and the crate's tests), so experiment reports can never silently lose
+/// energy.
+///
+/// # Example
+///
+/// ```
+/// use wimnet_energy::{Energy, EnergyCategory, EnergyMeter};
+///
+/// let mut meter = EnergyMeter::new();
+/// meter.add(EnergyCategory::Wire, Energy::from_pj(8.0));
+/// meter.add(EnergyCategory::SwitchDynamic, Energy::from_pj(2.0));
+/// assert!((meter.total().picojoules() - 10.0).abs() < 1e-12);
+/// assert!(meter.verify_conservation(1e-12));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    by_category: [Energy; NUM_CATEGORIES],
+    total: Energy,
+}
+
+impl EnergyMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        EnergyMeter::default()
+    }
+
+    /// Records `energy` against `category`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `energy` is negative or non-finite;
+    /// energy consumption is physically non-negative.
+    pub fn add(&mut self, category: EnergyCategory, energy: Energy) {
+        debug_assert!(
+            energy.is_finite() && energy >= Energy::ZERO,
+            "energy must be finite and non-negative, got {energy:?}"
+        );
+        self.by_category[category.index()] += energy;
+        self.total += energy;
+    }
+
+    /// Energy recorded against `category` so far.
+    pub fn category(&self, category: EnergyCategory) -> Energy {
+        self.by_category[category.index()]
+    }
+
+    /// Total energy recorded across all categories.
+    pub fn total(&self) -> Energy {
+        self.total
+    }
+
+    /// Sum of all wireless categories (TX, RX, control, idle, sleep).
+    pub fn wireless_total(&self) -> Energy {
+        self.category(EnergyCategory::WirelessTx)
+            + self.category(EnergyCategory::WirelessRx)
+            + self.category(EnergyCategory::WirelessControl)
+            + self.category(EnergyCategory::WirelessIdle)
+            + self.category(EnergyCategory::WirelessSleep)
+    }
+
+    /// Iterates over `(category, energy)` pairs in report order.
+    pub fn iter(&self) -> impl Iterator<Item = (EnergyCategory, Energy)> + '_ {
+        EnergyCategory::ALL
+            .iter()
+            .take(NUM_CATEGORIES)
+            .map(move |&c| (c, self.category(c)))
+    }
+
+    /// Folds another meter into this one.
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        for i in 0..NUM_CATEGORIES {
+            self.by_category[i] += other.by_category[i];
+        }
+        self.total += other.total;
+    }
+
+    /// Checks that the per-category sum matches the running total to within
+    /// `tolerance_fraction` (relative, with an absolute floor of 1 pJ).
+    pub fn verify_conservation(&self, tolerance_fraction: f64) -> bool {
+        let sum: Energy = self.by_category.iter().copied().sum();
+        let diff = (sum - self.total).joules().abs();
+        let bound = (self.total.joules().abs() * tolerance_fraction).max(1e-12);
+        diff <= bound
+    }
+
+    /// Resets all counters to zero.
+    pub fn clear(&mut self) {
+        *self = EnergyMeter::default();
+    }
+
+    /// An owned snapshot suitable for serialisation in reports.
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        EnergyBreakdown {
+            entries: self.iter().collect(),
+            total: self.total,
+        }
+    }
+}
+
+impl AddAssign<&EnergyMeter> for EnergyMeter {
+    fn add_assign(&mut self, rhs: &EnergyMeter) {
+        self.merge(rhs);
+    }
+}
+
+impl fmt::Display for EnergyMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<20} {:>14}", "category", "energy")?;
+        for (cat, e) in self.iter() {
+            if e > Energy::ZERO {
+                writeln!(f, "{:<20} {:>14}", cat.label(), format!("{e}"))?;
+            }
+        }
+        write!(f, "{:<20} {:>14}", "total", format!("{}", self.total))
+    }
+}
+
+/// A serialisable snapshot of an [`EnergyMeter`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// `(category, energy)` pairs in report order.
+    pub entries: Vec<(EnergyCategory, Energy)>,
+    /// Total energy across all categories.
+    pub total: Energy,
+}
+
+impl EnergyBreakdown {
+    /// Energy for one category, zero if absent.
+    pub fn category(&self, category: EnergyCategory) -> Energy {
+        self.entries
+            .iter()
+            .find(|(c, _)| *c == category)
+            .map(|(_, e)| *e)
+            .unwrap_or(Energy::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_meter_is_zero_and_conserved() {
+        let m = EnergyMeter::new();
+        assert_eq!(m.total(), Energy::ZERO);
+        assert!(m.verify_conservation(1e-12));
+        for (_, e) in m.iter() {
+            assert_eq!(e, Energy::ZERO);
+        }
+    }
+
+    #[test]
+    fn add_accumulates_per_category_and_total() {
+        let mut m = EnergyMeter::new();
+        m.add(EnergyCategory::Wire, Energy::from_pj(1.0));
+        m.add(EnergyCategory::Wire, Energy::from_pj(2.0));
+        m.add(EnergyCategory::SerialIo, Energy::from_pj(5.0));
+        assert!((m.category(EnergyCategory::Wire).picojoules() - 3.0).abs() < 1e-12);
+        assert!((m.category(EnergyCategory::SerialIo).picojoules() - 5.0).abs() < 1e-12);
+        assert!((m.total().picojoules() - 8.0).abs() < 1e-12);
+        assert!(m.verify_conservation(1e-12));
+    }
+
+    #[test]
+    fn merge_combines_meters() {
+        let mut a = EnergyMeter::new();
+        a.add(EnergyCategory::WirelessTx, Energy::from_pj(1.0));
+        let mut b = EnergyMeter::new();
+        b.add(EnergyCategory::WirelessTx, Energy::from_pj(2.0));
+        b.add(EnergyCategory::WirelessRx, Energy::from_pj(4.0));
+        a += &b;
+        assert!((a.category(EnergyCategory::WirelessTx).picojoules() - 3.0).abs() < 1e-12);
+        assert!((a.total().picojoules() - 7.0).abs() < 1e-12);
+        assert!(a.verify_conservation(1e-12));
+    }
+
+    #[test]
+    fn wireless_total_sums_only_wireless_categories() {
+        let mut m = EnergyMeter::new();
+        m.add(EnergyCategory::WirelessTx, Energy::from_pj(1.0));
+        m.add(EnergyCategory::WirelessRx, Energy::from_pj(2.0));
+        m.add(EnergyCategory::WirelessControl, Energy::from_pj(3.0));
+        m.add(EnergyCategory::WirelessIdle, Energy::from_pj(4.0));
+        m.add(EnergyCategory::WirelessSleep, Energy::from_pj(5.0));
+        m.add(EnergyCategory::Wire, Energy::from_pj(100.0));
+        assert!((m.wireless_total().picojoules() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut m = EnergyMeter::new();
+        m.add(EnergyCategory::Tsv, Energy::from_pj(9.0));
+        m.clear();
+        assert_eq!(m, EnergyMeter::new());
+    }
+
+    #[test]
+    fn breakdown_snapshot_matches_meter() {
+        let mut m = EnergyMeter::new();
+        m.add(EnergyCategory::WideIo, Energy::from_pj(6.5));
+        let b = m.breakdown();
+        assert_eq!(b.total, m.total());
+        assert_eq!(
+            b.category(EnergyCategory::WideIo),
+            m.category(EnergyCategory::WideIo)
+        );
+        assert_eq!(b.category(EnergyCategory::Tsv), Energy::ZERO);
+    }
+
+    #[test]
+    fn display_lists_nonzero_categories_and_total() {
+        let mut m = EnergyMeter::new();
+        m.add(EnergyCategory::SwitchDynamic, Energy::from_nj(1.0));
+        let s = format!("{m}");
+        assert!(s.contains("switch_dynamic"));
+        assert!(s.contains("total"));
+        assert!(!s.contains("dram_access"));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn negative_energy_panics_in_debug() {
+        let mut m = EnergyMeter::new();
+        m.add(EnergyCategory::Wire, Energy::from_pj(-1.0));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = EnergyCategory::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), NUM_CATEGORIES);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for energy arithmetic and accounting.
+
+use proptest::prelude::*;
+
+use wimnet_energy::{Energy, EnergyCategory, EnergyMeter, EnergyModel, Frequency, Power};
+
+fn finite_pj() -> impl Strategy<Value = f64> {
+    0.0f64..1.0e9
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Energy addition is commutative and associative within float
+    /// tolerance, and subtraction inverts addition.
+    #[test]
+    fn energy_field_axioms(a in finite_pj(), b in finite_pj(), c in finite_pj()) {
+        let (ea, eb, ec) = (Energy::from_pj(a), Energy::from_pj(b), Energy::from_pj(c));
+        prop_assert!(((ea + eb) - (eb + ea)).joules().abs() < 1e-18);
+        let lhs = (ea + eb) + ec;
+        let rhs = ea + (eb + ec);
+        prop_assert!((lhs - rhs).joules().abs() <= lhs.joules().abs() * 1e-12 + 1e-18);
+        prop_assert!(((ea + eb) - eb - ea).joules().abs() <= ea.joules() * 1e-9 + 1e-18);
+    }
+
+    /// Unit conversions round-trip.
+    #[test]
+    fn unit_round_trips(pj in finite_pj()) {
+        let e = Energy::from_pj(pj);
+        prop_assert!((Energy::from_nj(e.nanojoules()) - e).joules().abs() < 1e-18);
+        prop_assert!((Energy::from_uj(e.microjoules()) - e).joules().abs() < 1e-15);
+        prop_assert!((e.picojoules() - pj).abs() < pj.abs() * 1e-12 + 1e-12);
+    }
+
+    /// Power × time is linear in both arguments.
+    #[test]
+    fn power_energy_linearity(mw in 0.0f64..1e4, cycles in 0u64..1_000_000) {
+        let p = Power::from_mw(mw);
+        let clk = Frequency::from_ghz(2.5);
+        let one = p.energy_over_cycles(cycles, clk);
+        let two = p.energy_over_cycles(2 * cycles, clk);
+        prop_assert!((two.joules() - 2.0 * one.joules()).abs() <= one.joules() * 1e-9 + 1e-18);
+        let double_p = Power::from_mw(2.0 * mw);
+        let scaled = double_p.energy_over_cycles(cycles, clk);
+        prop_assert!((scaled.joules() - 2.0 * one.joules()).abs() <= one.joules() * 1e-9 + 1e-18);
+    }
+
+    /// The meter's per-category breakdown always sums to its total,
+    /// regardless of the add/merge sequence.
+    #[test]
+    fn meter_conservation_under_random_sequences(
+        adds in prop::collection::vec((0usize..14, finite_pj()), 0..200),
+        split in 0usize..200,
+    ) {
+        let cat = |i: usize| EnergyCategory::ALL[i % EnergyCategory::ALL.len()];
+        let mut a = EnergyMeter::new();
+        let mut b = EnergyMeter::new();
+        for (i, &(c, pj)) in adds.iter().enumerate() {
+            let m = if i < split { &mut a } else { &mut b };
+            m.add(cat(c), Energy::from_pj(pj));
+        }
+        a.merge(&b);
+        prop_assert!(a.verify_conservation(1e-9));
+        let manual: f64 = a.iter().map(|(_, e)| e.joules()).sum();
+        prop_assert!((manual - a.total().joules()).abs()
+            <= a.total().joules() * 1e-9 + 1e-15);
+    }
+
+    /// Model energies are non-negative, monotone in bits, and linear.
+    #[test]
+    fn model_energies_scale(bits in 1u64..100_000, mm in 0.0f64..100.0) {
+        let m = EnergyModel::paper_65nm();
+        let fns: Vec<Box<dyn Fn(u64) -> Energy>> = vec![
+            Box::new(|b| m.switch_traversal(b)),
+            Box::new(|b| m.serial_io(b)),
+            Box::new(|b| m.wide_io(b)),
+            Box::new(|b| m.wireless_tx(b)),
+            Box::new(|b| m.wireless_rx(b)),
+            Box::new(|b| m.wire(b, mm)),
+            Box::new(|b| m.interposer_wire(b, mm)),
+        ];
+        for f in &fns {
+            let one = f(bits);
+            let two = f(2 * bits);
+            prop_assert!(one >= Energy::ZERO);
+            prop_assert!(
+                (two.joules() - 2.0 * one.joules()).abs()
+                    <= one.joules().abs() * 1e-9 + 1e-18
+            );
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! In-package stacked DRAM for the `wimnet` multichip systems.
+//!
+//! §IV of the paper: "We considered the memory module to be vertically
+//! stacked 4-layered DRAM memory mounted on top of a base logic die.
+//! Each memory stack is assumed to have four channels.  The base logic
+//! die works as an interface between the memory stacks and multicore
+//! chips … The layers of the memory stacks are interconnected using
+//! TSVs."
+//!
+//! The network-level evaluation treats stacks as endpoints (the paper
+//! explicitly ignores intra-stack transfer energy because it is the same
+//! in all configurations), but the reproduction still models the stack
+//! properly so that request/reply workloads see realistic service times:
+//!
+//! * [`address`] — block-interleaved mapping of physical addresses onto
+//!   (stack, channel, bank, row).
+//! * [`tsv`] — the through-silicon-via bundle: per-bit energy and layer
+//!   crossing latency.
+//! * [`stack`] — per-channel service queues with open-page row-buffer
+//!   semantics (row hits beat row misses) over the four DRAM layers.
+//! * [`wideio`] — the HBM-style 128-bit 1 GHz wide I/O interface used by
+//!   the substrate architecture (128 Gbps, 6.5 pJ/bit, paper ref \[19\]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod stack;
+pub mod tsv;
+pub mod wideio;
+
+pub use address::AddressMap;
+pub use stack::{AccessKind, AccessResult, MemoryStack, StackConfig};
+pub use tsv::TsvBundle;
+pub use wideio::WideIoSpec;

@@ -1,0 +1,64 @@
+//! Error type for the NoC engine.
+
+use std::error::Error;
+use std::fmt;
+
+use wimnet_topology::NodeId;
+
+/// Errors raised while building or driving a [`crate::Network`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NocError {
+    /// A configuration value was zero or out of range.
+    InvalidConfig {
+        /// Human-readable description of the offending parameter.
+        what: &'static str,
+    },
+    /// A packet was injected at a node that does not exist or is not an
+    /// endpoint.
+    BadEndpoint {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// The network made no progress for a long interval while flits were
+    /// still in flight — a deadlock or livelock (only possible with
+    /// routing policies that are not deadlock-free).
+    Stalled {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Flits still buffered in the network.
+        flits_in_flight: u64,
+    },
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            NocError::BadEndpoint { node } => {
+                write!(f, "{node} is not a valid traffic endpoint")
+            }
+            NocError::Stalled { cycle, flits_in_flight } => write!(
+                f,
+                "network stalled at cycle {cycle} with {flits_in_flight} flits in flight \
+                 (deadlock?)"
+            ),
+        }
+    }
+}
+
+impl Error for NocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NocError::Stalled { cycle: 420, flits_in_flight: 7 };
+        let s = format!("{e}");
+        assert!(s.contains("420") && s.contains('7'));
+        fn is_error<E: Error>(_: &E) {}
+        is_error(&e);
+    }
+}

@@ -1,0 +1,279 @@
+//! Wired links: rate-limited, latency-pipelined simplex channels.
+//!
+//! Bandwidths are expressed in flits per 2.5 GHz cycle relative to the
+//! 32-bit flit (80 Gbps per unit rate):
+//!
+//! | kind | paper bandwidth | rate (flits/cycle) |
+//! |---|---|---|
+//! | mesh / interposer wire | one flit per cycle (§IV) | 1.0 |
+//! | serial chip-to-chip I/O | 15 Gbps (ref \[8\]) | 0.1875 |
+//! | wide memory I/O | 128 Gbps (ref \[19\]) | 1.6 |
+//!
+//! Fractional rates use an accumulator: a 0.1875-rate link earns 0.1875
+//! flit-credits per cycle and ships a flit whenever a whole credit is
+//! available, which reproduces serialisation delay without event queues.
+
+use std::collections::VecDeque;
+
+use wimnet_topology::{EdgeId, EdgeKind};
+
+use crate::flit::Flit;
+
+/// A flit due to arrive at the downstream switch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDelivery {
+    /// The flit being carried.
+    pub flit: Flit,
+    /// Input VC at the downstream port it was admitted to.
+    pub vc: usize,
+    /// Cycle at which it reaches the downstream buffer.
+    pub arrives_at: u64,
+}
+
+/// One simplex wired channel between two switch ports.
+#[derive(Debug, Clone)]
+pub struct Link {
+    edge: EdgeId,
+    kind: EdgeKind,
+    length_mm: f64,
+    rate: f64,
+    latency: u64,
+    credit: f64,
+    in_flight: VecDeque<LinkDelivery>,
+}
+
+impl Link {
+    /// Creates a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < rate` and `rate` is finite.
+    pub fn new(edge: EdgeId, kind: EdgeKind, length_mm: f64, rate: f64, latency: u64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "link rate must be positive");
+        Link {
+            edge,
+            kind,
+            length_mm,
+            rate,
+            latency,
+            credit: 0.0,
+            in_flight: VecDeque::new(),
+        }
+    }
+
+    /// The paper's per-kind rate (flits per 2.5 GHz cycle of a 32-bit
+    /// flit) and propagation latency in cycles.
+    ///
+    /// Mesh and interposer wires move one flit per cycle ("all intra-chip
+    /// wired links are considered to be single-cycle links", §IV);
+    /// interposer hops pay one extra cycle for the µbump crossing; serial
+    /// and wide I/O rates follow the cited bandwidths with short
+    /// propagation pipelines.
+    pub fn paper_rate_latency(kind: EdgeKind) -> (f64, u64) {
+        match kind {
+            EdgeKind::Mesh => (1.0, 1),
+            // Interposer traces are several millimetres of fine-pitch
+            // RC-limited wire: half the on-die flit rate plus a µbump
+            // crossing cycle (cf. the paper's ref [2] discussion of
+            // interposer wire speed).
+            EdgeKind::Interposer => (0.5, 2),
+            EdgeKind::SerialIo => (15.0 / 80.0, 2),
+            EdgeKind::WideIo => (128.0 / 80.0, 1),
+            // The wireless channel is not a wired link; its 16 Gbps rate
+            // is enforced by the MAC in `wimnet-wireless`.
+            EdgeKind::Wireless => (16.0 / 80.0, 1),
+        }
+    }
+
+    /// The topology edge this link realises.
+    pub fn edge(&self) -> EdgeId {
+        self.edge
+    }
+
+    /// The physical kind of the link.
+    pub fn kind(&self) -> EdgeKind {
+        self.kind
+    }
+
+    /// Physical length in millimetres.
+    pub fn length_mm(&self) -> f64 {
+        self.length_mm
+    }
+
+    /// Bandwidth in flits per cycle.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Propagation latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Flits currently on the wire.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Called once per cycle *before* any admission: accrues bandwidth
+    /// credit.  Credit is capped at one cycle's worth above a whole flit
+    /// so idle links cannot bank unbounded bursts.
+    pub fn begin_cycle(&mut self) {
+        self.credit = (self.credit + self.rate).min(self.rate.max(1.0) + self.rate);
+    }
+
+    /// `true` if the link can accept one more flit this cycle.
+    pub fn can_accept(&self) -> bool {
+        self.credit >= 1.0
+    }
+
+    /// Whole flits the link can still accept this cycle.
+    pub fn available(&self) -> u32 {
+        self.credit.max(0.0) as u32
+    }
+
+    /// Admits a flit onto the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while [`Link::can_accept`] is false.
+    pub fn send(&mut self, flit: Flit, vc: usize, now: u64) {
+        assert!(self.can_accept(), "link admission without bandwidth credit");
+        self.credit -= 1.0;
+        self.in_flight.push_back(LinkDelivery {
+            flit,
+            vc,
+            arrives_at: now + self.latency,
+        });
+    }
+
+    /// Removes and returns all flits that have arrived by `now`.
+    ///
+    /// Deliveries come out in admission order, which preserves per-packet
+    /// flit order (same path, same link).
+    pub fn take_arrivals(&mut self, now: u64) -> Vec<LinkDelivery> {
+        let mut out = Vec::new();
+        while let Some(d) = self.in_flight.front() {
+            if d.arrives_at <= now {
+                out.push(self.in_flight.pop_front().expect("front exists"));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, PacketId};
+    use wimnet_topology::NodeId;
+
+    fn flit(seq: u32) -> Flit {
+        Flit {
+            packet: PacketId(1),
+            kind: FlitKind::Body,
+            seq,
+            src: NodeId(0),
+            dest: NodeId(1),
+            created_at: 0,
+        }
+    }
+
+    fn mesh_link() -> Link {
+        Link::new(EdgeId(0), EdgeKind::Mesh, 2.5, 1.0, 1)
+    }
+
+    #[test]
+    fn unit_rate_link_moves_one_flit_per_cycle() {
+        let mut l = mesh_link();
+        for now in 0..5u64 {
+            l.begin_cycle();
+            assert!(l.can_accept());
+            l.send(flit(now as u32), 0, now);
+            assert!(!l.can_accept(), "only one flit per cycle at rate 1");
+            let arrivals = l.take_arrivals(now + 1);
+            assert_eq!(arrivals.len(), 1);
+            assert_eq!(arrivals[0].arrives_at, now + 1);
+        }
+    }
+
+    #[test]
+    fn serial_rate_paces_roughly_five_cycles_per_flit() {
+        // 15/80 flits per cycle = one flit every 5.33 cycles.
+        let mut l = Link::new(EdgeId(0), EdgeKind::SerialIo, 12.0, 15.0 / 80.0, 2);
+        let mut sent = 0u32;
+        for now in 0..80u64 {
+            l.begin_cycle();
+            if l.can_accept() {
+                l.send(flit(sent), 0, now);
+                sent += 1;
+            }
+        }
+        // 80 cycles * 0.1875 = 15 flits.
+        assert_eq!(sent, 15);
+    }
+
+    #[test]
+    fn wide_io_exceeds_one_flit_per_cycle() {
+        let mut l = Link::new(EdgeId(0), EdgeKind::WideIo, 5.0, 1.6, 1);
+        let mut sent = 0u32;
+        for now in 0..10u64 {
+            l.begin_cycle();
+            while l.can_accept() {
+                l.send(flit(sent), 0, now);
+                sent += 1;
+            }
+        }
+        // 10 cycles * 1.6 = 16 flits.
+        assert_eq!(sent, 16);
+    }
+
+    #[test]
+    fn latency_delays_delivery_in_order() {
+        let mut l = Link::new(EdgeId(0), EdgeKind::Interposer, 4.0, 1.0, 3);
+        l.begin_cycle();
+        l.send(flit(0), 2, 10);
+        assert!(l.take_arrivals(12).is_empty());
+        let a = l.take_arrivals(13);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].vc, 2);
+        assert_eq!(l.in_flight(), 0);
+    }
+
+    #[test]
+    fn idle_links_do_not_bank_unbounded_credit() {
+        let mut l = mesh_link();
+        for _ in 0..100 {
+            l.begin_cycle();
+        }
+        let mut burst = 0;
+        while l.can_accept() {
+            l.send(flit(burst), 0, 100);
+            burst += 1;
+        }
+        assert!(burst <= 2, "burst of {burst} after long idle");
+    }
+
+    #[test]
+    fn paper_rates_match_cited_bandwidths() {
+        let (r, _) = Link::paper_rate_latency(EdgeKind::SerialIo);
+        assert!((r * 80.0 - 15.0).abs() < 1e-9);
+        let (r, _) = Link::paper_rate_latency(EdgeKind::WideIo);
+        assert!((r * 80.0 - 128.0).abs() < 1e-9);
+        let (r, _) = Link::paper_rate_latency(EdgeKind::Wireless);
+        assert!((r * 80.0 - 16.0).abs() < 1e-9);
+        let (r, lat) = Link::paper_rate_latency(EdgeKind::Mesh);
+        assert_eq!((r, lat), (1.0, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn sending_without_credit_panics() {
+        let mut l = mesh_link();
+        l.begin_cycle();
+        l.send(flit(0), 0, 0);
+        l.send(flit(1), 0, 0);
+    }
+}

@@ -1,0 +1,341 @@
+//! Radio ports and the shared-medium extension point.
+//!
+//! A switch that carries a wireless interface (WI) gets two extra
+//! structures:
+//!
+//! * a **transmit buffer** (`RadioTx`) — per-VC FIFOs the switch's
+//!   radio output port drains into (these are the "output VCs of the
+//!   transmitting WI" whose count bounds the control packet's 3-tuples,
+//!   §III.D), each buffered flit tagged with its target WI;
+//! * a **receive port** — an ordinary input port on the switch, with
+//!   packet-to-VC mapping maintained by the network so that partial
+//!   packets from different sources keep wormhole integrity (the paper's
+//!   `PktID` mechanism).
+//!
+//! The medium itself (channel + MAC) lives in `wimnet-wireless` and talks
+//! to the engine through [`SharedMedium`]: each cycle it receives an
+//! immutable [`MediumView`] of every radio's TX/RX state and returns
+//! [`MediumActions`] (flit transmissions and energy charges) that the
+//! network validates and applies.  This command pattern keeps the MAC
+//! logic free of engine internals and makes it unit-testable in
+//! isolation.
+
+use std::collections::VecDeque;
+
+use wimnet_energy::{Energy, EnergyCategory};
+use wimnet_topology::NodeId;
+
+use crate::flit::{Flit, PacketId};
+
+/// Identifier of a radio (= wireless interface); doubles as the MAC
+/// sequence position, mirroring `wimnet_topology::WiId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RadioId(pub usize);
+
+impl RadioId {
+    /// Dense index of this radio.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for RadioId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "radio{}", self.0)
+    }
+}
+
+/// One transmit virtual channel: flits tagged with their target radio.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TxVc {
+    pub(crate) fifo: VecDeque<(Flit, RadioId)>,
+    pub(crate) capacity: usize,
+}
+
+impl TxVc {
+    pub(crate) fn new(capacity: usize) -> Self {
+        TxVc { fifo: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    pub(crate) fn free_space(&self) -> usize {
+        self.capacity - self.fifo.len()
+    }
+}
+
+/// Transmit-side state of one radio.
+#[derive(Debug, Clone)]
+pub(crate) struct RadioTx {
+    /// The switch hosting this radio.
+    pub(crate) node: NodeId,
+    /// Per-VC transmit FIFOs.
+    pub(crate) vcs: Vec<TxVc>,
+    /// Target radio chosen at VA time for the packet currently allocated
+    /// to each VC; flits are tagged on push.
+    pub(crate) target_by_vc: Vec<Option<RadioId>>,
+}
+
+impl RadioTx {
+    pub(crate) fn new(node: NodeId, vcs: usize, depth: usize) -> Self {
+        RadioTx {
+            node,
+            vcs: (0..vcs).map(|_| TxVc::new(depth)).collect(),
+            target_by_vc: vec![None; vcs],
+        }
+    }
+}
+
+/// Read-only snapshot of one TX VC, offered to the medium.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TxVcView {
+    /// The flit at the FIFO front with its target, if any.
+    pub front: Option<(Flit, RadioId)>,
+    /// Buffered flits.
+    pub len: usize,
+    /// Leading flits that belong to the front packet (the contiguous run
+    /// a control-packet 3-tuple may announce, §III.D).
+    pub front_run_len: usize,
+    /// `true` when the front packet's tail is inside that run — i.e. the
+    /// rest of the packet is fully buffered (what the whole-packet token
+    /// MAC requires, and what completes a partial transfer).
+    pub front_run_has_tail: bool,
+}
+
+impl TxVcView {
+    /// `true` when an *entire* packet sits at the front (head through
+    /// tail) — the token MAC's transmission eligibility.
+    pub fn whole_packet_at_front(&self) -> bool {
+        match self.front {
+            Some((f, _)) => f.kind.is_head() && self.front_run_has_tail,
+            None => false,
+        }
+    }
+}
+
+/// Read-only snapshot of one RX VC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RxVcView {
+    /// Packet currently owning the VC (until its tail is delivered).
+    pub owner: Option<PacketId>,
+    /// Buffered flits.
+    pub len: usize,
+    /// Buffer capacity.
+    pub capacity: usize,
+}
+
+/// Read-only snapshot of one radio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadioView {
+    /// The radio's id (MAC sequence position).
+    pub id: RadioId,
+    /// The hosting switch.
+    pub node: NodeId,
+    /// Transmit VCs.
+    pub tx: Vec<TxVcView>,
+    /// Receive VCs (the hosting switch's radio input port).
+    pub rx: Vec<RxVcView>,
+}
+
+/// Per-cycle snapshot of every radio, offered to the [`SharedMedium`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MediumView {
+    radios: Vec<RadioView>,
+}
+
+impl MediumView {
+    /// Assembles a view from per-radio snapshots.  The engine builds one
+    /// per cycle; MAC unit tests may construct views directly.
+    pub fn new(radios: Vec<RadioView>) -> Self {
+        MediumView { radios }
+    }
+
+    /// All radios in MAC sequence order.
+    pub fn radios(&self) -> &[RadioView] {
+        &self.radios
+    }
+
+    /// One radio's view.
+    pub fn radio(&self, id: RadioId) -> &RadioView {
+        &self.radios[id.index()]
+    }
+
+    /// Number of radios on the medium.
+    pub fn len(&self) -> usize {
+        self.radios.len()
+    }
+
+    /// `true` when no radios exist.
+    pub fn is_empty(&self) -> bool {
+        self.radios.is_empty()
+    }
+
+    /// Which RX VC at `radio` can accept a flit of `packet` right now:
+    /// the VC already owned by the packet, or (for a head flit) the
+    /// lowest free VC — the paper's "the WI reserves an unoccupied VC".
+    /// `None` when the receiver has no room, which the MAC must treat as
+    /// backpressure.
+    pub fn rx_admission(&self, radio: RadioId, packet: PacketId, is_head: bool) -> Option<usize> {
+        let rx = &self.radios[radio.index()].rx;
+        if is_head {
+            rx.iter()
+                .position(|vc| vc.owner.is_none() && vc.len < vc.capacity)
+        } else {
+            rx.iter()
+                .position(|vc| vc.owner == Some(packet) && vc.len < vc.capacity)
+        }
+    }
+}
+
+/// One command from the medium to the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MediumAction {
+    /// Pop the front flit of `from`'s `tx_vc` and deliver it into VC
+    /// `rx_vc` of its tagged target radio's receive port.
+    ///
+    /// The receive VC is chosen by the MAC (the paper's destination-side
+    /// "reserves an unoccupied VC" keyed by `PktID`): reservations made
+    /// at control-packet time must be honoured verbatim, because a
+    /// first-fit re-assignment at delivery time could land a head flit
+    /// in a VC with less space than the reservation guaranteed.
+    Transmit {
+        /// Transmitting radio.
+        from: RadioId,
+        /// Transmit VC to pop.
+        tx_vc: usize,
+        /// Receive VC at the target radio.
+        rx_vc: usize,
+    },
+    /// Charge energy to the meter (TX/RX/control/idle/sleep categories).
+    Energy {
+        /// Meter category.
+        category: EnergyCategory,
+        /// Amount.
+        energy: Energy,
+    },
+}
+
+/// The medium's command list for one cycle.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MediumActions {
+    pub(crate) list: Vec<MediumAction>,
+}
+
+impl MediumActions {
+    /// An empty action list.
+    pub fn new() -> Self {
+        MediumActions::default()
+    }
+
+    /// Queues a flit transmission into the reserved receive VC.
+    pub fn transmit(&mut self, from: RadioId, tx_vc: usize, rx_vc: usize) {
+        self.list.push(MediumAction::Transmit { from, tx_vc, rx_vc });
+    }
+
+    /// Queues an energy charge.
+    pub fn energy(&mut self, category: EnergyCategory, energy: Energy) {
+        self.list.push(MediumAction::Energy { category, energy });
+    }
+
+    /// Queued actions, in order.
+    pub fn actions(&self) -> &[MediumAction] {
+        &self.list
+    }
+
+    /// Number of queued actions.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+}
+
+/// A shared communication medium attached to the network — the 60 GHz
+/// wireless channel in this reproduction, but any broadcast bus fits.
+///
+/// Implementations decide *which* flits move each cycle (MAC policy) and
+/// *what energy* that costs; the engine enforces buffer capacities and
+/// wormhole integrity when applying the returned actions.
+pub trait SharedMedium {
+    /// Called once per cycle after the switches' SA/ST phase.
+    fn step(&mut self, now: u64, view: &MediumView, actions: &mut MediumActions);
+
+    /// Human-readable MAC/channel name for reports.
+    fn name(&self) -> &str {
+        "shared-medium"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::FlitKind;
+
+    fn flit(packet: u64, kind: FlitKind) -> Flit {
+        Flit {
+            packet: PacketId(packet),
+            kind,
+            seq: 0,
+            src: NodeId(0),
+            dest: NodeId(1),
+            created_at: 0,
+        }
+    }
+
+    fn view_with_rx(rx: Vec<RxVcView>) -> MediumView {
+        MediumView::new(vec![RadioView {
+            id: RadioId(0),
+            node: NodeId(0),
+            tx: vec![],
+            rx,
+        }])
+    }
+
+    #[test]
+    fn rx_admission_head_takes_lowest_free_vc() {
+        let v = view_with_rx(vec![
+            RxVcView { owner: Some(PacketId(7)), len: 1, capacity: 4 },
+            RxVcView { owner: None, len: 0, capacity: 4 },
+            RxVcView { owner: None, len: 0, capacity: 4 },
+        ]);
+        assert_eq!(v.rx_admission(RadioId(0), PacketId(9), true), Some(1));
+    }
+
+    #[test]
+    fn rx_admission_body_follows_its_owner_vc() {
+        let v = view_with_rx(vec![
+            RxVcView { owner: None, len: 0, capacity: 4 },
+            RxVcView { owner: Some(PacketId(9)), len: 2, capacity: 4 },
+        ]);
+        assert_eq!(v.rx_admission(RadioId(0), PacketId(9), false), Some(1));
+        assert_eq!(v.rx_admission(RadioId(0), PacketId(8), false), None);
+    }
+
+    #[test]
+    fn rx_admission_respects_capacity() {
+        let v = view_with_rx(vec![RxVcView {
+            owner: Some(PacketId(9)),
+            len: 4,
+            capacity: 4,
+        }]);
+        assert_eq!(v.rx_admission(RadioId(0), PacketId(9), false), None);
+        let v = view_with_rx(vec![RxVcView { owner: None, len: 4, capacity: 4 }]);
+        assert_eq!(v.rx_admission(RadioId(0), PacketId(1), true), None);
+    }
+
+    #[test]
+    fn actions_collect_in_order() {
+        let mut a = MediumActions::new();
+        assert!(a.is_empty());
+        a.transmit(RadioId(1), 3, 0);
+        a.energy(EnergyCategory::WirelessTx, Energy::from_pj(2.3));
+        assert_eq!(a.len(), 2);
+        assert!(matches!(
+            a.actions()[0],
+            MediumAction::Transmit { from: RadioId(1), tx_vc: 3, rx_vc: 0 }
+        ));
+        assert!(matches!(a.actions()[1], MediumAction::Energy { .. }));
+        let _ = flit(0, FlitKind::Head); // silence helper warning
+    }
+}

@@ -1,0 +1,237 @@
+//! Virtual channels: per-port flit FIFOs with wormhole allocation state.
+
+use std::collections::VecDeque;
+
+use crate::flit::{Flit, PacketId};
+
+/// Wormhole pipeline state of one input virtual channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcStage {
+    /// No packet allocated; waiting for a head flit.
+    Idle,
+    /// Route computed (output port known); waiting for VC allocation.
+    /// The wrapped cycle is when the RC result becomes usable.
+    Routed {
+        /// Output port selected by the forwarding table.
+        out_port: usize,
+        /// First cycle at which VC allocation may happen (RC takes one
+        /// pipeline stage).
+        ready_at: u64,
+    },
+    /// Output VC allocated; flits may traverse.
+    Active {
+        /// Output port selected by the forwarding table.
+        out_port: usize,
+        /// Downstream virtual channel allocated to this packet.
+        out_vc: usize,
+        /// First cycle at which switch allocation may happen (VA takes
+        /// one pipeline stage).
+        ready_at: u64,
+    },
+}
+
+/// One input virtual channel: a bounded FIFO plus allocation state.
+#[derive(Debug, Clone)]
+pub struct InputVc {
+    fifo: VecDeque<Flit>,
+    capacity: usize,
+    stage: VcStage,
+    /// The packet currently owning this VC (set by its head flit entering
+    /// the FIFO, cleared when its tail leaves).
+    owner: Option<PacketId>,
+}
+
+impl InputVc {
+    /// A VC with room for `capacity` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "VC buffers need capacity");
+        InputVc {
+            fifo: VecDeque::with_capacity(capacity),
+            capacity,
+            stage: VcStage::Idle,
+            owner: None,
+        }
+    }
+
+    /// Buffered flits.
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// `true` when no flits are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// Remaining buffer slots.
+    pub fn free_space(&self) -> usize {
+        self.capacity - self.fifo.len()
+    }
+
+    /// Buffer capacity in flits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current pipeline stage.
+    pub fn stage(&self) -> VcStage {
+        self.stage
+    }
+
+    /// Sets the pipeline stage (used by the switch allocators).
+    pub fn set_stage(&mut self, stage: VcStage) {
+        self.stage = stage;
+    }
+
+    /// The packet that owns this VC's wormhole reservation, if any.
+    pub fn owner(&self) -> Option<PacketId> {
+        self.owner
+    }
+
+    /// The flit at the FIFO head, if any.
+    pub fn front(&self) -> Option<&Flit> {
+        self.fifo.front()
+    }
+
+    /// Enqueues a flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full (the engine's credit protocol must
+    /// prevent that) or if a head flit arrives while another packet still
+    /// owns the reservation.
+    pub fn push(&mut self, flit: Flit) {
+        assert!(
+            self.fifo.len() < self.capacity,
+            "VC overflow: credit protocol violated"
+        );
+        if flit.kind.is_head() {
+            assert!(
+                self.owner.is_none(),
+                "head flit of {} entered a VC owned by {:?}",
+                flit.packet,
+                self.owner
+            );
+            self.owner = Some(flit.packet);
+        } else {
+            debug_assert_eq!(
+                self.owner,
+                Some(flit.packet),
+                "body flit entered a foreign VC"
+            );
+        }
+        if flit.kind.is_tail() {
+            // Tail queued: reservation for *entry* purposes ends here; the
+            // wormhole path itself is released when the tail leaves.
+            self.owner = None;
+        }
+        self.fifo.push_back(flit);
+    }
+
+    /// `true` if a flit of `packet` may enter: either the packet already
+    /// owns the VC, or the VC is unowned and (for a head flit) idle
+    /// enough to accept a new packet.  Space must be checked separately.
+    pub fn may_accept(&self, packet: PacketId, is_head: bool) -> bool {
+        match self.owner {
+            Some(owner) => owner == packet && !is_head,
+            None => is_head,
+        }
+    }
+
+    /// Dequeues the head flit.
+    pub fn pop(&mut self) -> Option<Flit> {
+        self.fifo.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wimnet_topology::NodeId;
+
+    fn flit(packet: u64, seq: u32, len: u32) -> Flit {
+        Flit {
+            packet: PacketId(packet),
+            kind: Flit::kind_for(seq, len),
+            seq,
+            src: NodeId(0),
+            dest: NodeId(1),
+            created_at: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_space_accounting() {
+        let mut vc = InputVc::new(4);
+        assert!(vc.is_empty());
+        vc.push(flit(1, 0, 3));
+        vc.push(flit(1, 1, 3));
+        assert_eq!(vc.len(), 2);
+        assert_eq!(vc.free_space(), 2);
+        assert_eq!(vc.pop().unwrap().seq, 0);
+        assert_eq!(vc.pop().unwrap().seq, 1);
+        assert!(vc.pop().is_none());
+    }
+
+    #[test]
+    fn ownership_lifecycle() {
+        let mut vc = InputVc::new(8);
+        assert_eq!(vc.owner(), None);
+        vc.push(flit(7, 0, 3)); // head
+        assert_eq!(vc.owner(), Some(PacketId(7)));
+        vc.push(flit(7, 1, 3)); // body
+        assert_eq!(vc.owner(), Some(PacketId(7)));
+        vc.push(flit(7, 2, 3)); // tail clears entry ownership
+        assert_eq!(vc.owner(), None);
+        // A new packet may start queueing behind the finished one.
+        vc.push(flit(8, 0, 1));
+        assert_eq!(vc.len(), 4);
+    }
+
+    #[test]
+    fn may_accept_enforces_wormhole_integrity() {
+        let mut vc = InputVc::new(8);
+        assert!(vc.may_accept(PacketId(1), true));
+        assert!(!vc.may_accept(PacketId(1), false), "body needs ownership");
+        vc.push(flit(1, 0, 3));
+        assert!(vc.may_accept(PacketId(1), false));
+        assert!(!vc.may_accept(PacketId(2), true), "VC is owned");
+        assert!(!vc.may_accept(PacketId(2), false));
+    }
+
+    #[test]
+    #[should_panic]
+    fn overflow_panics() {
+        let mut vc = InputVc::new(1);
+        vc.push(flit(1, 0, 2));
+        vc.push(flit(1, 1, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn foreign_head_panics() {
+        let mut vc = InputVc::new(4);
+        vc.push(flit(1, 0, 2)); // head of packet 1, not yet tailed
+        vc.push(flit(2, 0, 2)); // head of packet 2 must not enter
+    }
+
+    #[test]
+    fn stage_transitions() {
+        let mut vc = InputVc::new(4);
+        assert_eq!(vc.stage(), VcStage::Idle);
+        vc.set_stage(VcStage::Routed { out_port: 2, ready_at: 10 });
+        assert!(matches!(vc.stage(), VcStage::Routed { out_port: 2, .. }));
+        vc.set_stage(VcStage::Active { out_port: 2, out_vc: 5, ready_at: 11 });
+        assert!(matches!(vc.stage(), VcStage::Active { out_vc: 5, .. }));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        InputVc::new(0);
+    }
+}

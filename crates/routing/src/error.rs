@@ -1,0 +1,64 @@
+//! Error type for route computation.
+
+use std::error::Error;
+use std::fmt;
+
+use wimnet_topology::NodeId;
+
+/// Errors raised while computing routes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RoutingError {
+    /// The topology graph has no nodes.
+    EmptyGraph,
+    /// Two nodes have no path between them under the chosen policy, so no
+    /// complete forwarding table exists.
+    Unreachable {
+        /// Source switch.
+        from: NodeId,
+        /// Destination switch.
+        to: NodeId,
+    },
+    /// An internal walk exceeded the node count — the forwarding tables
+    /// contain a loop (this indicates a bug and is checked in tests).
+    RoutingLoop {
+        /// Source switch of the offending walk.
+        from: NodeId,
+        /// Destination switch of the offending walk.
+        to: NodeId,
+    },
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::EmptyGraph => write!(f, "topology graph has no nodes"),
+            RoutingError::Unreachable { from, to } => {
+                write!(f, "no route from {from} to {to}")
+            }
+            RoutingError::RoutingLoop { from, to } => {
+                write!(f, "forwarding tables loop between {from} and {to}")
+            }
+        }
+    }
+}
+
+impl Error for RoutingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RoutingError::Unreachable { from: NodeId(3), to: NodeId(9) };
+        let s = format!("{e}");
+        assert!(s.contains("n3") && s.contains("n9"));
+    }
+
+    #[test]
+    fn implements_error() {
+        fn is_error<E: Error>(_: &E) {}
+        is_error(&RoutingError::EmptyGraph);
+    }
+}

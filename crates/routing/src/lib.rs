@@ -1,0 +1,48 @@
+//! Route computation for `wimnet` multichip systems.
+//!
+//! The paper (§III.C) uses *forwarding-table based routing over
+//! pre-computed shortest paths determined by Dijkstra's algorithm* and
+//! argues deadlock freedom from routing along a shortest-path tree.  This
+//! crate implements that scheme, plus two related policies used for the
+//! ablation studies, all producing the same artefact: a set of per-switch
+//! forwarding tables ([`Routes`]) consumed by the cycle-accurate engine.
+//!
+//! * [`RoutingPolicy::Tree`] — the paper's literal description: all
+//!   traffic follows a single shortest-path tree (trivially cycle-free,
+//!   but leaves non-tree links unused).
+//! * [`RoutingPolicy::UpDown`] — the standard formalisation of tree-based
+//!   deadlock freedom: every link may be used, but paths must climb
+//!   ("up") before they descend ("down") with respect to a root,
+//!   guaranteeing a cycle-free channel dependency graph. **Default.**
+//! * [`RoutingPolicy::ShortestPath`] — unrestricted per-pair Dijkstra
+//!   shortest paths; minimal latency but *not* guaranteed deadlock-free
+//!   (verified per-topology with [`deadlock::find_cycle`]).
+//!
+//! # Example
+//!
+//! ```
+//! use wimnet_topology::{Architecture, MultichipConfig, MultichipLayout};
+//! use wimnet_routing::{deadlock, Routes, RoutingPolicy};
+//!
+//! let layout = MultichipLayout::build(
+//!     &MultichipConfig::xcym(4, 4, Architecture::Wireless),
+//! )?;
+//! let routes = Routes::build(layout.graph(), RoutingPolicy::up_down())?;
+//! // Up*/down* routing is deadlock-free on every topology.
+//! assert!(deadlock::find_cycle(layout.graph(), &routes).is_none());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deadlock;
+pub mod dijkstra;
+pub mod error;
+pub mod forwarding;
+pub mod spt;
+
+pub use dijkstra::{shortest_paths, ShortestPaths};
+pub use error::RoutingError;
+pub use forwarding::{Routes, RoutingPolicy};
+pub use spt::ShortestPathTree;

@@ -1,0 +1,288 @@
+//! Shortest-path trees: the paper's deadlock-freedom device.
+//!
+//! §III.C: "Dijkstra's algorithm extracts a [shortest-path tree] which
+//! provides the shortest path between any pair of nodes in a graph. …
+//! deadlock is avoided by transferring flits along the shortest path
+//! routing tree … as it is inherently free of cyclic dependencies."
+//!
+//! [`ShortestPathTree`] materialises that tree: parent pointers from a
+//! rooted Dijkstra run, children lists, levels and Euler-tour intervals
+//! for O(1) ancestor tests.  Both the [`crate::RoutingPolicy::Tree`] and
+//! [`crate::RoutingPolicy::UpDown`] policies are built on it.
+
+use wimnet_topology::{Edge, EdgeId, Graph, NodeId};
+
+use crate::dijkstra::shortest_paths;
+use crate::error::RoutingError;
+
+/// A rooted shortest-path tree over the topology graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShortestPathTree {
+    root: NodeId,
+    parent: Vec<Option<(NodeId, EdgeId)>>,
+    children: Vec<Vec<NodeId>>,
+    level: Vec<usize>,
+    tin: Vec<usize>,
+    tout: Vec<usize>,
+    tree_edges: Vec<bool>,
+}
+
+impl ShortestPathTree {
+    /// Builds the shortest-path tree rooted at `root` using `weight`.
+    ///
+    /// # Errors
+    ///
+    /// * [`RoutingError::EmptyGraph`] for an empty graph.
+    /// * [`RoutingError::Unreachable`] if any node cannot be reached from
+    ///   `root` — a spanning tree must span.
+    pub fn build(
+        graph: &Graph,
+        root: NodeId,
+        weight: &dyn Fn(EdgeId, &Edge) -> f64,
+    ) -> Result<Self, RoutingError> {
+        if graph.node_count() == 0 {
+            return Err(RoutingError::EmptyGraph);
+        }
+        let sp = shortest_paths(graph, root, weight);
+        let n = graph.node_count();
+        let mut parent = vec![None; n];
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut tree_edges = vec![false; graph.edge_count()];
+        for id in graph.node_ids() {
+            if id == root {
+                continue;
+            }
+            let (p, e) = sp
+                .parent(id)
+                .ok_or(RoutingError::Unreachable { from: root, to: id })?;
+            parent[id.index()] = Some((p, e));
+            children[p.index()].push(id);
+            tree_edges[e.index()] = true;
+        }
+        // Children are pushed in node-id order (node_ids is ordered), so
+        // the Euler tour below is deterministic.
+        let mut level = vec![0usize; n];
+        let mut tin = vec![0usize; n];
+        let mut tout = vec![0usize; n];
+        let mut timer = 0usize;
+        // Iterative DFS with explicit enter/exit events.
+        let mut stack = vec![(root, false)];
+        while let Some((node, exiting)) = stack.pop() {
+            if exiting {
+                tout[node.index()] = timer;
+                timer += 1;
+                continue;
+            }
+            tin[node.index()] = timer;
+            timer += 1;
+            stack.push((node, true));
+            for &c in children[node.index()].iter().rev() {
+                level[c.index()] = level[node.index()] + 1;
+                stack.push((c, false));
+            }
+        }
+        Ok(ShortestPathTree {
+            root,
+            parent,
+            children,
+            level,
+            tin,
+            tout,
+            tree_edges,
+        })
+    }
+
+    /// Builds the tree with default edge-kind weights.
+    pub fn build_default(graph: &Graph, root: NodeId) -> Result<Self, RoutingError> {
+        ShortestPathTree::build(graph, root, &|_, e| e.kind.routing_weight())
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Parent of `node` with the connecting edge (`None` for the root).
+    pub fn parent(&self, node: NodeId) -> Option<(NodeId, EdgeId)> {
+        self.parent[node.index()]
+    }
+
+    /// Children of `node` in ascending id order.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.children[node.index()]
+    }
+
+    /// Depth of `node` below the root.
+    pub fn level(&self, node: NodeId) -> usize {
+        self.level[node.index()]
+    }
+
+    /// `true` if `ancestor` is `node` or an ancestor of `node`.
+    pub fn is_ancestor(&self, ancestor: NodeId, node: NodeId) -> bool {
+        self.tin[ancestor.index()] <= self.tin[node.index()]
+            && self.tout[node.index()] <= self.tout[ancestor.index()]
+    }
+
+    /// `true` if `edge` belongs to the tree.
+    pub fn is_tree_edge(&self, edge: EdgeId) -> bool {
+        self.tree_edges[edge.index()]
+    }
+
+    /// The tree path from `from` to `to`: climbs to the lowest common
+    /// ancestor, then descends.
+    pub fn tree_path(&self, from: NodeId, to: NodeId) -> Vec<NodeId> {
+        let mut up = vec![from];
+        let mut a = from;
+        while !self.is_ancestor(a, to) {
+            let (p, _) = self.parent(a).expect("non-ancestor has a parent");
+            up.push(p);
+            a = p;
+        }
+        // `a` is now the LCA; collect the downward side.
+        let mut down = Vec::new();
+        let mut b = to;
+        while b != a {
+            down.push(b);
+            let (p, _) = self.parent(b).expect("node below LCA has a parent");
+            b = p;
+        }
+        up.extend(down.into_iter().rev());
+        up
+    }
+
+    /// Lowest common ancestor of two nodes.
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let mut x = a;
+        while !self.is_ancestor(x, b) {
+            x = self.parent(x).expect("non-ancestor has a parent").0;
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wimnet_topology::{EdgeKind, Node, NodeKind, Point};
+
+    fn grid(rows: usize, cols: usize) -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let mut ids = Vec::new();
+        for y in 0..rows {
+            for x in 0..cols {
+                ids.push(g.add_node(Node {
+                    kind: NodeKind::Core { chip: 0, x, y },
+                    position: Point::new(x as f64, y as f64),
+                }));
+            }
+        }
+        for y in 0..rows {
+            for x in 0..cols {
+                let i = y * cols + x;
+                if x + 1 < cols {
+                    g.add_edge(ids[i], ids[i + 1], EdgeKind::Mesh).unwrap();
+                }
+                if y + 1 < rows {
+                    g.add_edge(ids[i], ids[i + cols], EdgeKind::Mesh).unwrap();
+                }
+            }
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn tree_spans_all_nodes_with_n_minus_1_edges() {
+        let (g, ids) = grid(4, 4);
+        let t = ShortestPathTree::build_default(&g, ids[0]).unwrap();
+        let tree_edge_count = (0..g.edge_count())
+            .filter(|&i| t.is_tree_edge(wimnet_topology::EdgeId(i)))
+            .count();
+        assert_eq!(tree_edge_count, g.node_count() - 1);
+        // Every non-root node has a parent.
+        for id in g.node_ids() {
+            if id != t.root() {
+                assert!(t.parent(id).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn levels_match_unit_distance_from_root() {
+        let (g, ids) = grid(3, 3);
+        let t = ShortestPathTree::build(&g, ids[0], &|_, _| 1.0).unwrap();
+        let bfs = g.bfs_hops(ids[0]);
+        for id in g.node_ids() {
+            assert_eq!(t.level(id), bfs[id.index()]);
+        }
+    }
+
+    #[test]
+    fn ancestor_queries() {
+        let (g, ids) = grid(3, 3);
+        let t = ShortestPathTree::build(&g, ids[0], &|_, _| 1.0).unwrap();
+        assert!(t.is_ancestor(ids[0], ids[8]));
+        assert!(t.is_ancestor(ids[4], ids[4]));
+        assert!(!t.is_ancestor(ids[8], ids[0]));
+        assert_eq!(t.lca(ids[0], ids[5]), ids[0]);
+        // Siblings' LCA is their shared parent side; at least it is a
+        // proper ancestor of both.
+        let l = t.lca(ids[2], ids[6]);
+        assert!(t.is_ancestor(l, ids[2]) && t.is_ancestor(l, ids[6]));
+    }
+
+    #[test]
+    fn tree_path_endpoints_and_adjacency() {
+        let (g, ids) = grid(4, 4);
+        let t = ShortestPathTree::build_default(&g, ids[5]).unwrap();
+        for &from in &[ids[0], ids[3], ids[15]] {
+            for &to in &[ids[0], ids[12], ids[10]] {
+                let p = t.tree_path(from, to);
+                assert_eq!(p.first(), Some(&from));
+                assert_eq!(p.last(), Some(&to));
+                for w in p.windows(2) {
+                    assert!(
+                        g.neighbors(w[0]).iter().any(|&(m, _)| m == w[1]),
+                        "tree path steps must be graph edges"
+                    );
+                }
+                // No repeated nodes: tree paths are simple.
+                let mut sorted = p.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), p.len());
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_is_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node(Node {
+            kind: NodeKind::Core { chip: 0, x: 0, y: 0 },
+            position: Point::new(0.0, 0.0),
+        });
+        g.add_node(Node {
+            kind: NodeKind::Core { chip: 1, x: 0, y: 0 },
+            position: Point::new(9.0, 0.0),
+        });
+        let err = ShortestPathTree::build_default(&g, a).unwrap_err();
+        assert!(matches!(err, RoutingError::Unreachable { .. }));
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        let g = Graph::new();
+        assert_eq!(
+            ShortestPathTree::build_default(&g, NodeId(0)).err(),
+            Some(RoutingError::EmptyGraph)
+        );
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let (g, ids) = grid(5, 5);
+        let a = ShortestPathTree::build_default(&g, ids[7]).unwrap();
+        let b = ShortestPathTree::build_default(&g, ids[7]).unwrap();
+        assert_eq!(a, b);
+    }
+}

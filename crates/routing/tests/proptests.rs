@@ -1,0 +1,159 @@
+//! Property-based tests for route computation: random weighted graphs,
+//! with BFS/Dijkstra oracles.
+
+use proptest::prelude::*;
+
+use wimnet_routing::{deadlock, shortest_paths, Routes, RoutingPolicy, ShortestPathTree};
+use wimnet_topology::{EdgeKind, Graph, Node, NodeId, NodeKind, Point};
+
+/// A random connected graph: a spanning path plus random extra edges.
+fn random_graph(nodes: usize, extra_edges: &[(usize, usize)]) -> Graph {
+    let mut g = Graph::new();
+    let ids: Vec<NodeId> = (0..nodes)
+        .map(|i| {
+            g.add_node(Node {
+                kind: NodeKind::Core { chip: 0, x: i, y: 0 },
+                position: Point::new(i as f64, (i * 7 % 5) as f64),
+            })
+        })
+        .collect();
+    for w in ids.windows(2) {
+        g.add_edge(w[0], w[1], EdgeKind::Mesh).unwrap();
+    }
+    for &(a, b) in extra_edges {
+        let (a, b) = (a % nodes, b % nodes);
+        if a != b {
+            g.add_edge(ids[a], ids[b], EdgeKind::Mesh).unwrap();
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Unit-weight Dijkstra distances equal BFS hop counts.
+    #[test]
+    fn dijkstra_matches_bfs_on_unit_weights(
+        nodes in 2usize..24,
+        extra in prop::collection::vec((0usize..24, 0usize..24), 0..20),
+        src in 0usize..24,
+    ) {
+        let g = random_graph(nodes, &extra);
+        let src = NodeId(src % nodes);
+        let sp = shortest_paths(&g, src, &|_, _| 1.0);
+        let bfs = g.bfs_hops(src);
+        for (i, &hops) in bfs.iter().enumerate().take(nodes) {
+            prop_assert_eq!(sp.distance(NodeId(i)), hops as f64);
+        }
+    }
+
+    /// Every policy produces complete, simple (loop-free) paths whose
+    /// first/last nodes are the endpoints.
+    #[test]
+    fn forwarding_paths_are_complete_and_simple(
+        nodes in 2usize..16,
+        extra in prop::collection::vec((0usize..16, 0usize..16), 0..12),
+        policy_idx in 0usize..3,
+    ) {
+        let g = random_graph(nodes, &extra);
+        let policy = [
+            RoutingPolicy::tree(),
+            RoutingPolicy::up_down(),
+            RoutingPolicy::shortest_path(),
+        ][policy_idx];
+        let routes = Routes::build(&g, policy).unwrap();
+        for s in 0..nodes {
+            for d in 0..nodes {
+                if s == d { continue; }
+                let path = routes.path(NodeId(s), NodeId(d)).unwrap();
+                prop_assert_eq!(*path.first().unwrap(), NodeId(s));
+                prop_assert_eq!(*path.last().unwrap(), NodeId(d));
+                let mut sorted: Vec<_> = path.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), path.len(), "loop in path {:?}", path);
+            }
+        }
+    }
+
+    /// Tree and up*/down* are deadlock-free on every random graph.
+    #[test]
+    fn tree_and_updown_cdgs_are_acyclic(
+        nodes in 2usize..14,
+        extra in prop::collection::vec((0usize..14, 0usize..14), 0..14),
+        tree in any::<bool>(),
+    ) {
+        let g = random_graph(nodes, &extra);
+        let policy = if tree { RoutingPolicy::tree() } else { RoutingPolicy::up_down() };
+        let routes = Routes::build(&g, policy).unwrap();
+        prop_assert!(deadlock::find_cycle(&g, &routes).is_none());
+    }
+
+    /// Shortest-path routing is never longer than up*/down*, which is
+    /// never longer than tree routing (same auto root), on average.
+    #[test]
+    fn policy_distance_ordering(
+        nodes in 3usize..14,
+        extra in prop::collection::vec((0usize..14, 0usize..14), 0..14),
+    ) {
+        let g = random_graph(nodes, &extra);
+        let avg = |p| Routes::build(&g, p).unwrap().average_hops().unwrap();
+        let sp = avg(RoutingPolicy::shortest_path());
+        let ud = avg(RoutingPolicy::up_down());
+        let tr = avg(RoutingPolicy::tree());
+        prop_assert!(sp <= ud + 1e-9, "shortest {sp} > updown {ud}");
+        prop_assert!(ud <= tr + 1e-9, "updown {ud} > tree {tr}");
+    }
+
+    /// Up*/down* paths never take an up move after a down move, for any
+    /// random root.
+    #[test]
+    fn updown_legality_random_roots(
+        nodes in 2usize..14,
+        extra in prop::collection::vec((0usize..14, 0usize..14), 0..10),
+        root in 0usize..14,
+    ) {
+        let g = random_graph(nodes, &extra);
+        let root = NodeId(root % nodes);
+        let routes = Routes::build(&g, RoutingPolicy::UpDown { root: Some(root) }).unwrap();
+        let tree = ShortestPathTree::build_default(&g, root).unwrap();
+        let key = |n: NodeId| (tree.level(n), n.index());
+        for s in 0..nodes {
+            for d in 0..nodes {
+                if s == d { continue; }
+                let path = routes.path(NodeId(s), NodeId(d)).unwrap();
+                let mut descended = false;
+                for w in path.windows(2) {
+                    let up = key(w[1]) < key(w[0]);
+                    if up {
+                        prop_assert!(!descended, "up after down: {:?}", path);
+                    } else {
+                        descended = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tree routing uses only tree edges.
+    #[test]
+    fn tree_routing_stays_on_the_tree(
+        nodes in 2usize..14,
+        extra in prop::collection::vec((0usize..14, 0usize..14), 0..10),
+    ) {
+        let g = random_graph(nodes, &extra);
+        let routes = Routes::build(&g, RoutingPolicy::tree()).unwrap();
+        let root = routes.root().unwrap();
+        let tree = ShortestPathTree::build_default(&g, root).unwrap();
+        for s in 0..nodes {
+            for d in 0..nodes {
+                if s == d { continue; }
+                let (_, edges) = routes.path_with_edges(NodeId(s), NodeId(d)).unwrap();
+                for e in edges {
+                    prop_assert!(tree.is_tree_edge(e), "non-tree edge used");
+                }
+            }
+        }
+    }
+}

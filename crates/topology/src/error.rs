@@ -1,0 +1,109 @@
+//! Error type for topology construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while validating or building a multichip topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A dimension or count was zero where a positive value is required.
+    ZeroSized {
+        /// Name of the offending parameter.
+        what: &'static str,
+    },
+    /// The requested chip count cannot be arranged into a package grid.
+    UnsupportedChipCount {
+        /// The requested number of chips.
+        chips: usize,
+    },
+    /// Memory stacks must be distributed evenly on both sides of the chip
+    /// array (paper §IV.A), which requires an even, chip-row-compatible
+    /// count.
+    UnsupportedMemoryCount {
+        /// The requested number of stacks.
+        stacks: usize,
+        /// Rows in the chip grid, which each package side must cover.
+        chip_rows: usize,
+    },
+    /// The per-chip core mesh cannot be partitioned into the requested
+    /// number of equal rectangular clusters.
+    ClusterPartition {
+        /// Mesh rows on the chip.
+        rows: usize,
+        /// Mesh columns on the chip.
+        cols: usize,
+        /// Requested cluster count.
+        clusters: usize,
+    },
+    /// A wireless parameter (such as cores-per-WI) is invalid for the
+    /// requested system.
+    InvalidWirelessDensity {
+        /// Cores serviced by a single WI.
+        cores_per_wi: usize,
+        /// Cores present on each chip.
+        cores_per_chip: usize,
+    },
+    /// An edge refers to a node outside the graph.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::ZeroSized { what } => {
+                write!(f, "{what} must be positive")
+            }
+            TopologyError::UnsupportedChipCount { chips } => {
+                write!(f, "cannot arrange {chips} chips into a package grid")
+            }
+            TopologyError::UnsupportedMemoryCount { stacks, chip_rows } => write!(
+                f,
+                "cannot split {stacks} memory stacks over two package sides \
+                 of {chip_rows} chip rows"
+            ),
+            TopologyError::ClusterPartition { rows, cols, clusters } => write!(
+                f,
+                "cannot partition a {rows}x{cols} mesh into {clusters} equal \
+                 rectangular clusters"
+            ),
+            TopologyError::InvalidWirelessDensity { cores_per_wi, cores_per_chip } => write!(
+                f,
+                "invalid wireless density: {cores_per_wi} cores per WI on a \
+                 chip with {cores_per_chip} cores"
+            ),
+            TopologyError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node index {node} out of range for {nodes} nodes")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TopologyError::UnsupportedChipCount { chips: 7 };
+        let msg = format!("{e}");
+        assert!(msg.contains('7'));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+
+        let e = TopologyError::ClusterPartition { rows: 4, cols: 4, clusters: 3 };
+        assert!(format!("{e}").contains("4x4"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(TopologyError::ZeroSized { what: "rows" });
+    }
+}

@@ -1,0 +1,109 @@
+//! Plain-text rendering of a package layout, for docs and debugging.
+//!
+//! Chips draw as boxes of core switches (`.`), wireless interfaces as
+//! `*`, memory logic dies as `M` — a quick way to eyeball a floorplan:
+//!
+//! ```text
+//!  M   ┌....┐ ┌....┐   M
+//!  M   |.*..| |.*..|   M
+//!      └....┘ └....┘
+//! ```
+
+use crate::multichip::MultichipLayout;
+use crate::NodeKind;
+
+/// Renders the package floorplan as ASCII art (one character per
+/// 1.25 mm × 2.5 mm cell; x is compressed because terminal cells are
+/// tall).
+pub fn ascii_map(layout: &MultichipLayout) -> String {
+    const X_SCALE: f64 = 1.25;
+    const Y_SCALE: f64 = 2.5;
+    let g = layout.graph();
+    let (mut max_x, mut max_y) = (0.0f64, 0.0f64);
+    for n in g.nodes() {
+        max_x = max_x.max(n.position.x);
+        max_y = max_y.max(n.position.y);
+    }
+    let cols = (max_x / X_SCALE).ceil() as usize + 2;
+    let rows = (max_y / Y_SCALE).ceil() as usize + 2;
+    let mut canvas = vec![vec![' '; cols]; rows];
+
+    for (i, n) in g.nodes().iter().enumerate() {
+        let cx = (n.position.x / X_SCALE).round() as usize;
+        let cy = (n.position.y / Y_SCALE).round() as usize;
+        let id = crate::NodeId(i);
+        let ch = match n.kind {
+            NodeKind::MemoryLogicDie { .. } => 'M',
+            NodeKind::Core { .. } => {
+                if layout.wi_at(id).is_some() {
+                    '*'
+                } else {
+                    '.'
+                }
+            }
+        };
+        // Memory WIs keep the M glyph but uppercase-star when radioed.
+        let ch = if matches!(n.kind, NodeKind::MemoryLogicDie { .. })
+            && layout.wi_at(id).is_some()
+        {
+            'W'
+        } else {
+            ch
+        };
+        canvas[rows - 1 - cy][cx] = ch;
+    }
+
+    let mut out = String::with_capacity(rows * (cols + 1));
+    out.push_str(&format!(
+        "{} — {} switches ('.' core, '*' core+WI, 'M' memory, 'W' memory+WI)\n",
+        layout.config().label(),
+        g.node_count()
+    ));
+    for row in canvas {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Architecture, MultichipConfig, MultichipLayout};
+
+    fn render(arch: Architecture) -> String {
+        let layout =
+            MultichipLayout::build(&MultichipConfig::xcym(4, 4, arch)).unwrap();
+        // Drop the header line: glyph counts apply to the canvas only.
+        let map = ascii_map(&layout);
+        map.split_once('\n').unwrap().1.to_string()
+    }
+
+    #[test]
+    fn wireless_map_shows_wis_and_memory_radios() {
+        let map = render(Architecture::Wireless);
+        // 4 chip WIs and 4 radio-equipped stacks.
+        assert_eq!(map.matches('*').count(), 4, "{map}");
+        assert_eq!(map.matches('W').count(), 4, "{map}");
+        assert_eq!(map.matches('.').count(), 60, "{map}");
+    }
+
+    #[test]
+    fn wired_map_has_plain_memory_dies() {
+        let map = render(Architecture::Substrate);
+        assert_eq!(map.matches('M').count(), 4, "{map}");
+        assert_eq!(map.matches('*').count(), 0);
+        assert_eq!(map.matches('.').count(), 64);
+    }
+
+    #[test]
+    fn header_names_the_system() {
+        let layout =
+            MultichipLayout::build(&MultichipConfig::xcym(4, 4, Architecture::Interposer))
+                .unwrap();
+        let map = ascii_map(&layout);
+        assert!(map.starts_with("4C4M (Interposer)"));
+        assert!(map.contains("68 switches"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests over the whole buildable configuration space.
+
+use proptest::prelude::*;
+
+use wimnet_topology::{
+    chip::{mad_optimal, partition_clusters},
+    Architecture, ChipSpec, EdgeKind, MultichipConfig, MultichipLayout,
+};
+
+fn arch_strategy() -> impl Strategy<Value = Architecture> {
+    prop_oneof![
+        Just(Architecture::Substrate),
+        Just(Architecture::Interposer),
+        Just(Architecture::Wireless),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Every buildable layout is connected, has dense node ids, and its
+    /// endpoint counts match the configuration.
+    #[test]
+    fn layouts_are_connected_and_consistent(
+        chips in prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(16)],
+        stacks in prop_oneof![Just(2usize), Just(4), Just(8)],
+        arch in arch_strategy(),
+    ) {
+        let cfg = MultichipConfig::xcym(chips, stacks, arch);
+        let layout = MultichipLayout::build(&cfg).unwrap();
+        let g = layout.graph();
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(layout.core_nodes().len(), cfg.total_cores());
+        prop_assert_eq!(layout.memory_nodes().len(), stacks);
+        prop_assert_eq!(
+            g.node_count(),
+            cfg.total_cores() + stacks,
+            "one switch per core plus one per stack"
+        );
+        // Every core id maps to a distinct node.
+        let mut nodes: Vec<_> = layout.core_nodes().to_vec();
+        nodes.extend_from_slice(layout.memory_nodes());
+        nodes.sort_unstable();
+        nodes.dedup();
+        prop_assert_eq!(nodes.len(), g.node_count());
+    }
+
+    /// Wireless layouts have a complete WI graph and every WI is on a
+    /// distinct switch.
+    #[test]
+    fn wireless_wi_graph_is_complete(
+        chips in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+        stacks in prop_oneof![Just(2usize), Just(4)],
+    ) {
+        let cfg = MultichipConfig::xcym(chips, stacks, Architecture::Wireless);
+        let layout = MultichipLayout::build(&cfg).unwrap();
+        let wis = layout.wireless_interfaces();
+        let n = wis.len();
+        prop_assert!(n >= chips + stacks);
+        let radio_edges = layout.graph().edges_of_kind(EdgeKind::Wireless).count();
+        prop_assert_eq!(radio_edges, n * (n - 1) / 2, "complete WI graph");
+        let mut nodes: Vec<_> = wis.iter().map(|w| w.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        prop_assert_eq!(nodes.len(), n, "one WI per switch");
+        // WI ids are the MAC sequence 0..n.
+        for (i, wi) in wis.iter().enumerate() {
+            prop_assert_eq!(wi.id.index(), i);
+        }
+    }
+
+    /// Wired architectures never contain wireless edges, and vice versa
+    /// contain no radios.
+    #[test]
+    fn wired_layouts_have_no_radio_artifacts(
+        chips in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+        wired_arch in prop_oneof![Just(Architecture::Substrate), Just(Architecture::Interposer)],
+    ) {
+        let cfg = MultichipConfig::xcym(chips, 4, wired_arch);
+        let layout = MultichipLayout::build(&cfg).unwrap();
+        prop_assert_eq!(layout.graph().edges_of_kind(EdgeKind::Wireless).count(), 0);
+        prop_assert!(layout.wireless_interfaces().is_empty());
+    }
+
+    /// Chip meshes partition into equal rectangular clusters whenever the
+    /// divisibility precondition holds, and the MAD point is a member.
+    #[test]
+    fn cluster_partitions_are_exact(
+        cores in prop_oneof![Just(4usize), Just(8), Just(16), Just(32), Just(64)],
+        clusters in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+    ) {
+        let spec = ChipSpec::with_cores(cores).unwrap();
+        match partition_clusters(&spec, clusters) {
+            Ok(parts) => {
+                prop_assert_eq!(parts.len(), clusters);
+                let mut all: Vec<_> =
+                    parts.iter().flat_map(|c| c.members.clone()).collect();
+                all.sort_unstable();
+                all.dedup();
+                prop_assert_eq!(all.len(), cores, "exact cover");
+                for c in &parts {
+                    prop_assert_eq!(c.members.len(), cores / clusters);
+                    prop_assert!(c.members.contains(&c.wi), "WI inside cluster");
+                }
+            }
+            Err(_) => {
+                // Only legal when no factorisation divides the mesh.
+                let mut any_fit = false;
+                for kr in 1..=clusters {
+                    if clusters % kr == 0 {
+                        let kc = clusters / kr;
+                        if spec.rows.is_multiple_of(kr) && spec.cols.is_multiple_of(kc) {
+                            any_fit = true;
+                        }
+                    }
+                }
+                let impossible = cores % clusters != 0 || !any_fit;
+                prop_assert!(impossible, "rejected a feasible partition");
+            }
+        }
+    }
+
+    /// The MAD-optimal switch really minimises total Manhattan distance.
+    #[test]
+    fn mad_optimal_is_minimal(
+        members in prop::collection::btree_set((0usize..8, 0usize..8), 1..20),
+    ) {
+        let members: Vec<_> = members.into_iter().collect();
+        let best = mad_optimal(&members);
+        let cost = |p: (usize, usize)| -> usize {
+            members
+                .iter()
+                .map(|&(x, y)| x.abs_diff(p.0) + y.abs_diff(p.1))
+                .sum()
+        };
+        let best_cost = cost(best);
+        for &m in &members {
+            prop_assert!(best_cost <= cost(m));
+        }
+        prop_assert!(members.contains(&best));
+    }
+
+    /// Link lengths are positive and within package scale; mesh links sit
+    /// exactly at the tile pitch.
+    #[test]
+    fn geometry_is_sane(
+        chips in prop_oneof![Just(1usize), Just(4), Just(8)],
+        arch in arch_strategy(),
+    ) {
+        let cfg = MultichipConfig::xcym(chips, 4, arch);
+        let layout = MultichipLayout::build(&cfg).unwrap();
+        for e in layout.graph().edges() {
+            prop_assert!(e.length_mm > 0.0, "zero-length {:?}", e.kind);
+            prop_assert!(e.length_mm < 200.0, "{:?} spans {} mm", e.kind, e.length_mm);
+            if e.kind == EdgeKind::Mesh {
+                prop_assert!((e.length_mm - 2.5).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Home stacks point at real stacks near the chip: the home stack of
+    /// a stack-adjacent chip is one of the stacks adjacent to it.
+    #[test]
+    fn home_stack_is_nearest(
+        chips in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+        stacks in prop_oneof![Just(2usize), Just(4)],
+    ) {
+        let cfg = MultichipConfig::xcym(chips, stacks, Architecture::Substrate);
+        let layout = MultichipLayout::build(&cfg).unwrap();
+        for s in 0..stacks {
+            let chip = layout.adjacent_chip_of_stack(s).unwrap();
+            let home = layout.home_stack_of_chip(chip);
+            // The home stack of the adjacent chip must itself be adjacent
+            // to that chip (possibly a different stack on the same side).
+            prop_assert_eq!(
+                layout.adjacent_chip_of_stack(home).unwrap() == chip
+                    || home == s,
+                true
+            );
+        }
+    }
+}

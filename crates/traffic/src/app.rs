@@ -1,0 +1,395 @@
+//! SynFull-substitute application traffic models.
+//!
+//! The paper (§IV.D) extracts PARSEC/SPLASH-2 coherence and memory
+//! traffic with SynFull (ref \[20\]), which itself fits *Markov-modulated
+//! generators* to full-system traces.  The trained model files are not
+//! redistributable, so this module keeps SynFull's generator structure —
+//! an application-wide Markov chain over execution phases, each phase a
+//! stationary mix of memory reads/writes, coherence control messages and
+//! data transfers — and parameterises it per application in
+//! [`crate::profiles`].  The paper maps one application thread per chip
+//! with all stacks shared (§IV.D); the `locality` knob reproduces that
+//! split between intra-thread (on-chip) and inter-thread (cross-chip)
+//! coherence.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{Endpoint, MessageKind, TrafficEvent, Workload};
+
+/// One execution phase of an application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppPhase {
+    /// Phase label (e.g. `"compute"`, `"barrier"`).
+    pub name: &'static str,
+    /// Packets per core per cycle offered in this phase.
+    pub injection_rate: f64,
+    /// Fraction of packets that are memory accesses.
+    pub memory_fraction: f64,
+    /// Of memory accesses, the fraction that are reads (expect replies).
+    pub read_fraction: f64,
+    /// Of core-to-core packets, the fraction that are short coherence
+    /// control messages (the rest are cache-line data transfers).
+    pub coherence_fraction: f64,
+    /// Probability that a core-to-core packet stays on the source chip
+    /// (intra-thread sharing).
+    pub locality: f64,
+    /// Mean phase dwell time in cycles (geometric).
+    pub mean_dwell_cycles: f64,
+}
+
+/// A complete per-application model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Application name (PARSEC/SPLASH-2 benchmark).
+    pub name: &'static str,
+    /// Benchmark suite, for reports.
+    pub suite: &'static str,
+    /// Execution phases.
+    pub phases: Vec<AppPhase>,
+    /// Row-stochastic phase transition matrix (row = current phase).
+    pub transitions: Vec<Vec<f64>>,
+}
+
+impl AppProfile {
+    /// Validates structural invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square/row-stochastic or any phase
+    /// parameter is out of range.
+    pub fn validate(&self) {
+        assert!(!self.phases.is_empty(), "{}: no phases", self.name);
+        assert_eq!(
+            self.transitions.len(),
+            self.phases.len(),
+            "{}: transition rows",
+            self.name
+        );
+        for (i, row) in self.transitions.iter().enumerate() {
+            assert_eq!(row.len(), self.phases.len(), "{}: row {i} width", self.name);
+            let sum: f64 = row.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "{}: row {i} sums to {sum}",
+                self.name
+            );
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        for p in &self.phases {
+            assert!((0.0..=1.0).contains(&p.injection_rate), "{}", self.name);
+            assert!((0.0..=1.0).contains(&p.memory_fraction));
+            assert!((0.0..=1.0).contains(&p.read_fraction));
+            assert!((0.0..=1.0).contains(&p.coherence_fraction));
+            assert!((0.0..=1.0).contains(&p.locality));
+            assert!(p.mean_dwell_cycles >= 1.0);
+        }
+    }
+
+    /// Time-weighted mean memory fraction — the knob Fig 6's per-app
+    /// variation hinges on.
+    pub fn mean_memory_fraction(&self) -> f64 {
+        let total_dwell: f64 = self.phases.iter().map(|p| p.mean_dwell_cycles).sum();
+        self.phases
+            .iter()
+            .map(|p| p.memory_fraction * p.mean_dwell_cycles / total_dwell)
+            .sum()
+    }
+}
+
+/// Packet sizes used by the application workloads, in flits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppPacketSizes {
+    /// Cache-line data packet (paper: 64 flits).
+    pub data_flits: u32,
+    /// Short coherence / request control packet.
+    pub control_flits: u32,
+}
+
+impl Default for AppPacketSizes {
+    fn default() -> Self {
+        AppPacketSizes { data_flits: 64, control_flits: 4 }
+    }
+}
+
+/// A running application workload over a multichip system.
+#[derive(Debug, Clone)]
+pub struct AppWorkload {
+    profile: AppProfile,
+    chips: usize,
+    cores_per_chip: usize,
+    stacks: usize,
+    sizes: AppPacketSizes,
+    rng: SmallRng,
+    phase: usize,
+}
+
+impl AppWorkload {
+    /// Instantiates `profile` on a system of `chips` chips ×
+    /// `cores_per_chip` cores with `stacks` shared memory stacks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation or the shape is trivial.
+    pub fn new(
+        profile: AppProfile,
+        chips: usize,
+        cores_per_chip: usize,
+        stacks: usize,
+        seed: u64,
+    ) -> Self {
+        profile.validate();
+        assert!(chips > 0 && cores_per_chip > 0 && stacks > 0);
+        assert!(chips * cores_per_chip >= 2);
+        AppWorkload {
+            profile,
+            chips,
+            cores_per_chip,
+            stacks,
+            sizes: AppPacketSizes::default(),
+            rng: SmallRng::seed_from_u64(seed),
+            phase: 0,
+        }
+    }
+
+    /// The current phase index.
+    pub fn phase(&self) -> usize {
+        self.phase
+    }
+
+    /// The profile driving this workload.
+    pub fn profile(&self) -> &AppProfile {
+        &self.profile
+    }
+
+    fn total_cores(&self) -> usize {
+        self.chips * self.cores_per_chip
+    }
+
+    fn step_phase(&mut self) {
+        let dwell = self.profile.phases[self.phase].mean_dwell_cycles;
+        if self.rng.gen::<f64>() < 1.0 / dwell {
+            let row = &self.profile.transitions[self.phase];
+            let mut draw = self.rng.gen::<f64>();
+            for (next, &p) in row.iter().enumerate() {
+                if draw < p {
+                    self.phase = next;
+                    return;
+                }
+                draw -= p;
+            }
+            self.phase = row.len() - 1;
+        }
+    }
+
+    fn core_destination(&mut self, src: usize, local: bool) -> usize {
+        let chip = src / self.cores_per_chip;
+        if local && self.cores_per_chip > 1 {
+            // Another core on the same chip.
+            let base = chip * self.cores_per_chip;
+            let mut d = self.rng.gen_range(0..self.cores_per_chip - 1);
+            if base + d >= src {
+                d += 1;
+            }
+            base + d
+        } else if self.chips > 1 {
+            // A core on a different chip.
+            let mut other = self.rng.gen_range(0..self.chips - 1);
+            if other >= chip {
+                other += 1;
+            }
+            other * self.cores_per_chip + self.rng.gen_range(0..self.cores_per_chip)
+        } else {
+            // Single chip: fall back to any other core.
+            let mut d = self.rng.gen_range(0..self.total_cores() - 1);
+            if d >= src {
+                d += 1;
+            }
+            d
+        }
+    }
+}
+
+impl Workload for AppWorkload {
+    fn generate(&mut self, now: u64) -> Vec<TrafficEvent> {
+        self.step_phase();
+        let phase = self.profile.phases[self.phase].clone();
+        let mut events = Vec::new();
+        for core in 0..self.total_cores() {
+            if self.rng.gen::<f64>() >= phase.injection_rate {
+                continue;
+            }
+            let event = if self.rng.gen::<f64>() < phase.memory_fraction {
+                let stack = self.rng.gen_range(0..self.stacks);
+                if self.rng.gen::<f64>() < phase.read_fraction {
+                    TrafficEvent {
+                        cycle: now,
+                        src: Endpoint::Core(core),
+                        dest: Endpoint::Memory(stack),
+                        flits: self.sizes.control_flits,
+                        kind: MessageKind::MemoryRead,
+                    }
+                } else {
+                    TrafficEvent {
+                        cycle: now,
+                        src: Endpoint::Core(core),
+                        dest: Endpoint::Memory(stack),
+                        flits: self.sizes.data_flits,
+                        kind: MessageKind::MemoryWrite,
+                    }
+                }
+            } else {
+                let local = self.rng.gen::<f64>() < phase.locality;
+                let dest = self.core_destination(core, local);
+                if self.rng.gen::<f64>() < phase.coherence_fraction {
+                    TrafficEvent {
+                        cycle: now,
+                        src: Endpoint::Core(core),
+                        dest: Endpoint::Core(dest),
+                        flits: self.sizes.control_flits,
+                        kind: MessageKind::Coherence,
+                    }
+                } else {
+                    TrafficEvent {
+                        cycle: now,
+                        src: Endpoint::Core(core),
+                        dest: Endpoint::Core(dest),
+                        flits: self.sizes.data_flits,
+                        kind: MessageKind::Oneway,
+                    }
+                }
+            };
+            events.push(event);
+        }
+        events
+    }
+
+    fn name(&self) -> &str {
+        self.profile.name
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.total_cores(), self.stacks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    fn simple_profile() -> AppProfile {
+        AppProfile {
+            name: "test-app",
+            suite: "TEST",
+            phases: vec![
+                AppPhase {
+                    name: "compute",
+                    injection_rate: 0.02,
+                    memory_fraction: 0.5,
+                    read_fraction: 0.8,
+                    coherence_fraction: 0.5,
+                    locality: 0.7,
+                    mean_dwell_cycles: 100.0,
+                },
+                AppPhase {
+                    name: "barrier",
+                    injection_rate: 0.2,
+                    memory_fraction: 0.1,
+                    read_fraction: 0.5,
+                    coherence_fraction: 0.9,
+                    locality: 0.2,
+                    mean_dwell_cycles: 20.0,
+                },
+            ],
+            transitions: vec![vec![0.0, 1.0], vec![1.0, 0.0]],
+        }
+    }
+
+    #[test]
+    fn phases_alternate_over_time() {
+        let mut w = AppWorkload::new(simple_profile(), 4, 16, 4, 5);
+        let mut seen = [false; 2];
+        for now in 0..5_000 {
+            w.generate(now);
+            seen[w.phase()] = true;
+        }
+        assert!(seen[0] && seen[1], "both phases must be visited");
+    }
+
+    #[test]
+    fn events_respect_shape_and_kinds() {
+        let mut w = AppWorkload::new(simple_profile(), 4, 16, 4, 5);
+        let mut kinds = std::collections::BTreeSet::new();
+        for now in 0..2_000 {
+            for e in w.generate(now) {
+                let Endpoint::Core(s) = e.src else { panic!("sources are cores") };
+                assert!(s < 64);
+                match e.dest {
+                    Endpoint::Core(d) => assert!(d < 64 && d != s),
+                    Endpoint::Memory(m) => assert!(m < 4),
+                }
+                kinds.insert(format!("{:?}", e.kind));
+            }
+        }
+        // All four generated classes appear over 2000 cycles.
+        assert!(kinds.len() >= 4, "saw {kinds:?}");
+    }
+
+    #[test]
+    fn locality_splits_on_and_off_chip_traffic() {
+        let mut local_profile = simple_profile();
+        local_profile.phases[0].locality = 1.0;
+        local_profile.phases[0].memory_fraction = 0.0;
+        local_profile.phases[0].injection_rate = 0.5;
+        local_profile.transitions = vec![vec![1.0, 0.0], vec![1.0, 0.0]];
+        let mut w = AppWorkload::new(local_profile, 4, 16, 4, 5);
+        for now in 0..200 {
+            for e in w.generate(now) {
+                let (Endpoint::Core(s), Endpoint::Core(d)) = (e.src, e.dest) else {
+                    continue;
+                };
+                assert_eq!(s / 16, d / 16, "locality 1.0 keeps traffic on-chip");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = AppWorkload::new(simple_profile(), 4, 16, 4, 77);
+        let mut b = AppWorkload::new(simple_profile(), 4, 16, 4, 77);
+        for now in 0..500 {
+            assert_eq!(a.generate(now), b.generate(now));
+        }
+    }
+
+    #[test]
+    fn all_shipped_profiles_validate() {
+        for p in profiles::all() {
+            p.validate();
+            // And they can actually run.
+            let mut w = AppWorkload::new(p.clone(), 4, 16, 4, 1);
+            let mut total = 0;
+            for now in 0..1_000 {
+                total += w.generate(now).len();
+            }
+            assert!(total > 0, "{} generated nothing", p.name);
+        }
+    }
+
+    #[test]
+    fn mean_memory_fraction_is_dwell_weighted() {
+        let p = simple_profile();
+        // (0.5·100 + 0.1·20) / 120 = 52/120.
+        assert!((p.mean_memory_fraction() - 52.0 / 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_transitions_panic() {
+        let mut p = simple_profile();
+        p.transitions[0] = vec![0.5, 0.2]; // does not sum to 1
+        AppWorkload::new(p, 2, 2, 2, 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Packet injection processes.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// When sources create packets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InjectionProcess {
+    /// Each core flips an independent coin every cycle: inject with
+    /// probability `rate` (packets/core/cycle) — the paper's load sweep
+    /// in Fig 3 uses exactly this open-loop process.
+    Bernoulli {
+        /// Packets per core per cycle, in `[0, 1]`.
+        rate: f64,
+    },
+    /// Maximum load: every core offers a packet every cycle (the
+    /// saturation measurement behind "peak achievable bandwidth").
+    Saturation,
+}
+
+impl InjectionProcess {
+    /// `true` if a core injects at this cycle draw.
+    pub fn fires(&self, rng: &mut SmallRng) -> bool {
+        match *self {
+            InjectionProcess::Bernoulli { rate } => rng.gen::<f64>() < rate,
+            InjectionProcess::Saturation => true,
+        }
+    }
+
+    /// The offered load in packets/core/cycle.
+    pub fn offered_load(&self) -> f64 {
+        match *self {
+            InjectionProcess::Bernoulli { rate } => rate,
+            InjectionProcess::Saturation => 1.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a Bernoulli rate lies outside `[0, 1]`.
+    pub fn validate(&self) {
+        if let InjectionProcess::Bernoulli { rate } = *self {
+            assert!(
+                (0.0..=1.0).contains(&rate),
+                "injection rate {rate} outside [0, 1]"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bernoulli_rate_is_respected_statistically() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let p = InjectionProcess::Bernoulli { rate: 0.3 };
+        let fires = (0..100_000).filter(|_| p.fires(&mut rng)).count();
+        let rate = fires as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "observed {rate}");
+    }
+
+    #[test]
+    fn saturation_always_fires() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let p = InjectionProcess::Saturation;
+        assert!((0..100).all(|_| p.fires(&mut rng)));
+        assert_eq!(p.offered_load(), 1.0);
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let p = InjectionProcess::Bernoulli { rate: 0.0 };
+        assert!((0..100).all(|_| !p.fires(&mut rng)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_rate_panics() {
+        InjectionProcess::Bernoulli { rate: 1.5 }.validate();
+    }
+}

@@ -1,0 +1,100 @@
+//! Workload generation for the `wimnet` multichip systems.
+//!
+//! The paper evaluates with two workload families:
+//!
+//! * **Synthetic traffic** (§IV.B/C): uniform random destinations where
+//!   "traffic originating from each core has a certain preset
+//!   probability of being a memory access while the rest of the traffic
+//!   is addressed to all other cores in the entire system with equal
+//!   probability", swept over injection loads and memory-access
+//!   fractions.  [`UniformRandom`] implements exactly that; the classic
+//!   permutation patterns (transpose, bit-complement, hotspot …) are in
+//!   [`patterns`] for wider coverage.
+//! * **Application-specific traffic** (§IV.D): PARSEC and SPLASH-2
+//!   behaviours extracted with SynFull (their ref \[20\]).  SynFull model
+//!   files are not redistributable, so [`app`] provides the documented
+//!   substitute: two-level Markov-modulated generators whose phase
+//!   structure, memory intensity and burstiness are parameterised per
+//!   application in [`profiles`] (see DESIGN.md §3 for the substitution
+//!   argument).
+//!
+//! All generators are deterministic given a seed and produce
+//! [`TrafficEvent`]s that the `wimnet-core` driver maps onto network
+//! endpoints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod injection;
+pub mod patterns;
+pub mod profiles;
+pub mod trace;
+pub mod uniform;
+
+pub use app::{AppPhase, AppProfile, AppWorkload};
+pub use injection::InjectionProcess;
+pub use patterns::TrafficPattern;
+pub use trace::{Trace, TraceEvent};
+pub use uniform::UniformRandom;
+
+use serde::{Deserialize, Serialize};
+
+/// A traffic endpoint: a core or a memory stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// Processing core, by global core index.
+    Core(usize),
+    /// Memory stack, by stack index.
+    Memory(usize),
+}
+
+impl Endpoint {
+    /// `true` for memory endpoints.
+    pub fn is_memory(self) -> bool {
+        matches!(self, Endpoint::Memory(_))
+    }
+}
+
+/// Message classes, used by request/reply workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// Fire-and-forget data packet (the paper's synthetic traffic).
+    Oneway,
+    /// Memory read request (expects a reply from the stack).
+    MemoryRead,
+    /// Memory write (data to the stack, no reply).
+    MemoryWrite,
+    /// Cache-coherence control message between cores.
+    Coherence,
+    /// Reply carrying data back to the requester.
+    Reply,
+}
+
+/// One packet the workload wants injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficEvent {
+    /// Injection cycle.
+    pub cycle: u64,
+    /// Source endpoint (always a core for generated traffic).
+    pub src: Endpoint,
+    /// Destination endpoint.
+    pub dest: Endpoint,
+    /// Packet length in flits.
+    pub flits: u32,
+    /// Message class.
+    pub kind: MessageKind,
+}
+
+/// A workload: a deterministic stream of traffic events.
+pub trait Workload {
+    /// Packets to inject at cycle `now`.  Called once per cycle with
+    /// strictly increasing `now`.
+    fn generate(&mut self, now: u64) -> Vec<TrafficEvent>;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// The system shape this workload generates for: `(cores, stacks)`.
+    fn shape(&self) -> (usize, usize);
+}

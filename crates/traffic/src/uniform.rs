@@ -1,0 +1,242 @@
+//! The paper's uniform random workload with a memory-access fraction.
+//!
+//! §IV.B: "traffic originating from each core has a certain preset
+//! probability of being a memory access while the rest of the traffic is
+//! addressed to all other cores in the entire system with equal
+//! probability."  Memory accesses pick a stack uniformly.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::injection::InjectionProcess;
+use crate::{Endpoint, MessageKind, TrafficEvent, Workload};
+
+/// Uniform-random traffic over all cores with a memory-access share.
+#[derive(Debug, Clone)]
+pub struct UniformRandom {
+    cores: usize,
+    stacks: usize,
+    memory_fraction: f64,
+    injection: InjectionProcess,
+    packet_flits: u32,
+    /// Probability that a memory access targets the core's home stack
+    /// (NUMA affinity); the rest go to a uniformly random stack.
+    local_memory_bias: f64,
+    /// Home stack per core (required when `local_memory_bias > 0`).
+    home_stack: Option<Vec<usize>>,
+    rng: SmallRng,
+    name: String,
+}
+
+impl UniformRandom {
+    /// Creates the workload for a system of `cores` cores and `stacks`
+    /// memory stacks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores < 2`, `stacks == 0`, `packet_flits == 0`, the
+    /// injection rate is out of range, or `memory_fraction` is outside
+    /// `[0, 1]`.
+    pub fn new(
+        cores: usize,
+        stacks: usize,
+        memory_fraction: f64,
+        injection: InjectionProcess,
+        packet_flits: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(cores >= 2, "uniform traffic needs at least two cores");
+        assert!(stacks > 0, "memory traffic needs at least one stack");
+        assert!(packet_flits > 0);
+        assert!(
+            (0.0..=1.0).contains(&memory_fraction),
+            "memory fraction {memory_fraction} outside [0, 1]"
+        );
+        injection.validate();
+        UniformRandom {
+            cores,
+            stacks,
+            memory_fraction,
+            injection,
+            packet_flits,
+            local_memory_bias: 0.0,
+            home_stack: None,
+            rng: SmallRng::seed_from_u64(seed),
+            name: format!(
+                "uniform-random ({:.0}% memory, load {})",
+                memory_fraction * 100.0,
+                injection.offered_load()
+            ),
+        }
+    }
+
+    /// Adds NUMA memory affinity: with probability `bias` a memory
+    /// access targets `home_stack[core]` instead of a uniform stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is outside `[0, 1]`, `home_stack` does not cover
+    /// every core, or an entry is out of range.
+    pub fn with_memory_affinity(mut self, bias: f64, home_stack: Vec<usize>) -> Self {
+        assert!((0.0..=1.0).contains(&bias), "bias {bias} outside [0, 1]");
+        assert_eq!(home_stack.len(), self.cores, "one home stack per core");
+        assert!(home_stack.iter().all(|&s| s < self.stacks));
+        self.local_memory_bias = bias;
+        self.home_stack = Some(home_stack);
+        self
+    }
+
+    /// The paper's default: 20 % memory accesses, 64-flit packets.
+    pub fn paper(cores: usize, stacks: usize, injection: InjectionProcess, seed: u64) -> Self {
+        UniformRandom::new(cores, stacks, 0.20, injection, 64, seed)
+    }
+
+    /// The configured memory-access fraction.
+    pub fn memory_fraction(&self) -> f64 {
+        self.memory_fraction
+    }
+
+    /// Draws a destination for a packet from `src`.
+    fn destination(&mut self, src: usize) -> (Endpoint, MessageKind) {
+        if self.rng.gen::<f64>() < self.memory_fraction {
+            let stack = match &self.home_stack {
+                Some(home) if self.rng.gen::<f64>() < self.local_memory_bias => {
+                    home[src]
+                }
+                _ => self.rng.gen_range(0..self.stacks),
+            };
+            (Endpoint::Memory(stack), MessageKind::Oneway)
+        } else {
+            // Uniform over all *other* cores.
+            let mut dest = self.rng.gen_range(0..self.cores - 1);
+            if dest >= src {
+                dest += 1;
+            }
+            (Endpoint::Core(dest), MessageKind::Oneway)
+        }
+    }
+}
+
+impl Workload for UniformRandom {
+    fn generate(&mut self, now: u64) -> Vec<TrafficEvent> {
+        let mut events = Vec::new();
+        for core in 0..self.cores {
+            if self.injection.fires(&mut self.rng) {
+                let (dest, kind) = self.destination(core);
+                events.push(TrafficEvent {
+                    cycle: now,
+                    src: Endpoint::Core(core),
+                    dest,
+                    flits: self.packet_flits,
+                    kind,
+                });
+            }
+        }
+        events
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.cores, self.stacks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload(memory_fraction: f64, rate: f64) -> UniformRandom {
+        UniformRandom::new(
+            64,
+            4,
+            memory_fraction,
+            InjectionProcess::Bernoulli { rate },
+            64,
+            9,
+        )
+    }
+
+    #[test]
+    fn no_self_traffic_and_valid_ranges() {
+        let mut w = workload(0.2, 1.0);
+        for now in 0..50 {
+            for e in w.generate(now) {
+                let Endpoint::Core(src) = e.src else { panic!("core sources") };
+                match e.dest {
+                    Endpoint::Core(d) => {
+                        assert_ne!(d, src, "no self-traffic");
+                        assert!(d < 64);
+                    }
+                    Endpoint::Memory(m) => assert!(m < 4),
+                }
+                assert_eq!(e.flits, 64);
+                assert_eq!(e.cycle, now);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_fraction_is_respected_statistically() {
+        let mut w = workload(0.2, 1.0);
+        let mut memory = 0usize;
+        let mut total = 0usize;
+        for now in 0..400 {
+            for e in w.generate(now) {
+                total += 1;
+                memory += usize::from(e.dest.is_memory());
+            }
+        }
+        let frac = memory as f64 / total as f64;
+        assert!((frac - 0.2).abs() < 0.02, "observed {frac}");
+    }
+
+    #[test]
+    fn injection_rate_scales_event_count() {
+        let mut w = workload(0.2, 0.1);
+        let mut total = 0usize;
+        for now in 0..1000 {
+            total += w.generate(now).len();
+        }
+        // 64 cores x 1000 cycles x 0.1 ≈ 6400.
+        let expected = 6400.0;
+        assert!((total as f64 - expected).abs() < expected * 0.1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = workload(0.5, 0.5);
+        let mut b = workload(0.5, 0.5);
+        for now in 0..100 {
+            assert_eq!(a.generate(now), b.generate(now));
+        }
+    }
+
+    #[test]
+    fn destination_spread_covers_all_cores() {
+        let mut w = workload(0.0, 1.0);
+        let mut seen = [false; 64];
+        for now in 0..200 {
+            for e in w.generate(now) {
+                if let Endpoint::Core(d) = e.dest {
+                    seen[d] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "uniform must reach every core");
+    }
+
+    #[test]
+    #[should_panic]
+    fn one_core_system_panics() {
+        UniformRandom::new(1, 4, 0.2, InjectionProcess::Saturation, 64, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_memory_fraction_panics() {
+        UniformRandom::new(64, 4, 1.2, InjectionProcess::Saturation, 64, 0);
+    }
+}

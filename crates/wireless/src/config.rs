@@ -1,0 +1,100 @@
+//! Shared channel/MAC configuration.
+
+use wimnet_energy::EnergyModel;
+
+/// Configuration of the shared 60 GHz channel and its MAC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelConfig {
+    /// Number of wireless interfaces sharing the channel.
+    pub radios: usize,
+    /// Channel data rate in Gbps (paper: 16 Gbps sustained by the OOK
+    /// transceiver of ref \[6\]).
+    pub data_rate_gbps: f64,
+    /// Flit width in bits (paper: 32).
+    pub flit_bits: u32,
+    /// Control packet header length in flits (identification and
+    /// differentiation of data packets, §III.D).
+    pub control_header_flits: u32,
+    /// Flits per `(DestWI, PktID, NumFlits)` 3-tuple.
+    pub tuple_flits: u32,
+    /// Power-gate receivers that are not addressed by the current control
+    /// packet (the paper's sleepy transceivers, ref \[17\]).  Disabled for
+    /// the ablation study.
+    pub sleepy_receivers: bool,
+    /// Bit error rate of the channel.  The paper's link budget gives
+    /// < 10⁻¹⁵; raising it exercises the retransmission path.
+    pub ber: f64,
+    /// RNG seed for bit-error injection.
+    pub seed: u64,
+    /// Technology energy constants (clock, per-bit energies, idle/sleep
+    /// powers).
+    pub energy: EnergyModel,
+}
+
+impl ChannelConfig {
+    /// The paper's channel for `radios` wireless interfaces: 16 Gbps,
+    /// 32-bit flits, one-flit header and tuples, sleepy receivers on,
+    /// BER 10⁻¹⁵.
+    pub fn paper(radios: usize) -> Self {
+        ChannelConfig {
+            radios,
+            data_rate_gbps: 16.0,
+            flit_bits: 32,
+            control_header_flits: 1,
+            tuple_flits: 1,
+            sleepy_receivers: true,
+            ber: 1e-15,
+            seed: 0x5eed_0001,
+            energy: EnergyModel::paper_65nm(),
+        }
+    }
+
+    /// Clock cycles to serialise one flit on the channel, rounded up.
+    ///
+    /// At the paper's parameters: 32 bits / 16 Gbps = 2 ns = 5 cycles at
+    /// 2.5 GHz.
+    pub fn cycles_per_flit(&self) -> u64 {
+        let seconds = f64::from(self.flit_bits) / (self.data_rate_gbps * 1e9);
+        (seconds * self.energy.clock.hertz()).ceil() as u64
+    }
+
+    /// Control packet length in flits for `tuples` announced transfers.
+    pub fn control_flits(&self, tuples: u32) -> u32 {
+        self.control_header_flits + tuples * self.tuple_flits
+    }
+
+    /// Probability that a flit is corrupted at the configured BER.
+    pub fn flit_error_probability(&self) -> f64 {
+        crate::phy::flit_error_probability(self.ber, self.flit_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_serialisation_is_five_cycles_per_flit() {
+        assert_eq!(ChannelConfig::paper(8).cycles_per_flit(), 5);
+    }
+
+    #[test]
+    fn control_packet_sizes() {
+        let c = ChannelConfig::paper(8);
+        assert_eq!(c.control_flits(0), 1, "pass = header only");
+        assert_eq!(c.control_flits(3), 4);
+    }
+
+    #[test]
+    fn slower_channel_takes_longer_per_flit() {
+        let mut c = ChannelConfig::paper(8);
+        c.data_rate_gbps = 8.0;
+        assert_eq!(c.cycles_per_flit(), 10);
+    }
+
+    #[test]
+    fn paper_ber_gives_negligible_flit_errors() {
+        let c = ChannelConfig::paper(8);
+        assert!(c.flit_error_probability() < 1e-13);
+    }
+}

@@ -1,0 +1,442 @@
+//! Concurrent per-WI wireless links — the paper's *evaluation* model.
+//!
+//! §III.D describes a single serialized channel, but the magnitudes in
+//! §IV (Fig 2 reports ≈ 12 Gbps of delivered bandwidth *per core* on a
+//! 64-core wireless system, i.e. hundreds of Gbps in aggregate) are only
+//! achievable if each WI's transceiver operates as a dedicated
+//! single-hop link with transmissions proceeding concurrently — e.g.
+//! via channelisation of the antenna's 16 GHz band across WI pairs.
+//! This medium implements that model: every WI may transmit and receive
+//! simultaneously (full-duplex transceiver paths), each WI moving up to
+//! `flits_per_cycle` flits per cycle, with control-packet semantics kept
+//! for per-packet scheduling overhead and sleepy-receiver accounting.
+//!
+//! Use [`crate::ControlPacketMac`] / [`crate::TokenMac`] for the
+//! faithful serialized §III.D channel (the MAC ablation); use this
+//! medium to regenerate the paper's figures.  See `DESIGN.md` §3 and
+//! `EXPERIMENTS.md` for the full discrepancy discussion.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use wimnet_energy::EnergyCategory;
+use wimnet_noc::radio::{MediumActions, MediumView, RadioId, SharedMedium};
+use wimnet_noc::PacketId;
+
+use crate::config::ChannelConfig;
+use crate::MacStats;
+
+/// Shadow of one receive VC while scheduling a cycle.
+#[derive(Debug, Clone, Copy)]
+struct ShadowVc {
+    owner: Option<PacketId>,
+    len: usize,
+    capacity: usize,
+}
+
+/// Concurrent per-WI wireless links.
+#[derive(Debug)]
+pub struct ParallelMac {
+    cfg: ChannelConfig,
+    /// Per-WI link bandwidth in flits per cycle (default 1.0: the
+    /// single-cycle hop the paper's evaluation implies).
+    flits_per_cycle: f64,
+    rng: SmallRng,
+    tx_credit: Vec<f64>,
+    rx_credit: Vec<f64>,
+    tx_vc_rr: Vec<usize>,
+    wi_rr: usize,
+    stats: MacStats,
+}
+
+impl ParallelMac {
+    /// Creates the medium with the default one-flit-per-cycle WI links.
+    pub fn new(cfg: ChannelConfig) -> Self {
+        ParallelMac::with_rate(cfg, 1.0)
+    }
+
+    /// Creates the medium with `flits_per_cycle` per-WI bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `flits_per_cycle` is positive and finite.
+    pub fn with_rate(cfg: ChannelConfig, flits_per_cycle: f64) -> Self {
+        assert!(
+            flits_per_cycle > 0.0 && flits_per_cycle.is_finite(),
+            "per-WI rate must be positive"
+        );
+        let radios = cfg.radios;
+        ParallelMac {
+            rng: SmallRng::seed_from_u64(cfg.seed ^ 0x009a_11e1),
+            flits_per_cycle,
+            tx_credit: vec![0.0; radios],
+            rx_credit: vec![0.0; radios],
+            tx_vc_rr: vec![0; radios],
+            wi_rr: 0,
+            cfg,
+            stats: MacStats::default(),
+        }
+    }
+
+    /// MAC statistics.
+    pub fn stats(&self) -> MacStats {
+        self.stats
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.cfg
+    }
+
+    /// Per-WI link bandwidth in flits per cycle.
+    pub fn rate(&self) -> f64 {
+        self.flits_per_cycle
+    }
+}
+
+impl SharedMedium for ParallelMac {
+    fn step(&mut self, now: u64, view: &MediumView, actions: &mut MediumActions) {
+        let n = self.cfg.radios;
+        if n == 0 {
+            return;
+        }
+        debug_assert_eq!(view.len(), n, "radio count mismatch");
+        let _ = now;
+
+        // Accrue link bandwidth. The cap of max(1, rate) forbids idle
+        // WIs from banking multi-flit bursts: at rate 1.0 a WI moves at
+        // most one flit per cycle, matching the single-hop link model.
+        let cap = self.flits_per_cycle.max(1.0);
+        for i in 0..n {
+            self.tx_credit[i] = (self.tx_credit[i] + self.flits_per_cycle).min(cap);
+            self.rx_credit[i] = (self.rx_credit[i] + self.flits_per_cycle).min(cap);
+        }
+
+        // Shadow receive state for this cycle's admissions.
+        let mut shadow: Vec<Vec<ShadowVc>> = view
+            .radios()
+            .iter()
+            .map(|r| {
+                r.rx
+                    .iter()
+                    .map(|vc| ShadowVc {
+                        owner: vc.owner,
+                        len: vc.len,
+                        capacity: vc.capacity,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut active = vec![false; n];
+        let flit_err = self.cfg.flit_error_probability();
+
+        // Round-robin over WIs; each WI drains its TX VCs round-robin
+        // while bandwidth and receiver space allow.
+        for off in 0..n {
+            let wi = (self.wi_rr + off) % n;
+            let radio = view.radio(RadioId(wi));
+            let vcs = radio.tx.len();
+            if vcs == 0 {
+                continue;
+            }
+            // Snapshot the rotation base: each TX VC is considered at
+            // most once per cycle (the view's front is only valid for
+            // one pop).
+            let rr_base = self.tx_vc_rr[wi];
+            let mut spins = 0;
+            while self.tx_credit[wi] >= 1.0 && spins < vcs {
+                let tx_vc = (rr_base + spins) % vcs;
+                spins += 1;
+                let Some((front, target)) = radio.tx[tx_vc].front else {
+                    continue;
+                };
+                // Flits already scheduled from this VC this cycle would
+                // change the front; one flit per VC per cycle keeps the
+                // view honest.
+                if self.rx_credit[target.index()] < 1.0 {
+                    continue;
+                }
+                let rx = &mut shadow[target.index()];
+                let is_head = front.kind.is_head();
+                let slot = if is_head {
+                    rx.iter()
+                        .position(|vc| vc.owner.is_none() && vc.len < vc.capacity)
+                } else {
+                    rx.iter().position(|vc| {
+                        vc.owner == Some(front.packet) && vc.len < vc.capacity
+                    })
+                };
+                let Some(slot) = slot else { continue };
+
+                // Charge the per-packet control broadcast when a head
+                // flit opens a transfer: header + one tuple, decoded by
+                // every WI.
+                let bits = u64::from(self.cfg.flit_bits);
+                if is_head {
+                    let control_bits =
+                        u64::from(self.cfg.control_flits(1)) * bits;
+                    actions.energy(
+                        EnergyCategory::WirelessControl,
+                        self.cfg.energy.wireless_tx(control_bits)
+                            + self.cfg.energy.wireless_rx(control_bits)
+                                * (n - 1) as f64,
+                    );
+                    self.stats.control_flits +=
+                        u64::from(self.cfg.control_flits(1));
+                    self.stats.turns += 1;
+                }
+
+                if self.rng.gen::<f64>() < flit_err {
+                    // Corrupted flit: energy burned, slot kept, retry
+                    // next cycle (order preserved because nothing pops).
+                    actions.energy(
+                        EnergyCategory::WirelessTx,
+                        self.cfg.energy.wireless_tx(bits),
+                    );
+                    self.stats.retransmissions += 1;
+                    self.tx_credit[wi] -= 1.0;
+                    active[wi] = true;
+                    break;
+                }
+
+                rx[slot].len += 1;
+                rx[slot].owner = if front.kind.is_tail() {
+                    None
+                } else {
+                    Some(front.packet)
+                };
+                actions.energy(
+                    EnergyCategory::WirelessTx,
+                    self.cfg.energy.wireless_tx(bits),
+                );
+                actions.energy(
+                    EnergyCategory::WirelessRx,
+                    self.cfg.energy.wireless_rx(bits),
+                );
+                actions.transmit(RadioId(wi), tx_vc, slot);
+                self.stats.data_flits += 1;
+                self.tx_credit[wi] -= 1.0;
+                self.rx_credit[target.index()] -= 1.0;
+                active[wi] = true;
+                active[target.index()] = true;
+                self.tx_vc_rr[wi] = (tx_vc + 1) % vcs;
+                // One flit per TX VC per cycle; try other VCs if budget
+                // remains.
+            }
+        }
+        self.wi_rr = (self.wi_rr + 1) % n;
+
+        // Per-cycle transceiver power: busy WIs listen/drive, the rest
+        // sleep when sleepy receivers are enabled.
+        let awake = if self.cfg.sleepy_receivers {
+            active.iter().filter(|&&a| a).count()
+        } else {
+            n
+        };
+        let asleep = n - awake;
+        if awake > 0 {
+            actions.energy(
+                EnergyCategory::WirelessIdle,
+                self.cfg.energy.wireless_idle_over(1) * awake as f64,
+            );
+        }
+        if asleep > 0 {
+            actions.energy(
+                EnergyCategory::WirelessSleep,
+                self.cfg.energy.wireless_sleep_over(1) * asleep as f64,
+            );
+        }
+    }
+
+    fn name(&self) -> &str {
+        "parallel-wi-links"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wimnet_noc::radio::{MediumAction, RadioView, RxVcView, TxVcView};
+    use wimnet_noc::{Flit, FlitKind};
+    use wimnet_topology::NodeId;
+
+    fn flit(packet: u64, kind: FlitKind) -> Flit {
+        Flit {
+            packet: PacketId(packet),
+            kind,
+            seq: 0,
+            src: NodeId(0),
+            dest: NodeId(1),
+            created_at: 0,
+        }
+    }
+
+    fn radio(id: usize, vcs: usize) -> RadioView {
+        RadioView {
+            id: RadioId(id),
+            node: NodeId(id),
+            tx: vec![
+                TxVcView {
+                    front: None,
+                    len: 0,
+                    front_run_len: 0,
+                    front_run_has_tail: false,
+                };
+                vcs
+            ],
+            rx: vec![RxVcView { owner: None, len: 0, capacity: 16 }; vcs],
+        }
+    }
+
+    fn loaded(id: usize, packet: u64, to: usize) -> RadioView {
+        let mut r = radio(id, 2);
+        r.tx[0] = TxVcView {
+            front: Some((flit(packet, FlitKind::Head), RadioId(to))),
+            len: 8,
+            front_run_len: 8,
+            front_run_has_tail: true,
+        };
+        r
+    }
+
+    fn count_transmits(actions: &MediumActions) -> usize {
+        actions
+            .actions()
+            .iter()
+            .filter(|a| matches!(a, MediumAction::Transmit { .. }))
+            .count()
+    }
+
+    #[test]
+    fn disjoint_pairs_transmit_concurrently() {
+        let mut mac = ParallelMac::new(ChannelConfig::paper(4));
+        // 0 -> 1 and 2 -> 3 simultaneously.
+        let view = MediumView::new(vec![
+            loaded(0, 1, 1),
+            radio(1, 2),
+            loaded(2, 2, 3),
+            radio(3, 2),
+        ]);
+        let mut actions = MediumActions::new();
+        mac.step(0, &view, &mut actions);
+        assert_eq!(count_transmits(&actions), 2, "both pairs move in one cycle");
+    }
+
+    #[test]
+    fn rate_one_moves_one_flit_per_wi_per_cycle() {
+        let mut mac = ParallelMac::new(ChannelConfig::paper(2));
+        let view = MediumView::new(vec![loaded(0, 1, 1), radio(1, 2)]);
+        for now in 0..4u64 {
+            let mut actions = MediumActions::new();
+            mac.step(now, &view, &mut actions);
+            assert_eq!(count_transmits(&actions), 1);
+        }
+        assert_eq!(mac.stats().data_flits, 4);
+    }
+
+    #[test]
+    fn fractional_rate_paces_transmissions() {
+        // 0.2 flits/cycle: one flit every five cycles, like the
+        // serialized channel's per-flit time.
+        let mut mac = ParallelMac::with_rate(ChannelConfig::paper(2), 0.2);
+        let view = MediumView::new(vec![loaded(0, 1, 1), radio(1, 2)]);
+        let mut sent = 0;
+        for now in 0..50u64 {
+            let mut actions = MediumActions::new();
+            mac.step(now, &view, &mut actions);
+            sent += count_transmits(&actions);
+        }
+        assert_eq!(sent, 10, "50 cycles x 0.2 = 10 flits");
+    }
+
+    #[test]
+    fn receiver_capacity_backpressures() {
+        let mut mac = ParallelMac::new(ChannelConfig::paper(2));
+        let mut r1 = radio(1, 2);
+        for vc in r1.rx.iter_mut() {
+            vc.len = 16;
+        }
+        let view = MediumView::new(vec![loaded(0, 1, 1), r1]);
+        for now in 0..10u64 {
+            let mut actions = MediumActions::new();
+            mac.step(now, &view, &mut actions);
+            assert_eq!(count_transmits(&actions), 0);
+        }
+    }
+
+    #[test]
+    fn two_senders_one_receiver_share_rx_bandwidth() {
+        let mut mac = ParallelMac::new(ChannelConfig::paper(3));
+        // 0 -> 2 and 1 -> 2: receiver takes one flit per cycle.
+        let view = MediumView::new(vec![
+            loaded(0, 1, 2),
+            loaded(1, 2, 2),
+            radio(2, 2),
+        ]);
+        let mut per_cycle = Vec::new();
+        for now in 0..6u64 {
+            let mut actions = MediumActions::new();
+            mac.step(now, &view, &mut actions);
+            per_cycle.push(count_transmits(&actions));
+        }
+        assert!(per_cycle.iter().all(|&c| c <= 1), "rx budget caps at 1: {per_cycle:?}");
+        assert_eq!(per_cycle.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn head_flits_charge_control_overhead() {
+        let mut mac = ParallelMac::new(ChannelConfig::paper(2));
+        let view = MediumView::new(vec![loaded(0, 1, 1), radio(1, 2)]);
+        let mut actions = MediumActions::new();
+        mac.step(0, &view, &mut actions);
+        let control: f64 = actions
+            .actions()
+            .iter()
+            .filter_map(|a| match a {
+                MediumAction::Energy { category, energy }
+                    if *category == EnergyCategory::WirelessControl =>
+                {
+                    Some(energy.picojoules())
+                }
+                _ => None,
+            })
+            .sum();
+        assert!(control > 0.0);
+        assert_eq!(mac.stats().turns, 1);
+    }
+
+    #[test]
+    fn sleepy_mode_sleeps_inactive_wis() {
+        let mut cfg = ChannelConfig::paper(4);
+        cfg.sleepy_receivers = true;
+        let mut mac = ParallelMac::new(cfg);
+        let view = MediumView::new(vec![
+            loaded(0, 1, 1),
+            radio(1, 2),
+            radio(2, 2),
+            radio(3, 2),
+        ]);
+        let mut actions = MediumActions::new();
+        mac.step(0, &view, &mut actions);
+        let sleep: f64 = actions
+            .actions()
+            .iter()
+            .filter_map(|a| match a {
+                MediumAction::Energy { category, energy }
+                    if *category == EnergyCategory::WirelessSleep =>
+                {
+                    Some(energy.picojoules())
+                }
+                _ => None,
+            })
+            .sum();
+        assert!(sleep > 0.0, "radios 2 and 3 must sleep");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_panics() {
+        ParallelMac::with_rate(ChannelConfig::paper(2), 0.0);
+    }
+}

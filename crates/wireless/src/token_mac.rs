@@ -1,0 +1,332 @@
+//! The baseline token MAC (paper ref \[7\]).
+//!
+//! A token circulates over the WIs in sequence; only the token holder
+//! may transmit, and — to preserve wormhole integrity without the
+//! control-packet machinery — it may transmit only **whole packets**
+//! that are fully buffered at the WI (§III.D: "in such a MAC only whole
+//! packets are transmitted to other WIs").  That forces WI transmit
+//! buffers at least as deep as a packet (64 flits), which is exactly the
+//! buffer/static-power overhead the paper's proposed MAC removes.
+//! Receivers are never power-gated: without a control packet announcing
+//! destinations, every WI must listen.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use wimnet_energy::EnergyCategory;
+use wimnet_noc::radio::{MediumActions, MediumView, RadioId, SharedMedium};
+
+use crate::config::ChannelConfig;
+use crate::MacStats;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TokenState {
+    /// Token travelling to the holder; usable from `until`.
+    Passing { until: u64 },
+    /// Holder inspects its buffers and decides.
+    Deciding,
+    /// Whole-packet transmission in progress.
+    Transmitting {
+        tx_vc: usize,
+        to: RadioId,
+        remaining: u32,
+        next_ready: u64,
+    },
+}
+
+/// The token-passing MAC baseline.
+#[derive(Debug)]
+pub struct TokenMac {
+    cfg: ChannelConfig,
+    rng: SmallRng,
+    holder: usize,
+    state: TokenState,
+    stats: MacStats,
+}
+
+impl TokenMac {
+    /// Creates the token MAC for `cfg.radios` wireless interfaces.
+    ///
+    /// Remember to size the engine's `radio_tx_depth` to at least the
+    /// packet length, or no packet will ever become eligible.
+    pub fn new(cfg: ChannelConfig) -> Self {
+        TokenMac {
+            rng: SmallRng::seed_from_u64(cfg.seed ^ 0x70ce_0000),
+            cfg,
+            holder: 0,
+            state: TokenState::Deciding,
+            stats: MacStats::default(),
+        }
+    }
+
+    /// MAC statistics.
+    pub fn stats(&self) -> MacStats {
+        self.stats
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.cfg
+    }
+
+    fn pass_token(&mut self, now: u64, actions: &mut MediumActions) {
+        // Token = one broadcast flit.
+        let bits = u64::from(self.cfg.flit_bits);
+        let n = self.cfg.radios;
+        actions.energy(
+            EnergyCategory::WirelessControl,
+            self.cfg.energy.wireless_tx(bits)
+                + self.cfg.energy.wireless_rx(bits) * (n - 1) as f64,
+        );
+        self.stats.control_flits += 1;
+        self.holder = (self.holder + 1) % n;
+        self.state = TokenState::Passing {
+            until: now + self.cfg.cycles_per_flit(),
+        };
+    }
+}
+
+impl SharedMedium for TokenMac {
+    fn step(&mut self, now: u64, view: &MediumView, actions: &mut MediumActions) {
+        let n = self.cfg.radios;
+        if n == 0 {
+            return;
+        }
+        debug_assert_eq!(view.len(), n, "radio count mismatch");
+
+        if let TokenState::Passing { until } = self.state {
+            if now >= until {
+                self.state = TokenState::Deciding;
+            }
+        }
+
+        if self.state == TokenState::Deciding {
+            self.stats.turns += 1;
+            // First TX VC holding a complete packet whose receiver can
+            // take a head flit right now.
+            let choice = view
+                .radio(RadioId(self.holder))
+                .tx
+                .iter()
+                .enumerate()
+                .find_map(|(tx_vc, tv)| {
+                    if !tv.whole_packet_at_front() {
+                        return None;
+                    }
+                    let (front, target) = tv.front.expect("whole packet has a front");
+                    view.rx_admission(target, front.packet, true)
+                        .map(|_| (tx_vc, target, tv.front_run_len as u32))
+                });
+            match choice {
+                Some((tx_vc, to, len)) => {
+                    self.state = TokenState::Transmitting {
+                        tx_vc,
+                        to,
+                        remaining: len,
+                        next_ready: now + self.cfg.cycles_per_flit(),
+                    };
+                }
+                None => {
+                    self.stats.passes += 1;
+                    self.pass_token(now, actions);
+                }
+            }
+        }
+
+        if let TokenState::Transmitting { tx_vc, to, remaining, next_ready } = self.state
+        {
+            if now >= next_ready {
+                let front = view.radio(RadioId(self.holder)).tx[tx_vc].front;
+                // The packet was fully buffered when chosen; its flits
+                // only leave through us, so the front must exist.
+                let (flit, _) = front.expect("scheduled packet still buffered");
+                match view.rx_admission(to, flit.packet, flit.kind.is_head()) {
+                    None => {
+                        // Receiver back-pressured mid-packet: hold the
+                        // channel and retry (the token MAC cannot yield
+                        // mid-packet without breaking wormhole flow).
+                    }
+                    Some(rx_vc) => {
+                        let bits = u64::from(self.cfg.flit_bits);
+                        if self.rng.gen::<f64>() < self.cfg.flit_error_probability() {
+                            actions.energy(
+                                EnergyCategory::WirelessTx,
+                                self.cfg.energy.wireless_tx(bits),
+                            );
+                            self.stats.retransmissions += 1;
+                            self.state = TokenState::Transmitting {
+                                tx_vc,
+                                to,
+                                remaining,
+                                next_ready: now + self.cfg.cycles_per_flit(),
+                            };
+                        } else {
+                            actions.energy(
+                                EnergyCategory::WirelessTx,
+                                self.cfg.energy.wireless_tx(bits),
+                            );
+                            actions.energy(
+                                EnergyCategory::WirelessRx,
+                                self.cfg.energy.wireless_rx(bits),
+                            );
+                            actions.transmit(RadioId(self.holder), tx_vc, rx_vc);
+                            self.stats.data_flits += 1;
+                            if remaining == 1 {
+                                self.pass_token(now, actions);
+                            } else {
+                                self.state = TokenState::Transmitting {
+                                    tx_vc,
+                                    to,
+                                    remaining: remaining - 1,
+                                    next_ready: now + self.cfg.cycles_per_flit(),
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // No sleep in the baseline: every receiver listens all the time.
+        actions.energy(
+            EnergyCategory::WirelessIdle,
+            self.cfg.energy.wireless_idle_over(1) * n as f64,
+        );
+    }
+
+    fn name(&self) -> &str {
+        "token-mac"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wimnet_noc::radio::{MediumAction, RadioView, RxVcView, TxVcView};
+    use wimnet_noc::{Flit, FlitKind, PacketId};
+    use wimnet_topology::NodeId;
+
+    fn flit(packet: u64, kind: FlitKind) -> Flit {
+        Flit {
+            packet: PacketId(packet),
+            kind,
+            seq: 0,
+            src: NodeId(0),
+            dest: NodeId(1),
+            created_at: 0,
+        }
+    }
+
+    fn empty_radio(id: usize, vcs: usize) -> RadioView {
+        RadioView {
+            id: RadioId(id),
+            node: NodeId(id),
+            tx: vec![
+                TxVcView {
+                    front: None,
+                    len: 0,
+                    front_run_len: 0,
+                    front_run_has_tail: false,
+                };
+                vcs
+            ],
+            rx: vec![RxVcView { owner: None, len: 0, capacity: 16 }; vcs],
+        }
+    }
+
+    fn count_transmits(actions: &MediumActions) -> usize {
+        actions
+            .actions()
+            .iter()
+            .filter(|a| matches!(a, MediumAction::Transmit { .. }))
+            .count()
+    }
+
+    #[test]
+    fn whole_packet_transmits_then_token_passes() {
+        let mut mac = TokenMac::new(ChannelConfig::paper(2));
+        let mut r0 = empty_radio(0, 2);
+        r0.tx[0] = TxVcView {
+            front: Some((flit(3, FlitKind::Head), RadioId(1))),
+            len: 4,
+            front_run_len: 4,
+            front_run_has_tail: true,
+        };
+        let view = MediumView::new(vec![r0, empty_radio(1, 2)]);
+        let mut sent = 0;
+        for now in 0..60u64 {
+            let mut actions = MediumActions::new();
+            mac.step(now, &view, &mut actions);
+            sent += count_transmits(&actions);
+            if sent == 4 {
+                break;
+            }
+        }
+        assert_eq!(sent, 4);
+        assert_eq!(mac.stats().data_flits, 4);
+    }
+
+    #[test]
+    fn partial_packets_are_not_eligible() {
+        let mut mac = TokenMac::new(ChannelConfig::paper(2));
+        let mut r0 = empty_radio(0, 2);
+        // Head present but tail still missing: not a whole packet.
+        r0.tx[0] = TxVcView {
+            front: Some((flit(3, FlitKind::Head), RadioId(1))),
+            len: 4,
+            front_run_len: 4,
+            front_run_has_tail: false,
+        };
+        let view = MediumView::new(vec![r0, empty_radio(1, 2)]);
+        for now in 0..50u64 {
+            let mut actions = MediumActions::new();
+            mac.step(now, &view, &mut actions);
+            assert_eq!(count_transmits(&actions), 0);
+        }
+        assert!(mac.stats().passes > 0, "token keeps circulating");
+    }
+
+    #[test]
+    fn token_passes_cost_control_flits_and_idle_energy() {
+        let mut mac = TokenMac::new(ChannelConfig::paper(3));
+        let view = MediumView::new(vec![
+            empty_radio(0, 1),
+            empty_radio(1, 1),
+            empty_radio(2, 1),
+        ]);
+        let mut idle_pj = 0.0;
+        for now in 0..30u64 {
+            let mut actions = MediumActions::new();
+            mac.step(now, &view, &mut actions);
+            for a in actions.actions() {
+                if let MediumAction::Energy { category, energy } = a {
+                    if *category == EnergyCategory::WirelessIdle {
+                        idle_pj += energy.picojoules();
+                    }
+                }
+            }
+        }
+        assert!(mac.stats().control_flits >= 5);
+        assert!(idle_pj > 0.0, "all receivers always listen");
+    }
+
+    #[test]
+    fn full_receiver_stalls_but_does_not_overflow() {
+        let mut mac = TokenMac::new(ChannelConfig::paper(2));
+        let mut r0 = empty_radio(0, 1);
+        r0.tx[0] = TxVcView {
+            front: Some((flit(3, FlitKind::Head), RadioId(1))),
+            len: 4,
+            front_run_len: 4,
+            front_run_has_tail: true,
+        };
+        let mut r1 = empty_radio(1, 1);
+        r1.rx[0].len = 16; // full
+        let view = MediumView::new(vec![r0, r1]);
+        for now in 0..50u64 {
+            let mut actions = MediumActions::new();
+            mac.step(now, &view, &mut actions);
+            assert_eq!(count_transmits(&actions), 0);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The OOK transceiver (paper ref \[6\], TSMC 65 nm).
+//!
+//! §IV: "The wireless transceiver … is shown to dissipate 2.3 pJ/bit
+//! sustaining a data rate of 16 Gbps with a signal to noise ratio (SNR)
+//! providing a bit-error rate (BER) of less than 10⁻¹⁵ while occupying an
+//! area of 0.3 mm²."  With the sleepy design of ref \[17\], receivers whose
+//! control packet does not address them are power-gated through the data
+//! phase.
+
+use serde::{Deserialize, Serialize};
+
+use wimnet_energy::{Energy, EnergyModel, Power};
+
+/// Wake state of a wireless transceiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransceiverState {
+    /// Front end on, decoding or listening.
+    Awake,
+    /// Power-gated (sleepy transceiver, paper ref \[17\]).
+    Asleep,
+}
+
+/// Datasheet-style description of the paper's wireless transceiver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransceiverSpec {
+    /// Sustained data rate in Gbps.
+    pub data_rate_gbps: f64,
+    /// Total link energy per bit in pJ (TX + RX).
+    pub energy_pj_per_bit: f64,
+    /// Active silicon area in mm².
+    pub area_mm2: f64,
+    /// Worst-case link bit error rate.
+    pub ber: f64,
+}
+
+impl TransceiverSpec {
+    /// The paper's transceiver: 16 Gbps, 2.3 pJ/bit, 0.3 mm², BER < 1e-15.
+    pub fn paper() -> Self {
+        TransceiverSpec {
+            data_rate_gbps: 16.0,
+            energy_pj_per_bit: 2.3,
+            area_mm2: 0.3,
+            ber: 1e-15,
+        }
+    }
+
+    /// Energy to move `bits` across the link (TX + RX), per the spec.
+    pub fn link_energy(&self, bits: u64) -> Energy {
+        Energy::from_pj(self.energy_pj_per_bit * bits as f64)
+    }
+
+    /// Transmission time for `bits`, in seconds.
+    pub fn serialization_seconds(&self, bits: u64) -> f64 {
+        bits as f64 / (self.data_rate_gbps * 1e9)
+    }
+
+    /// Total active area for `count` deployed transceivers, in mm² —
+    /// the paper's "negligible overhead of 0.3 mm² per transceiver".
+    pub fn total_area_mm2(&self, count: usize) -> f64 {
+        self.area_mm2 * count as f64
+    }
+
+    /// `true` when an [`EnergyModel`]'s wireless constants agree with
+    /// this spec (guards against config drift between the crates).
+    pub fn matches_energy_model(&self, model: &EnergyModel) -> bool {
+        let total = model.wireless_tx_pj_per_bit + model.wireless_rx_pj_per_bit;
+        (total - self.energy_pj_per_bit).abs() < 1e-9
+    }
+
+    /// The power drawn in `state`, from the energy model's idle/sleep
+    /// constants.
+    pub fn state_power(&self, state: TransceiverState, model: &EnergyModel) -> Power {
+        match state {
+            TransceiverState::Awake => model.wireless_idle,
+            TransceiverState::Asleep => model.wireless_sleep,
+        }
+    }
+}
+
+impl Default for TransceiverSpec {
+    fn default() -> Self {
+        TransceiverSpec::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers() {
+        let t = TransceiverSpec::paper();
+        assert_eq!(t.data_rate_gbps, 16.0);
+        assert_eq!(t.energy_pj_per_bit, 2.3);
+        assert_eq!(t.area_mm2, 0.3);
+        assert!(t.ber <= 1e-15);
+    }
+
+    #[test]
+    fn link_energy_scales_with_bits() {
+        let t = TransceiverSpec::paper();
+        assert!((t.link_energy(1).picojoules() - 2.3).abs() < 1e-12);
+        // A full 64-flit, 32-bit packet: 2048 bits × 2.3 pJ ≈ 4.7 nJ.
+        assert!((t.link_energy(2048).nanojoules() - 4.7104).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serialization_time_matches_rate() {
+        let t = TransceiverSpec::paper();
+        // One 32-bit flit at 16 Gbps = 2 ns.
+        assert!((t.serialization_seconds(32) - 2e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn area_overhead_for_paper_systems() {
+        let t = TransceiverSpec::paper();
+        // 4C4M: 8 WIs = 2.4 mm² — negligible against 400 mm² of compute.
+        assert!((t.total_area_mm2(8) - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spec_agrees_with_energy_model() {
+        let t = TransceiverSpec::paper();
+        assert!(t.matches_energy_model(&EnergyModel::paper_65nm()));
+        let mut m = EnergyModel::paper_65nm();
+        m.wireless_tx_pj_per_bit = 9.0;
+        assert!(!t.matches_energy_model(&m));
+    }
+
+    #[test]
+    fn sleep_draws_less_than_awake() {
+        let t = TransceiverSpec::paper();
+        let m = EnergyModel::paper_65nm();
+        assert!(
+            t.state_power(TransceiverState::Asleep, &m)
+                < t.state_power(TransceiverState::Awake, &m)
+        );
+    }
+}

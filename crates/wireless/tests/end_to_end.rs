@@ -1,0 +1,230 @@
+//! End-to-end: the control-packet MAC carries real traffic across chips
+//! through the cycle-accurate engine.
+
+use wimnet_energy::EnergyCategory;
+use wimnet_noc::{Network, NocConfig, PacketDesc};
+use wimnet_routing::{Routes, RoutingPolicy};
+use wimnet_topology::{Architecture, MultichipConfig, MultichipLayout};
+use wimnet_wireless::{ChannelConfig, ControlPacketMac, TokenMac};
+
+fn wireless_net(radio_tx_depth: usize) -> (MultichipLayout, Network) {
+    let layout =
+        MultichipLayout::build(&MultichipConfig::xcym(4, 4, Architecture::Wireless))
+            .unwrap();
+    let routes = Routes::build(layout.graph(), RoutingPolicy::default()).unwrap();
+    let mut cfg = NocConfig::paper();
+    cfg.radio_tx_depth = radio_tx_depth;
+    let net = Network::new(&layout, routes, cfg).unwrap();
+    (layout, net)
+}
+
+#[test]
+fn control_mac_delivers_interchip_packet() {
+    let (layout, mut net) = wireless_net(16);
+    let mac = ControlPacketMac::new(ChannelConfig::paper(net.radio_count()));
+    net.attach_medium(Box::new(mac));
+
+    // Core on chip 0 to core on chip 3: wireless is the only way across.
+    let src = layout.core_nodes()[0];
+    let dst = layout.core_nodes()[63];
+    net.inject(PacketDesc::new(src, dst, 64, 0));
+    for _ in 0..5000 {
+        net.step();
+    }
+    assert_eq!(net.stats().packets_delivered(), 1);
+    assert_eq!(net.stats().flits_delivered(), 64);
+    assert_eq!(net.flits_in_flight(), 0);
+    let meter = net.meter();
+    assert!(meter.category(EnergyCategory::WirelessTx).joules() > 0.0);
+    assert!(meter.category(EnergyCategory::WirelessRx).joules() > 0.0);
+    assert!(meter.category(EnergyCategory::WirelessControl).joules() > 0.0);
+    assert!(meter.verify_conservation(1e-9));
+}
+
+#[test]
+fn control_mac_delivers_memory_traffic() {
+    let (layout, mut net) = wireless_net(16);
+    let mac = ControlPacketMac::new(ChannelConfig::paper(net.radio_count()));
+    net.attach_medium(Box::new(mac));
+
+    // Every chip sends one packet to every memory stack.
+    let mut expected = 0;
+    for chip in 0..4 {
+        for stack in 0..4 {
+            let src = layout.core_nodes()[chip * 16 + 5];
+            let dst = layout.memory_nodes()[stack];
+            net.inject(PacketDesc::new(src, dst, 64, 0));
+            expected += 1;
+        }
+    }
+    for _ in 0..60_000 {
+        net.step();
+        if net.stats().packets_delivered() == expected {
+            break;
+        }
+    }
+    assert_eq!(net.stats().packets_delivered(), expected);
+    assert!(!net.is_stalled(10_000));
+}
+
+#[test]
+fn many_concurrent_flows_complete_without_stall() {
+    let (layout, mut net) = wireless_net(16);
+    let mac = ControlPacketMac::new(ChannelConfig::paper(net.radio_count()));
+    net.attach_medium(Box::new(mac));
+
+    // All-to-all-ish: each core sends to a core on another chip.
+    let cores = layout.core_nodes().to_vec();
+    let mut expected = 0u64;
+    for (i, &src) in cores.iter().enumerate() {
+        let dst = cores[(i + 16) % 64]; // next chip over
+        net.inject(PacketDesc::new(src, dst, 64, 0));
+        expected += 1;
+    }
+    for _ in 0..200_000 {
+        net.step();
+        if net.stats().packets_delivered() == expected {
+            break;
+        }
+    }
+    assert_eq!(
+        net.stats().packets_delivered(),
+        expected,
+        "in flight {} backlog {} after {} cycles",
+        net.flits_in_flight(),
+        net.source_backlog(),
+        net.now(),
+    );
+}
+
+#[test]
+fn token_mac_delivers_whole_packets_with_deep_buffers() {
+    // The token MAC needs the whole packet buffered at the WI.
+    let (layout, mut net) = wireless_net(64);
+    let mac = TokenMac::new(ChannelConfig::paper(net.radio_count()));
+    net.attach_medium(Box::new(mac));
+
+    let src = layout.core_nodes()[0];
+    let dst = layout.core_nodes()[63];
+    net.inject(PacketDesc::new(src, dst, 64, 0));
+    for _ in 0..10_000 {
+        net.step();
+        if net.stats().packets_delivered() == 1 {
+            break;
+        }
+    }
+    assert_eq!(net.stats().packets_delivered(), 1);
+}
+
+#[test]
+fn token_mac_with_shallow_buffers_starves() {
+    // With 16-flit TX buffers a 64-flit packet is never whole: the
+    // baseline cannot send it (this is the paper's §III.D argument for
+    // partial packet transmission).
+    let (layout, mut net) = wireless_net(16);
+    let mac = TokenMac::new(ChannelConfig::paper(net.radio_count()));
+    net.attach_medium(Box::new(mac));
+
+    let src = layout.core_nodes()[0];
+    let dst = layout.core_nodes()[63];
+    net.inject(PacketDesc::new(src, dst, 64, 0));
+    for _ in 0..10_000 {
+        net.step();
+    }
+    assert_eq!(net.stats().packets_delivered(), 0);
+    assert!(net.is_stalled(5_000));
+}
+
+#[test]
+fn noisy_channel_still_delivers_everything() {
+    // Failure injection: 1% BER corrupts roughly a quarter of the flits,
+    // yet the stop-and-wait retransmission keeps wormhole order and
+    // every packet completes.
+    let (layout, mut net) = wireless_net(16);
+    let mut cfg = ChannelConfig::paper(net.radio_count());
+    cfg.ber = 0.01;
+    cfg.seed = 77;
+    net.attach_medium(Box::new(ControlPacketMac::new(cfg)));
+    let mut expected = 0;
+    for chip in 0..4 {
+        let src = layout.core_nodes()[chip * 16 + 2];
+        let dst = layout.core_nodes()[(chip * 16 + 34) % 64];
+        net.inject(PacketDesc::new(src, dst, 64, 0));
+        expected += 1;
+    }
+    for _ in 0..60_000 {
+        net.step();
+        if net.stats().packets_delivered() == expected {
+            break;
+        }
+    }
+    assert_eq!(net.stats().packets_delivered(), expected);
+    assert_eq!(net.stats().flits_delivered(), 64 * expected);
+    assert_eq!(net.flits_in_flight(), 0);
+}
+
+#[test]
+fn parallel_links_beat_the_serialized_channel_under_load() {
+    let run = |parallel: bool| {
+        let (layout, mut net) = wireless_net(16);
+        let cfg = ChannelConfig::paper(net.radio_count());
+        if parallel {
+            net.attach_medium(Box::new(wimnet_wireless::ParallelMac::new(cfg)));
+        } else {
+            net.attach_medium(Box::new(ControlPacketMac::new(cfg)));
+        }
+        // Disjoint cross-chip pairs: the parallel medium can serve them
+        // concurrently, the serialized MAC cannot.
+        for k in 0..16usize {
+            let src = layout.core_nodes()[k];
+            let dst = layout.core_nodes()[32 + k];
+            net.inject(PacketDesc::new(src, dst, 64, 0));
+        }
+        let mut cycles = 0u64;
+        for _ in 0..400_000u64 {
+            net.step();
+            cycles += 1;
+            if net.stats().packets_delivered() == 16 {
+                break;
+            }
+        }
+        assert_eq!(net.stats().packets_delivered(), 16, "parallel={parallel}");
+        cycles
+    };
+    let parallel = run(true);
+    let serialized = run(false);
+    assert!(
+        parallel * 2 < serialized,
+        "concurrency must at least halve completion time: \
+         parallel {parallel} vs serialized {serialized}"
+    );
+}
+
+#[test]
+fn sleepy_mode_reduces_total_wireless_energy() {
+    let run = |sleepy: bool| {
+        let (layout, mut net) = wireless_net(16);
+        let mut cfg = ChannelConfig::paper(net.radio_count());
+        cfg.sleepy_receivers = sleepy;
+        net.attach_medium(Box::new(ControlPacketMac::new(cfg)));
+        for chip in 0..4 {
+            let src = layout.core_nodes()[chip * 16];
+            let dst = layout.core_nodes()[(chip * 16 + 32) % 64];
+            net.inject(PacketDesc::new(src, dst, 64, 0));
+        }
+        for _ in 0..20_000 {
+            net.step();
+            if net.stats().packets_delivered() == 4 {
+                break;
+            }
+        }
+        assert_eq!(net.stats().packets_delivered(), 4);
+        net.meter().wireless_total()
+    };
+    let sleepy = run(true);
+    let awake = run(false);
+    assert!(
+        sleepy < awake,
+        "sleepy {sleepy:?} must beat always-on {awake:?}"
+    );
+}

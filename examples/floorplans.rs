@@ -1,0 +1,30 @@
+//! Print the package floorplans of the paper's systems as ASCII maps —
+//! a quick way to see what 1C4M / 4C4M / 8C4M actually look like and
+//! where the wireless interfaces sit (MAD-optimal cluster centres).
+//!
+//! ```sh
+//! cargo run --example floorplans
+//! ```
+
+use wimnet::topology::{ascii_map, Architecture, MultichipConfig, MultichipLayout};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (chips, arch) in [
+        (1usize, Architecture::Wireless),
+        (4, Architecture::Wireless),
+        (8, Architecture::Wireless),
+        (4, Architecture::Substrate),
+    ] {
+        let layout = MultichipLayout::build(&MultichipConfig::xcym(chips, 4, arch))?;
+        println!("{}", ascii_map(&layout));
+        if arch == Architecture::Wireless {
+            let wis = layout.wireless_interfaces();
+            println!(
+                "{} wireless interfaces; MAC sequence {:?}\n",
+                wis.len(),
+                wis.iter().map(|w| w.id.index()).collect::<Vec<_>>()
+            );
+        }
+    }
+    Ok(())
+}

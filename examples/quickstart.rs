@@ -1,0 +1,51 @@
+//! Quickstart: build the paper's 4C4M wireless multichip system, run
+//! uniform random traffic, and read the three §IV metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use wimnet::core::{Experiment, SystemConfig};
+use wimnet::topology::Architecture;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's 4C4M system: four 16-core chips and four in-package
+    // memory stacks, wirelessly interconnected. `SystemConfig::xcym`
+    // carries every §IV parameter (8 VCs x 16-flit buffers, 64-flit
+    // packets of 32-bit flits, 2.5 GHz, 65 nm energy constants).
+    let config = SystemConfig::xcym(4, 4, Architecture::Wireless);
+    println!("system: {}", config.label());
+    println!(
+        "cores: {}  stacks: {}  packet: {} flits x {} bits",
+        config.multichip.total_cores(),
+        config.multichip.num_stacks,
+        config.packet_flits,
+        config.flit_bits,
+    );
+
+    // Uniform random traffic at a moderate load, 20% memory accesses.
+    let outcome = Experiment::uniform_random(&config, 0.004).run()?;
+
+    println!("\n--- outcome ({}) ---", outcome.workload);
+    println!("packets delivered : {}", outcome.packets_delivered());
+    println!(
+        "bandwidth/core    : {:.2} Gbps",
+        outcome.bandwidth_gbps_per_core
+    );
+    println!(
+        "avg packet latency: {:.1} cycles",
+        outcome.latency_cycles()
+    );
+    println!(
+        "avg packet energy : {:.2} nJ",
+        outcome.packet_energy_nj()
+    );
+
+    println!("\n--- energy breakdown ---");
+    for (category, energy) in &outcome.energy.entries {
+        if energy.joules() > 0.0 {
+            println!("{:<18} {}", category.label(), energy);
+        }
+    }
+    Ok(())
+}

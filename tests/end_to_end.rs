@@ -1,0 +1,129 @@
+//! Cross-crate integration: the full pipeline (topology → routing →
+//! engine → wireless → metrics) for every architecture and wireless
+//! model.
+
+use wimnet::core::{Experiment, MacKind, SystemConfig, WirelessModel};
+use wimnet::topology::Architecture;
+
+fn quick(arch: Architecture) -> SystemConfig {
+    SystemConfig::xcym(4, 4, arch).quick_test_profile()
+}
+
+#[test]
+fn every_architecture_delivers_uniform_traffic() {
+    for arch in Architecture::ALL {
+        let cfg = quick(arch);
+        // A load even the substrate's 15 Gbps serial chains can carry.
+        let outcome = Experiment::uniform_random(&cfg, 0.001)
+            .run()
+            .unwrap_or_else(|e| panic!("{arch}: {e}"));
+        assert!(
+            outcome.packets_delivered() > 20,
+            "{arch} delivered too little: {}",
+            outcome.packets_delivered()
+        );
+        assert!(outcome.avg_latency_cycles.unwrap() > 0.0);
+        assert!(outcome.packet_energy_nj() > 0.0);
+    }
+}
+
+#[test]
+fn energy_conservation_across_the_stack() {
+    for arch in Architecture::ALL {
+        let cfg = quick(arch);
+        let outcome = Experiment::uniform_random(&cfg, 0.003).run().unwrap();
+        let sum: f64 = outcome
+            .energy
+            .entries
+            .iter()
+            .map(|(_, e)| e.joules())
+            .sum();
+        let total = outcome.energy.total.joules();
+        assert!(
+            (sum - total).abs() <= total * 1e-9 + 1e-15,
+            "{arch}: breakdown {sum} != total {total}"
+        );
+    }
+}
+
+#[test]
+fn wireless_energy_categories_only_appear_on_wireless_architecture() {
+    use wimnet::energy::EnergyCategory;
+    let wired = Experiment::uniform_random(&quick(Architecture::Substrate), 0.002)
+        .run()
+        .unwrap();
+    assert_eq!(
+        wired.energy.category(EnergyCategory::WirelessTx).joules(),
+        0.0
+    );
+    let wireless = Experiment::uniform_random(&quick(Architecture::Wireless), 0.002)
+        .run()
+        .unwrap();
+    assert!(wireless.energy.category(EnergyCategory::WirelessTx).joules() > 0.0);
+    assert!(wireless.energy.category(EnergyCategory::WirelessRx).joules() > 0.0);
+}
+
+#[test]
+fn serialized_macs_run_end_to_end_at_low_load() {
+    for mac in [MacKind::ControlPacket, MacKind::Token] {
+        let mut cfg = quick(Architecture::Wireless);
+        cfg.wireless = WirelessModel::SharedChannel { mac };
+        // Loads the 16 Gbps serialized channel can sustain.
+        let outcome = Experiment::uniform_random(&cfg, 0.0005)
+            .run()
+            .unwrap_or_else(|e| panic!("{mac:?}: {e}"));
+        assert!(outcome.packets_delivered() > 0, "{mac:?} delivered nothing");
+    }
+}
+
+#[test]
+fn identical_configs_and_seeds_reproduce_identical_outcomes() {
+    let cfg = quick(Architecture::Wireless);
+    let a = Experiment::uniform_random(&cfg, 0.004).run().unwrap();
+    let b = Experiment::uniform_random(&cfg, 0.004).run().unwrap();
+    assert_eq!(a.packets_delivered(), b.packets_delivered());
+    assert_eq!(a.avg_latency_cycles, b.avg_latency_cycles);
+    assert_eq!(a.window_packets, b.window_packets);
+    assert!((a.total_energy_nj() - b.total_energy_nj()).abs() < 1e-9);
+}
+
+#[test]
+fn different_seeds_change_the_sample_but_not_the_physics() {
+    let mut cfg_a = quick(Architecture::Interposer);
+    cfg_a.seed = 1;
+    let mut cfg_b = quick(Architecture::Interposer);
+    cfg_b.seed = 2;
+    let a = Experiment::uniform_random(&cfg_a, 0.004).run().unwrap();
+    let b = Experiment::uniform_random(&cfg_b, 0.004).run().unwrap();
+    // Different random workloads...
+    assert_ne!(a.window_packets, b.window_packets);
+    // ...but the same physical regime (within quick-scale noise).
+    let rel = (a.bandwidth_gbps_per_core - b.bandwidth_gbps_per_core).abs()
+        / a.bandwidth_gbps_per_core;
+    assert!(rel < 0.25, "seed changed the regime: {a:?} vs {b:?}");
+}
+
+#[test]
+fn paper_orderings_hold_end_to_end() {
+    // The paper's headline (§IV.B): wireless beats interposer beats
+    // substrate on energy; wireless has the lowest latency.
+    let mut energy = Vec::new();
+    let mut latency = Vec::new();
+    for arch in Architecture::ALL {
+        let o = Experiment::uniform_random(&quick(arch), 0.001).run().unwrap();
+        energy.push((arch, o.packet_energy_nj()));
+        latency.push((arch, o.latency_cycles()));
+    }
+    let get = |v: &Vec<(Architecture, f64)>, a: Architecture| {
+        v.iter().find(|(x, _)| *x == a).unwrap().1
+    };
+    assert!(
+        get(&energy, Architecture::Wireless) < get(&energy, Architecture::Interposer)
+    );
+    assert!(
+        get(&energy, Architecture::Interposer) < get(&energy, Architecture::Substrate)
+    );
+    assert!(
+        get(&latency, Architecture::Wireless) < get(&latency, Architecture::Substrate)
+    );
+}

@@ -1,0 +1,96 @@
+//! Engine invariants under stress: wormhole integrity, flit
+//! conservation and deadlock freedom, exercised through the whole stack.
+
+use wimnet::noc::{Network, NocConfig, PacketDesc};
+use wimnet::routing::{Routes, RoutingPolicy};
+use wimnet::topology::{Architecture, MultichipConfig, MultichipLayout};
+use wimnet::wireless::{ChannelConfig, ControlPacketMac};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn stress(arch: Architecture, policy: RoutingPolicy, packets: usize, seed: u64) {
+    let layout = MultichipLayout::build(&MultichipConfig::xcym(4, 4, arch)).unwrap();
+    let routes = Routes::build(layout.graph(), policy).unwrap();
+    let mut net = Network::new(&layout, routes, NocConfig::paper()).unwrap();
+    if arch == Architecture::Wireless {
+        net.attach_medium(Box::new(ControlPacketMac::new(ChannelConfig::paper(
+            net.radio_count(),
+        ))));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let nodes: Vec<_> = layout
+        .core_nodes()
+        .iter()
+        .chain(layout.memory_nodes())
+        .copied()
+        .collect();
+
+    let mut injected_flits = 0u64;
+    let mut injected_packets = 0u64;
+    // Burst-inject random traffic over the first 2 000 cycles.
+    for cycle in 0..2_000u64 {
+        if injected_packets < packets as u64 && cycle % 3 == 0 {
+            let src = nodes[rng.gen_range(0..nodes.len())];
+            let mut dst = nodes[rng.gen_range(0..nodes.len())];
+            if dst == src {
+                dst = nodes[(rng.gen_range(0..nodes.len()) + 1) % nodes.len()];
+            }
+            if dst != src {
+                let flits = *[1u32, 4, 16, 64].get(rng.gen_range(0..4)).unwrap();
+                net.inject(PacketDesc::new(src, dst, flits, cycle));
+                injected_packets += 1;
+                injected_flits += u64::from(flits);
+            }
+        }
+        net.step();
+    }
+    // Drain.
+    for _ in 0..150_000u64 {
+        if net.flits_in_flight() == 0 && net.source_backlog() == 0 {
+            break;
+        }
+        net.step();
+        assert!(
+            !net.is_stalled(30_000),
+            "{arch}/{policy}: stalled with {} in flight",
+            net.flits_in_flight()
+        );
+    }
+    // Conservation: every injected packet and flit arrives exactly once.
+    assert_eq!(net.stats().packets_delivered(), injected_packets, "{arch}/{policy}");
+    assert_eq!(net.stats().flits_delivered(), injected_flits, "{arch}/{policy}");
+    assert_eq!(net.flits_in_flight(), 0);
+    assert!(net.meter().verify_conservation(1e-9));
+}
+
+#[test]
+fn updown_conserves_flits_on_substrate() {
+    stress(Architecture::Substrate, RoutingPolicy::up_down(), 300, 11);
+}
+
+#[test]
+fn updown_conserves_flits_on_interposer() {
+    stress(Architecture::Interposer, RoutingPolicy::up_down(), 300, 12);
+}
+
+#[test]
+fn updown_conserves_flits_on_wireless_with_serialized_mac() {
+    stress(Architecture::Wireless, RoutingPolicy::up_down(), 150, 13);
+}
+
+#[test]
+fn tree_routing_conserves_flits_everywhere() {
+    for (i, arch) in Architecture::ALL.iter().enumerate() {
+        stress(*arch, RoutingPolicy::tree(), 120, 20 + i as u64);
+    }
+}
+
+#[test]
+fn mixed_packet_sizes_deliver_in_order_per_packet() {
+    // The Reassembler inside the network panics on out-of-order or
+    // duplicated flits, so a clean run is itself the assertion; this
+    // test exists to pin that behaviour with single-flit packets mixed
+    // into long ones.
+    stress(Architecture::Interposer, RoutingPolicy::up_down(), 400, 31);
+}
