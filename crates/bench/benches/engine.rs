@@ -92,11 +92,72 @@ fn bench_idle_step(c: &mut Criterion) {
     });
 }
 
+fn bench_step_hot_loop(c: &mut Criterion) {
+    // The engine's three load regimes: idle (active sets empty and the
+    // idle fast-forward short-circuits run_for), low-load (a handful of
+    // packets in flight, most components skipped), and saturated (every
+    // component active — the active-set overhead ceiling).
+    let mut g = c.benchmark_group("step_hot_loop");
+    g.sample_size(15);
+    let setup = || {
+        let layout = build_layout(Architecture::Interposer);
+        let routes = Routes::build(layout.graph(), RoutingPolicy::default()).unwrap();
+        let cores = layout.core_nodes().to_vec();
+        let net = Network::new(&layout, routes, NocConfig::paper()).unwrap();
+        (net, cores)
+    };
+    g.bench_function("idle_10k_cycles", |b| {
+        b.iter_batched(
+            || setup().0,
+            |mut net| {
+                net.run_for(10_000);
+                net
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("low_load_10k_cycles", |b| {
+        b.iter_batched(
+            &setup,
+            |(mut net, cores)| {
+                // A trickle: one 64-flit packet every 500 cycles from a
+                // rotating source — the fig3 low-load regime.
+                for burst in 0..20u64 {
+                    let src = cores[(burst as usize * 7) % cores.len()];
+                    let dst = cores[(burst as usize * 7 + 29) % cores.len()];
+                    net.inject(PacketDesc::new(src, dst, 64, burst * 500));
+                    net.run_for(500);
+                }
+                net
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("saturated_2k_cycles", |b| {
+        b.iter_batched(
+            &setup,
+            |(mut net, cores)| {
+                for (i, &src) in cores.iter().enumerate() {
+                    for k in 0..4 {
+                        let dst = cores[(i + 17 + k * 13) % cores.len()];
+                        net.inject(PacketDesc::new(src, dst, 64, 0));
+                    }
+                }
+                net.run_for(2_000);
+                net
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_topology_build,
     bench_route_computation,
     bench_network_step,
-    bench_idle_step
+    bench_idle_step,
+    bench_step_hot_loop
 );
 criterion_main!(benches);

@@ -1,0 +1,243 @@
+//! Engine performance tracker: measures wall-clock cost of the cycle
+//! engine on the scenarios that dominate every figure reproduction, and
+//! emits `BENCH_engine.json` so the perf trajectory is tracked across
+//! PRs.
+//!
+//! Scenarios:
+//!
+//! * `idle` — an empty interposer network stepped for 200k cycles (the
+//!   cost floor of long measurement windows at low load);
+//! * `fig3_low_load` — one fig3 latency point at 0.002 packets/core/
+//!   cycle on the wireless system, paper windows;
+//! * `fig3_sweep` — the fig3 low-to-mid-load latency curve (0.001 …
+//!   0.032) on the wireless system, paper windows, all points in
+//!   parallel (the headline number the ≥2× target applies to);
+//! * `saturated` — uniform saturation on the wireless system (upper
+//!   bound: every component active every cycle, so active-set tracking
+//!   cannot help and must not hurt);
+//! * `shared_channel` — the §III.D serialized channel under the
+//!   control-packet MAC (exercises the medium path).
+//!
+//! Each traffic scenario also records a *determinism fingerprint*
+//! (packets, flits, latency and energy with exact bit patterns); two
+//! builds of the engine are behavior-equivalent exactly when their
+//! fingerprints match for every scenario.
+//!
+//! Usage: `cargo run --release -p wimnet-bench --bin bench_engine --
+//! [--label NAME] [--out PATH]` (defaults: label `engine`, path
+//! `BENCH_engine.json` in the workspace root).
+
+use std::time::Instant;
+
+use wimnet_core::{latency_curve, MacKind, MultichipSystem, SystemConfig, WirelessModel};
+use wimnet_noc::{Network, NocConfig};
+use wimnet_routing::{Routes, RoutingPolicy};
+use wimnet_topology::{Architecture, MultichipConfig, MultichipLayout};
+use wimnet_traffic::{InjectionProcess, UniformRandom};
+
+struct Scenario {
+    name: &'static str,
+    wall_ms: f64,
+    cycles: u64,
+    fingerprint: Option<Fingerprint>,
+}
+
+struct Fingerprint {
+    packets: u64,
+    flits: u64,
+    latency_bits: u64,
+    energy_pj_bits: u64,
+    energy_pj: f64,
+}
+
+fn fingerprint_of(sys: &MultichipSystem, latency: Option<f64>) -> Fingerprint {
+    let energy = sys.network().meter().total().picojoules();
+    Fingerprint {
+        packets: sys.network().stats().packets_delivered(),
+        flits: sys.network().stats().flits_delivered(),
+        latency_bits: latency.unwrap_or(f64::NAN).to_bits(),
+        energy_pj_bits: energy.to_bits(),
+        energy_pj: energy,
+    }
+}
+
+fn run_system(config: &SystemConfig, load: InjectionProcess) -> (f64, u64, Fingerprint) {
+    let mut sys = MultichipSystem::build(config).expect("system builds");
+    let mut workload = UniformRandom::new(
+        config.multichip.total_cores(),
+        config.multichip.num_stacks,
+        0.20,
+        load,
+        config.packet_flits,
+        config.seed,
+    );
+    let start = Instant::now();
+    let outcome = sys.run(&mut workload).expect("run completes");
+    let wall = start.elapsed().as_secs_f64() * 1e3;
+    let cycles = config.warmup_cycles + config.measure_cycles;
+    let fp = fingerprint_of(&sys, outcome.avg_latency_cycles);
+    (wall, cycles, fp)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut label = String::from("engine");
+    let mut out_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--label" => {
+                label = args.get(i + 1).expect("--label NAME").clone();
+                i += 2;
+            }
+            "--out" => {
+                out_path = Some(args.get(i + 1).expect("--out PATH").clone());
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| {
+        wimnet_bench::results_dir()
+            .parent()
+            .map(|p| p.join("BENCH_engine.json").to_string_lossy().into_owned())
+            .unwrap_or_else(|| "BENCH_engine.json".to_string())
+    });
+
+    let mut scenarios: Vec<Scenario> = Vec::new();
+
+    // --- idle: empty network, 200k cycles.
+    {
+        let layout =
+            MultichipLayout::build(&MultichipConfig::xcym(4, 4, Architecture::Interposer))
+                .expect("layout");
+        let routes = Routes::build(layout.graph(), RoutingPolicy::default()).expect("routes");
+        let mut net = Network::new(&layout, routes, NocConfig::paper()).expect("network");
+        let cycles = 200_000u64;
+        let start = Instant::now();
+        net.run_for(cycles);
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(net.now(), cycles);
+        scenarios.push(Scenario { name: "idle", wall_ms: wall, cycles, fingerprint: None });
+    }
+
+    // --- fig3 single low-load point, wireless, paper windows.
+    {
+        let config = SystemConfig::xcym(4, 4, Architecture::Wireless);
+        let (wall, cycles, fp) =
+            run_system(&config, InjectionProcess::Bernoulli { rate: 0.002 });
+        scenarios.push(Scenario {
+            name: "fig3_low_load",
+            wall_ms: wall,
+            cycles,
+            fingerprint: Some(fp),
+        });
+    }
+
+    // --- fig3 low-to-mid-load sweep (the ≥2× target).
+    {
+        let config = SystemConfig::xcym(4, 4, Architecture::Wireless);
+        let loads = [0.001, 0.002, 0.004, 0.008, 0.016, 0.032];
+        let start = Instant::now();
+        let curve = latency_curve(&config, &loads).expect("sweep completes");
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(curve.len(), loads.len());
+        let cycles =
+            (config.warmup_cycles + config.measure_cycles) * loads.len() as u64;
+        scenarios.push(Scenario {
+            name: "fig3_sweep",
+            wall_ms: wall,
+            cycles,
+            fingerprint: None,
+        });
+    }
+
+    // --- saturation: every component busy (active sets cannot help).
+    {
+        let config = SystemConfig::xcym(4, 4, Architecture::Wireless);
+        let (wall, cycles, fp) = run_system(&config, InjectionProcess::Saturation);
+        scenarios.push(Scenario {
+            name: "saturated",
+            wall_ms: wall,
+            cycles,
+            fingerprint: Some(fp),
+        });
+    }
+
+    // --- serialized shared channel under the control-packet MAC.
+    {
+        let mut config = SystemConfig::xcym(4, 4, Architecture::Wireless);
+        config.wireless = WirelessModel::SharedChannel { mac: MacKind::ControlPacket };
+        let (wall, cycles, fp) =
+            run_system(&config, InjectionProcess::Bernoulli { rate: 0.002 });
+        scenarios.push(Scenario {
+            name: "shared_channel",
+            wall_ms: wall,
+            cycles,
+            fingerprint: Some(fp),
+        });
+    }
+
+    // --- substrate A/B fingerprint (serial I/O + wide I/O paths).
+    {
+        let config = SystemConfig::xcym(4, 4, Architecture::Substrate);
+        let (wall, cycles, fp) =
+            run_system(&config, InjectionProcess::Bernoulli { rate: 0.004 });
+        scenarios.push(Scenario {
+            name: "substrate_mid_load",
+            wall_ms: wall,
+            cycles,
+            fingerprint: Some(fp),
+        });
+    }
+
+    // --- app workload with memory read/reply traffic through the stacks.
+    {
+        let config = SystemConfig::xcym(4, 4, Architecture::Wireless);
+        let profile = wimnet_traffic::profiles::blackscholes();
+        let mut sys = MultichipSystem::build(&config).expect("system builds");
+        let mut workload = wimnet_traffic::AppWorkload::new(
+            profile,
+            config.multichip.num_chips,
+            config.multichip.cores_per_chip,
+            config.multichip.num_stacks,
+            config.seed,
+        );
+        let start = Instant::now();
+        let outcome = sys.run(&mut workload).expect("run completes");
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        scenarios.push(Scenario {
+            name: "app_blackscholes",
+            wall_ms: wall,
+            cycles: config.warmup_cycles + config.measure_cycles,
+            fingerprint: Some(fingerprint_of(&sys, outcome.avg_latency_cycles)),
+        });
+    }
+
+    // Render JSON by hand: the report shape is fixed and tiny, and the
+    // serde shim's derive output would bloat the field names.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"label\": \"{label}\",\n"));
+    json.push_str("  \"scenarios\": {\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        let cps = s.cycles as f64 / (s.wall_ms / 1e3);
+        json.push_str(&format!(
+            "    \"{}\": {{\"wall_ms\": {:.3}, \"cycles\": {}, \"cycles_per_sec\": {:.0}",
+            s.name, s.wall_ms, s.cycles, cps
+        ));
+        if let Some(fp) = &s.fingerprint {
+            json.push_str(&format!(
+                ", \"fingerprint\": {{\"packets\": {}, \"flits\": {}, \"latency_bits\": {}, \
+                 \"energy_pj_bits\": {}, \"energy_pj\": {}}}",
+                fp.packets, fp.flits, fp.latency_bits, fp.energy_pj_bits, fp.energy_pj
+            ));
+        }
+        json.push_str(if i + 1 < scenarios.len() { "},\n" } else { "}\n" });
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH json");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

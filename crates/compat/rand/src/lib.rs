@@ -1,0 +1,229 @@
+//! Minimal, deterministic shim for the subset of the `rand` 0.8 API used
+//! by the `wimnet` workspace (`SmallRng`, `Rng::gen::<f64>()`,
+//! `Rng::gen_range(a..b)`, `SeedableRng::seed_from_u64`).
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched; this shim keeps the public surface source-compatible.  The
+//! generator is xoshiro256++ seeded through SplitMix64 — the same family
+//! the real `SmallRng` uses on 64-bit targets, though the exact stream
+//! differs.  Everything in the workspace only relies on *determinism for
+//! a fixed seed*, which this provides.
+
+#![forbid(unsafe_code)]
+
+/// Seedable random generators (mirror of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling primitives available through [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from the generator's raw 64-bit output.
+    fn from_u64_source(src: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_u64_source(src: &mut dyn FnMut() -> u64) -> Self {
+        // 53 mantissa bits, uniform in [0, 1).
+        (src() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_u64_source(src: &mut dyn FnMut() -> u64) -> Self {
+        (src() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn from_u64_source(src: &mut dyn FnMut() -> u64) -> Self {
+        src() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn from_u64_source(src: &mut dyn FnMut() -> u64) -> Self {
+        src()
+    }
+}
+
+impl Standard for u32 {
+    fn from_u64_source(src: &mut dyn FnMut() -> u64) -> Self {
+        (src() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn from_u64_source(src: &mut dyn FnMut() -> u64) -> Self {
+        src() as usize
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_range(lo: Self, hi: Self, src: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: Self, hi: Self, src: &mut dyn FnMut() -> u64) -> Self {
+                assert!(lo < hi, "gen_range called with an empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128) as u64;
+                // Modulo bias is < 2^-40 for every span used in this
+                // workspace; determinism, not entropy quality, is the
+                // contract here.
+                lo.wrapping_add((src() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range(lo: Self, hi: Self, src: &mut dyn FnMut() -> u64) -> Self {
+        assert!(lo < hi, "gen_range called with an empty range");
+        let u = (src() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + u * (hi - lo)
+    }
+}
+
+/// The user-facing generator trait (mirror of `rand::Rng`).
+pub trait Rng {
+    /// Raw 64-bit output; everything else derives from this.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of `T` (only the types the workspace uses).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64_source(&mut || self.next_u64())
+    }
+
+    /// Uniform draw from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(range.start, range.end, &mut || self.next_u64())
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = SmallRng::splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zeros from any seed, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x1;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+        for _ in 0..1000 {
+            let v = rng.gen_range(0u64..1 << 24);
+            assert!(v < 1 << 24);
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! `syn`/`quote` are unavailable in the no-network build container, so
+//! the item is parsed directly from the `proc_macro` token stream.  The
+//! supported shapes are exactly what the workspace derives on:
+//! non-generic structs (named, tuple, unit) and non-generic enums with
+//! unit / newtype / tuple / struct variants, plus the `#[serde(skip)]`
+//! and `#[serde(default)]` field attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone, Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String, // field name, or index for tuple fields
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug, Clone)]
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug, Clone)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Parses `#[serde(...)]` contents into field attrs; returns default
+/// attrs for every other attribute.
+fn parse_attr(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> FieldAttrs {
+    // Caller consumed `#`; next must be the bracket group.
+    let mut attrs = FieldAttrs::default();
+    if let Some(TokenTree::Group(g)) = tokens.next() {
+        let mut inner = g.stream().into_iter();
+        if let Some(TokenTree::Ident(tag)) = inner.next() {
+            if tag.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(i) = t {
+                            match i.to_string().as_str() {
+                                "skip" => attrs.skip = true,
+                                "default" => attrs.default = true,
+                                "skip_serializing" | "skip_deserializing" => attrs.skip = true,
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    attrs
+}
+
+/// Skips leading attributes, merging any `#[serde(...)]` flags.
+fn skip_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next(); // '#'
+        let a = parse_attr(tokens);
+        attrs.skip |= a.skip;
+        attrs.default |= a.default;
+    }
+    attrs
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Consumes type tokens up to a top-level comma (tracking `<`/`>`
+/// nesting, which is not grouped in `proc_macro` streams).
+fn skip_type(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = tokens.peek() {
+        match tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && angle_depth == 0 {
+                    return;
+                }
+                if c == '<' {
+                    angle_depth += 1;
+                }
+                if c == '>' {
+                    angle_depth -= 1;
+                    if angle_depth < 0 {
+                        angle_depth = 0;
+                    }
+                }
+                tokens.next();
+            }
+            _ => {
+                tokens.next();
+            }
+        }
+    }
+}
+
+/// Parses the fields of a brace-delimited (named) field list.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let attrs = skip_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            break;
+        };
+        // ':'
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => panic!("serde_derive shim: expected `:` after field `{name}`"),
+        }
+        skip_type(&mut tokens);
+        // Optional trailing comma.
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+        fields.push(Field { name: name.to_string(), attrs });
+    }
+    fields
+}
+
+/// Counts the fields of a paren-delimited (tuple) field list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        let _ = skip_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_type(&mut tokens);
+        count += 1;
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let _ = skip_attrs(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            break;
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a discriminant (`= expr`) if present, then the comma.
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            tokens.next();
+            while let Some(tt) = tokens.peek() {
+                if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                tokens.next();
+            }
+        }
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+        variants.push(Variant { name: name.to_string(), kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    let _ = skip_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+    let kw = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (derive on `{name}`)");
+    }
+    let body = match kw.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("serde_derive shim: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive shim: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive on `{other}`"),
+    };
+    Item { name, body }
+}
+
+/// Derives `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "entries.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Map(entries)"
+            )
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                         ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                             ::serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.attrs.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                             ::serde::Value::Map(vec![{}]))]),\n",
+                            binds.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+fn named_field_reads(fields: &[Field], source: &str, context: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.attrs.skip {
+            out.push_str(&format!(
+                "{0}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else if f.attrs.default {
+            out.push_str(&format!(
+                "{0}: match {source}.get(\"{0}\") {{\n\
+                 Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                 None => ::std::default::Default::default(),\n}},\n",
+                f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{0}: match {source}.get(\"{0}\") {{\n\
+                 Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                 None => return ::std::result::Result::Err(::serde::Error::msg(\
+                 \"missing field `{0}` in {context}\")),\n}},\n",
+                f.name
+            ));
+        }
+    }
+    out
+}
+
+/// Derives `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let reads = named_field_reads(fields, "v", name);
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Map(_) => ::std::result::Result::Ok({name} {{\n{reads}}}),\n\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\"expected map for {name}\")),\n\
+                 }}"
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let reads: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Seq(items) if items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({})),\n\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 \"expected {n}-element sequence for {name}\")),\n}}",
+                reads.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(inner)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let reads: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => match inner {{\n\
+                             ::serde::Value::Seq(items) if items.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{vname}({})),\n\
+                             _ => ::std::result::Result::Err(::serde::Error::msg(\
+                             \"expected {n}-element sequence for {name}::{vname}\")),\n}},\n",
+                            reads.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let reads = named_field_reads(fields, "inner", &format!("{name}::{vname}"));
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{\n{reads}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\"expected variant of {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    );
+    out.parse().expect("serde_derive shim: generated invalid Deserialize impl")
+}

@@ -1,8 +1,8 @@
 //! System assembly: configuration and the runnable multichip system.
 
 use std::collections::BinaryHeap;
-use std::collections::HashMap;
 
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
 use wimnet_energy::{EnergyCategory, EnergyModel};
@@ -209,7 +209,9 @@ pub struct MultichipSystem {
     stacks: Vec<MemoryStack>,
     addr_map: AddressMap,
     stack_access_counter: Vec<u64>,
-    read_requests: HashMap<PacketId, (usize, NodeId)>,
+    /// Outstanding read requests by packet id — looked up once per
+    /// delivered packet, so the Fx hash map keeps the reply path O(1).
+    read_requests: FxHashMap<PacketId, (usize, NodeId)>,
     pending_replies: BinaryHeap<PendingReply>,
     replies_injected: u64,
 }
@@ -306,7 +308,7 @@ impl MultichipSystem {
             net,
             stacks,
             addr_map,
-            read_requests: HashMap::new(),
+            read_requests: FxHashMap::default(),
             pending_replies: BinaryHeap::new(),
             replies_injected: 0,
         })
@@ -419,7 +421,8 @@ impl MultichipSystem {
     /// [`CoreError::Stalled`] when the watchdog detects a deadlock.
     pub fn run(&mut self, workload: &mut dyn Workload) -> Result<RunOutcome, CoreError> {
         let total = self.config.warmup_cycles + self.config.measure_cycles;
-        for cycle in 0..total {
+        let mut cycle = 0;
+        while cycle < total {
             if cycle == self.config.warmup_cycles {
                 self.net.begin_measurement();
             }
@@ -429,6 +432,30 @@ impl MultichipSystem {
             self.step_cycle();
             if self.net.is_stalled(self.config.stall_threshold) {
                 return Err(CoreError::Stalled { cycle });
+            }
+            cycle += 1;
+            // Idle fast-forward: when the workload promises no events
+            // before `next`, nothing is pending at the stacks and the
+            // network is provably idle, jump straight there instead of
+            // spinning empty cycles.  The jump never crosses the
+            // measurement-window boundary (begin_measurement must run at
+            // exactly the warmup cycle).
+            if self.pending_replies.is_empty() {
+                if let Some(next) = workload.next_event_at(cycle) {
+                    // `<=` (not `<`): at cycle == warmup_cycles the
+                    // loop top has not yet run begin_measurement, so
+                    // the jump must stop short and let the next
+                    // iteration open the window.
+                    let bound = if cycle <= self.config.warmup_cycles {
+                        self.config.warmup_cycles
+                    } else {
+                        total
+                    };
+                    let target = next.min(bound);
+                    if target > cycle {
+                        cycle += self.net.fast_forward(target - cycle);
+                    }
+                }
             }
         }
         Ok(RunOutcome::collect(
@@ -440,9 +467,19 @@ impl MultichipSystem {
     }
 
     /// Runs with no traffic for `cycles` (useful for leakage baselines).
+    /// Idle stretches fast-forward once any pending memory replies have
+    /// drained.
     pub fn idle(&mut self, cycles: u64) {
-        for _ in 0..cycles {
+        let mut left = cycles;
+        while left > 0 {
+            if self.pending_replies.is_empty() {
+                left -= self.net.fast_forward(left);
+                if left == 0 {
+                    return;
+                }
+            }
             self.step_cycle();
+            left -= 1;
         }
     }
 }

@@ -278,7 +278,9 @@ mod tests {
     fn model_is_serializable() {
         // serde_json is only a dependency of downstream crates; here we
         // just verify the Serialize/Deserialize impls are wired up.
-        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        // `DeserializeOwned` is valid against both the offline serde
+        // shim and crates.io serde, keeping the dependency swappable.
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
         assert_serde::<EnergyModel>();
     }
 }

@@ -34,7 +34,7 @@ fn streaming_same_row_hits_after_the_first_access() {
     let mut now = 0;
     let mut hits = 0;
     for i in 0..32u64 {
-        let r = s.access(now, i * stride * 8 * 0 + i * 64 * 4, 64, AccessKind::Read, &map);
+        let r = s.access(now, i * stride, 64, AccessKind::Read, &map);
         now = r.complete_at;
         hits += u64::from(r.row_hit);
     }

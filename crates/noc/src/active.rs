@@ -1,0 +1,112 @@
+//! Dense active sets for the cycle engine.
+//!
+//! The engine's inner loop must only visit components that can make
+//! progress this cycle: links with flits on the wire or unsaturated
+//! bandwidth credit, switches with buffered flits, endpoints with
+//! source-queue backlog, input VCs holding flits or a live pipeline
+//! stage.  An [`ActiveSet`] tracks such components as a dense index
+//! list with O(1) stamped membership, so insertion on the hot path (a
+//! flit delivery, a link send) costs one array write and a push, and
+//! per-cycle iteration costs O(active) instead of O(total).
+//!
+//! Members are removed lazily by [`ActiveSet::sweep`], which each cycle
+//! retains only the members whose predicate still holds — components
+//! quiesce (drain, saturate) and drop out without any bookkeeping at
+//! the place that made them quiescent.
+
+/// A dense set of component indices with stamped membership.
+#[derive(Debug, Clone)]
+pub(crate) struct ActiveSet {
+    /// Membership stamp per index.
+    stamp: Vec<bool>,
+    /// Dense member list, unordered unless [`ActiveSet::sort`] ran;
+    /// callers sort when the processing order is observable.
+    list: Vec<usize>,
+}
+
+impl ActiveSet {
+    /// An empty set over indices `0..n`.
+    pub(crate) fn new(n: usize) -> Self {
+        ActiveSet { stamp: vec![false; n], list: Vec::with_capacity(n) }
+    }
+
+    /// A full set over indices `0..n` (used at construction, when every
+    /// component still has warm-up work: links accruing initial credit).
+    pub(crate) fn full(n: usize) -> Self {
+        ActiveSet { stamp: vec![true; n], list: (0..n).collect() }
+    }
+
+    /// Inserts `i`; O(1), idempotent.
+    #[inline]
+    pub(crate) fn insert(&mut self, i: usize) {
+        if !self.stamp[i] {
+            self.stamp[i] = true;
+            self.list.push(i);
+        }
+    }
+
+    /// Current members, unordered.
+    #[inline]
+    pub(crate) fn members(&self) -> &[usize] {
+        &self.list
+    }
+
+    /// Sorts the member list ascending (cheap on the near-sorted small
+    /// lists the engine produces; required by order-sensitive
+    /// consumers like `RoundRobin::grant_among`).
+    pub(crate) fn sort(&mut self) {
+        self.list.sort_unstable();
+    }
+
+    /// Retains only members for which `still_active` holds, un-stamping
+    /// the rest.  O(members).
+    pub(crate) fn sweep(&mut self, mut still_active: impl FnMut(usize) -> bool) {
+        let stamp = &mut self.stamp;
+        self.list.retain(|&i| {
+            if still_active(i) {
+                true
+            } else {
+                stamp[i] = false;
+                false
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut s = ActiveSet::new(8);
+        s.insert(3);
+        s.insert(3);
+        s.insert(5);
+        assert_eq!(s.members().len(), 2);
+    }
+
+    #[test]
+    fn sweep_removes_and_allows_reinsert() {
+        let mut s = ActiveSet::full(4);
+        s.sweep(|i| i % 2 == 0);
+        let mut m = s.members().to_vec();
+        m.sort_unstable();
+        assert_eq!(m, vec![0, 2]);
+        s.insert(1);
+        assert_eq!(s.members().len(), 3);
+        // Still-active members are not duplicated by reinsertion.
+        s.insert(0);
+        assert_eq!(s.members().len(), 3);
+    }
+
+    #[test]
+    fn sort_orders_members() {
+        let mut s = ActiveSet::new(8);
+        for i in [5, 1, 7, 2] {
+            s.insert(i);
+        }
+        s.sort();
+        assert_eq!(s.members(), &[1, 2, 5, 7]);
+    }
+}

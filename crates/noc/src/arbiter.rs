@@ -55,6 +55,28 @@ impl RoundRobin {
         None
     }
 
+    /// Like [`RoundRobin::grant`], but scans only `candidates` (sorted
+    /// ascending, each `< n`).  Equivalent to `grant` whenever
+    /// `requesting` would be `false` for every index outside
+    /// `candidates` — the switch pre-passes guarantee exactly that, so
+    /// arbitration cost drops from O(n) to O(candidates) without
+    /// changing a single grant decision.
+    pub fn grant_among(
+        &mut self,
+        candidates: &[usize],
+        mut requesting: impl FnMut(usize) -> bool,
+    ) -> Option<usize> {
+        let split = candidates.partition_point(|&c| c < self.next);
+        for &c in candidates[split..].iter().chain(&candidates[..split]) {
+            debug_assert!(c < self.n);
+            if requesting(c) {
+                self.next = (c + 1) % self.n;
+                return Some(c);
+            }
+        }
+        None
+    }
+
     /// Peeks the winner without advancing the pointer.
     pub fn peek(&self, mut requesting: impl FnMut(usize) -> bool) -> Option<usize> {
         for off in 0..self.n {

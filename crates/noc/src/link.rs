@@ -119,7 +119,20 @@ impl Link {
     /// credit.  Credit is capped at one cycle's worth above a whole flit
     /// so idle links cannot bank unbounded bursts.
     pub fn begin_cycle(&mut self) {
-        self.credit = (self.credit + self.rate).min(self.rate.max(1.0) + self.rate);
+        self.credit = (self.credit + self.rate).min(self.credit_cap());
+    }
+
+    fn credit_cap(&self) -> f64 {
+        self.rate.max(1.0) + self.rate
+    }
+
+    /// `true` when per-cycle processing is a no-op: nothing in flight and
+    /// the bandwidth credit has saturated at its cap.  The active-set
+    /// engine skips quiescent links entirely; because `begin_cycle`
+    /// clamps credit at exactly the cap, skipping it on a saturated link
+    /// leaves bit-identical state.
+    pub fn is_quiescent(&self) -> bool {
+        self.in_flight.is_empty() && self.credit >= self.credit_cap()
     }
 
     /// `true` if the link can accept one more flit this cycle.
@@ -147,12 +160,11 @@ impl Link {
         });
     }
 
-    /// Removes and returns all flits that have arrived by `now`.
-    ///
-    /// Deliveries come out in admission order, which preserves per-packet
-    /// flit order (same path, same link).
-    pub fn take_arrivals(&mut self, now: u64) -> Vec<LinkDelivery> {
-        let mut out = Vec::new();
+    /// Removes all flits that have arrived by `now`, appending them to
+    /// `out` in admission order (which preserves per-packet flit order —
+    /// same path, same link).  The caller owns `out` so the per-cycle
+    /// hot path never allocates.
+    pub fn take_arrivals_into(&mut self, now: u64, out: &mut Vec<LinkDelivery>) {
         while let Some(d) = self.in_flight.front() {
             if d.arrives_at <= now {
                 out.push(self.in_flight.pop_front().expect("front exists"));
@@ -160,6 +172,14 @@ impl Link {
                 break;
             }
         }
+    }
+
+    /// Removes and returns all flits that have arrived by `now`.
+    ///
+    /// Allocating convenience wrapper over [`Link::take_arrivals_into`].
+    pub fn take_arrivals(&mut self, now: u64) -> Vec<LinkDelivery> {
+        let mut out = Vec::new();
+        self.take_arrivals_into(now, &mut out);
         out
     }
 }

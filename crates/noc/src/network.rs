@@ -6,17 +6,18 @@ use wimnet_energy::{EnergyCategory, EnergyMeter, EnergyModel, Power};
 use wimnet_routing::Routes;
 use wimnet_topology::{EdgeKind, MultichipLayout};
 
+use crate::active::ActiveSet;
 use crate::arbiter::RoundRobin;
 use crate::error::NocError;
 use crate::flit::{Flit, PacketId};
-use crate::link::Link;
+use crate::link::{Link, LinkDelivery};
 use crate::packet::{ArrivedPacket, PacketDesc, Reassembler};
 use crate::radio::{
     MediumAction, MediumActions, MediumView, RadioId, RadioTx, RadioView, RxVcView,
     SharedMedium, TxVcView,
 };
 use crate::stats::NetworkStats;
-use crate::switch::{OutPortSpec, RouteEntry, Switch};
+use crate::switch::{OutPortSpec, RouteEntry, StMove, Switch, VaGrant};
 
 /// How wireless edges of the topology are realised by the engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -127,7 +128,11 @@ pub struct Network {
     cfg: NocConfig,
     now: u64,
     switches: Vec<Switch>,
-    lut: Vec<Vec<RouteEntry>>,
+    /// Flattened forwarding LUT: entry for (switch `si`, destination
+    /// `d`) lives at `si * n + d`.  One contiguous allocation replaces
+    /// the former per-switch row vectors (and the take/put-back dance
+    /// their borrows forced), keeping RC lookups on hot cache lines.
+    lut: Box<[RouteEntry]>,
     links: Vec<Link>,
     link_dst: Vec<(usize, usize)>,
     out_link: Vec<Vec<Option<usize>>>,
@@ -151,7 +156,23 @@ pub struct Network {
     serial_static: Power,
     wireless_idle_static: Power,
     flits_in_network: u64,
+    /// Flits generated but still queued at their sources (the O(1)
+    /// mirror of summing `inj_pending` lengths).
+    backlog_flits: u64,
     last_progress: u64,
+    // --- Active-set tracking: only components that can make progress
+    // are visited each cycle (see `active` module and docs/engine.md).
+    active_links: ActiveSet,
+    active_switches: ActiveSet,
+    active_injectors: ActiveSet,
+    // --- Preallocated per-cycle scratch: the steady-state step() makes
+    // no heap allocations.
+    scratch_order: Vec<usize>,
+    scratch_arrivals: Vec<LinkDelivery>,
+    scratch_grants: Vec<VaGrant>,
+    scratch_moves: Vec<StMove>,
+    scratch_avail: Vec<u32>,
+    scratch_credits: Vec<(usize, usize, usize)>,
 }
 
 impl std::fmt::Debug for Network {
@@ -353,19 +374,18 @@ impl Network {
             }
         }
 
-        // Forwarding LUTs.
-        let mut lut = Vec::with_capacity(n);
+        // Forwarding LUT, flattened: entry (switch, dest) at
+        // `switch * n + dest`, translated row-by-row from the routing
+        // crate's equally flat tables.
+        let mut lut = Vec::with_capacity(n * n);
         for node in graph.node_ids() {
             let ni = node.index();
-            let mut rows = Vec::with_capacity(n);
-            for dest in graph.node_ids() {
-                if dest == node {
-                    rows.push(RouteEntry { port: 0, next: node });
+            for (di, hop) in routes.row(node).iter().enumerate() {
+                let Some((next, eid)) = *hop else {
+                    debug_assert_eq!(di, ni, "only the diagonal lacks a next hop");
+                    lut.push(RouteEntry { port: 0, next: node });
                     continue;
-                }
-                let (next, eid) = routes
-                    .next_hop(node, dest)
-                    .expect("complete forwarding tables");
+                };
                 let e = graph.edge(eid).expect("edge exists");
                 let port = if e.kind == EdgeKind::Wireless && !p2p {
                     radio_of_switch[ni]
@@ -379,9 +399,8 @@ impl Network {
                         pb
                     }
                 };
-                rows.push(RouteEntry { port, next });
+                lut.push(RouteEntry { port, next });
             }
-            lut.push(rows);
         }
 
         // Static power: switches (radio TX buffers scale the per-port
@@ -406,14 +425,27 @@ impl Network {
             Power::ZERO
         };
 
+        let max_ports = switches.iter().map(Switch::port_count).max().unwrap_or(0);
         Ok(Network {
             inj_pending: vec![VecDeque::new(); n],
             inj_active_vc: vec![None; n],
             inj_rr: (0..n).map(|_| RoundRobin::new(cfg.vcs)).collect(),
             cfg,
             now: 0,
+            // Links start active so their bandwidth credit warms up
+            // exactly as the full-scan engine did; they drop out of the
+            // set once saturated.  Switches and injectors start empty.
+            active_links: ActiveSet::full(links.len()),
+            active_switches: ActiveSet::new(n),
+            active_injectors: ActiveSet::new(n),
+            scratch_order: Vec::with_capacity(n.max(links.len())),
+            scratch_arrivals: Vec::new(),
+            scratch_grants: Vec::new(),
+            scratch_moves: Vec::new(),
+            scratch_avail: Vec::with_capacity(max_ports),
+            scratch_credits: Vec::new(),
             switches,
-            lut,
+            lut: lut.into_boxed_slice(),
             links,
             link_dst,
             out_link,
@@ -432,6 +464,7 @@ impl Network {
             serial_static,
             wireless_idle_static,
             flits_in_network: 0,
+            backlog_flits: 0,
             last_progress: 0,
         })
     }
@@ -490,9 +523,15 @@ impl Network {
         self.flits_in_network
     }
 
-    /// Flits generated but still waiting in source queues.
+    /// Flits generated but still waiting in source queues (O(1): the
+    /// count is maintained on inject and drain).
     pub fn source_backlog(&self) -> u64 {
-        self.inj_pending.iter().map(|q| q.len() as u64).sum()
+        debug_assert_eq!(
+            self.backlog_flits,
+            self.inj_pending.iter().map(|q| q.len() as u64).sum::<u64>(),
+            "source backlog counter out of sync"
+        );
+        self.backlog_flits
     }
 
     /// Flits waiting in one endpoint's source queue.
@@ -519,6 +558,8 @@ impl Network {
         self.next_packet += 1;
         let q = &mut self.inj_pending[desc.src.index()];
         q.extend(desc.flits_for(id));
+        self.backlog_flits += u64::from(desc.flits);
+        self.active_injectors.insert(desc.src.index());
         self.stats.on_inject(desc.flits);
         id
     }
@@ -528,52 +569,158 @@ impl Network {
         std::mem::take(&mut self.arrivals)
     }
 
-    /// Advances the network by `cycles` clock cycles.
+    /// Advances the network by `cycles` clock cycles, fast-forwarding
+    /// through provably idle stretches (see [`Network::fast_forward`]).
     pub fn run_for(&mut self, cycles: u64) {
-        for _ in 0..cycles {
+        let mut left = cycles;
+        while left > 0 {
+            left -= self.fast_forward(left);
+            if left == 0 {
+                return;
+            }
             self.step();
+            left -= 1;
         }
     }
 
     /// Steps until every injected flit has been delivered (sources empty
     /// and nothing in flight) or `max_cycles` elapse.  Returns `true`
-    /// when fully drained.
+    /// when fully drained.  The completion check is O(1), so a drained
+    /// network exits without spinning empty cycles.
     pub fn drain(&mut self, max_cycles: u64) -> bool {
         for _ in 0..max_cycles {
-            if self.flits_in_network == 0 && self.source_backlog() == 0 {
+            if self.flits_in_network == 0 && self.backlog_flits == 0 {
                 return true;
             }
             self.step();
         }
-        self.flits_in_network == 0 && self.source_backlog() == 0
+        self.flits_in_network == 0 && self.backlog_flits == 0
+    }
+
+    /// `true` when stepping the network can change nothing except the
+    /// per-cycle leakage/bookkeeping: no flits in flight or queued, all
+    /// link bandwidth credits saturated, and every attached medium
+    /// quiescent.  This is the idle fast-forward precondition.
+    pub fn is_idle(&self) -> bool {
+        self.flits_in_network == 0
+            && self.backlog_flits == 0
+            && self
+                .active_links
+                .members()
+                .iter()
+                .all(|&li| self.links[li].is_quiescent())
+            && self.media.iter().all(|m| m.is_quiescent())
+    }
+
+    /// Fast-forwards up to `cycles` idle cycles, applying exactly the
+    /// per-cycle bookkeeping a full [`Network::step`] would have: medium
+    /// idle charges, leakage energy (in the same meter order, so energy
+    /// totals stay bit-identical) and window-cycle statistics.  Returns
+    /// the number of cycles actually skipped — zero when the network is
+    /// not [`Network::is_idle`].
+    pub fn fast_forward(&mut self, cycles: u64) -> u64 {
+        if cycles == 0 || !self.is_idle() {
+            return 0;
+        }
+        let mut media = std::mem::take(&mut self.media);
+        let mut actions = MediumActions::new();
+        for k in 0..cycles {
+            let now = self.now + k;
+            // Phase 5 position: media idle accounting first…
+            for medium in &mut media {
+                actions.list.clear();
+                medium.idle_step(now, &mut actions);
+                for action in actions.actions() {
+                    match *action {
+                        MediumAction::Energy { category, energy } => {
+                            self.meter.add(category, energy);
+                        }
+                        MediumAction::Transmit { .. } => {
+                            unreachable!("quiescent medium must not transmit")
+                        }
+                    }
+                }
+            }
+            // …then the phase 7 leakage, in the same order as step().
+            self.meter.add(
+                EnergyCategory::SwitchStatic,
+                self.switch_static.energy_over_cycles(1, self.cfg.energy.clock),
+            );
+            if self.serial_static > Power::ZERO {
+                self.meter.add(
+                    EnergyCategory::SerialIoStatic,
+                    self.serial_static.energy_over_cycles(1, self.cfg.energy.clock),
+                );
+            }
+            if self.wireless_idle_static > Power::ZERO {
+                self.meter.add(
+                    EnergyCategory::WirelessIdle,
+                    self.wireless_idle_static
+                        .energy_over_cycles(1, self.cfg.energy.clock),
+                );
+            }
+        }
+        self.media = media;
+        self.stats.on_cycles(cycles);
+        self.now += cycles;
+        cycles
     }
 
     /// Advances the network by one clock cycle.
+    ///
+    /// The steady-state hot path is allocation-free and visits only
+    /// *active* components: links carrying flits or unsaturated credit,
+    /// switches with buffered flits, endpoints with source backlog.
+    /// Quiescent components are skipped entirely — provably a no-op for
+    /// each (see the `active` module and docs/engine.md).
     pub fn step(&mut self) {
         let now = self.now;
+        let mut order = std::mem::take(&mut self.scratch_order);
 
-        // Phase 0: links accrue bandwidth and deliver due flits.
-        for li in 0..self.links.len() {
+        // Phase 0: active links accrue bandwidth and deliver due flits.
+        // Sorted index order keeps the walk deterministic (per-link work
+        // is independent, but determinism costs one small sort).
+        {
+            let links = &self.links;
+            self.active_links.sweep(|li| !links[li].is_quiescent());
+        }
+        order.clear();
+        order.extend_from_slice(self.active_links.members());
+        order.sort_unstable();
+        let mut arrivals = std::mem::take(&mut self.scratch_arrivals);
+        for &li in &order {
             self.links[li].begin_cycle();
-            let arrivals = self.links[li].take_arrivals(now);
+            arrivals.clear();
+            self.links[li].take_arrivals_into(now, &mut arrivals);
             if !arrivals.is_empty() {
                 let (sw, port) = self.link_dst[li];
-                for d in arrivals {
+                for d in &arrivals {
                     self.switches[sw].deliver(port, d.vc, d.flit);
                 }
+                self.active_switches.insert(sw);
             }
         }
+        self.scratch_arrivals = arrivals;
 
         // Phase 1: injection (one flit per endpoint per cycle).
-        self.pump_injection();
+        self.pump_injection(&mut order);
 
-        // Phase 2/3: RC + VA on every switch; resolve radio targets.
-        for si in 0..self.switches.len() {
-            let lut_row = std::mem::take(&mut self.lut[si]);
-            let grants = self.switches[si]
-                .alloc_phase(now, &|dest| lut_row[dest.index()]);
-            for g in &grants {
-                if let Some((rid, radio_port)) = self.radio_of_switch[si] {
+        // Phase 2/3: RC + VA on switches with buffered flits; resolve
+        // radio targets.  Ascending order mirrors the former full scan.
+        {
+            let switches = &self.switches;
+            self.active_switches.sweep(|si| !switches[si].is_quiescent());
+        }
+        order.clear();
+        order.extend_from_slice(self.active_switches.members());
+        order.sort_unstable();
+        let n_switches = self.switches.len();
+        let mut grants = std::mem::take(&mut self.scratch_grants);
+        for &si in &order {
+            let lut_row = &self.lut[si * n_switches..(si + 1) * n_switches];
+            self.switches[si].alloc_phase(now, lut_row, &mut grants);
+            if let Some((rid, radio_port)) = self.radio_of_switch[si] {
+                for g in &grants {
                     if g.out_port == radio_port {
                         let next = lut_row[g.dest.index()].next;
                         let target = self.radio_by_node[next.index()]
@@ -582,40 +729,42 @@ impl Network {
                     }
                 }
             }
-            self.lut[si] = lut_row;
         }
+        self.scratch_grants = grants;
 
-        // Phase 4: SA/ST per switch; route the winning flits.  The
-        // shared wireless band has a global per-cycle flit budget in
-        // point-to-point mode; rotating the switch processing order
-        // keeps band allocation fair (processing order has no other
-        // observable effect — all per-switch work is local and credits
-        // land at the end of the cycle).
+        // Phase 4: SA/ST on active switches; route the winning flits.
+        // The shared wireless band has a global per-cycle flit budget in
+        // point-to-point mode; the rotated processing order keeps band
+        // allocation fair, and the active set is iterated in exactly
+        // that rotated order so band draws, meter adds and arrival
+        // ordering match the full-scan engine bit for bit.
         let mut band_budget = match self.cfg.wireless_mode {
             WirelessMode::PointToPoint { max_concurrent, .. } => max_concurrent,
             WirelessMode::Medium => u32::MAX,
         };
-        let mut credit_queue: Vec<(usize, usize, usize)> = Vec::new();
-        let n_switches = self.switches.len();
         let offset = (now % n_switches as u64) as usize;
-        for idx in 0..n_switches {
-            let si = (idx + offset) % n_switches;
+        order.clear();
+        order.extend_from_slice(self.active_switches.members());
+        order.sort_unstable_by_key(|&si| (si + n_switches - offset) % n_switches);
+        let mut moves = std::mem::take(&mut self.scratch_moves);
+        for &si in &order {
             let ports = self.switches[si].port_count();
-            let mut avail = Vec::with_capacity(ports);
+            self.scratch_avail.clear();
             for p in 0..ports {
                 let a = match self.out_link[si].get(p).copied().flatten() {
                     Some(li) => self.links[li].available(),
                     None => u32::MAX, // local sink / radio: credits gate
                 };
-                avail.push(a);
+                self.scratch_avail.push(a);
             }
-            let moves = self.switches[si].st_phase(
+            self.switches[si].st_phase(
                 now,
-                &avail,
+                &self.scratch_avail,
                 &self.band_port[si],
                 &mut band_budget,
+                &mut moves,
             );
-            for m in moves {
+            for m in &moves {
                 self.last_progress = now;
                 self.meter.add(
                     EnergyCategory::SwitchDynamic,
@@ -623,7 +772,7 @@ impl Network {
                 );
                 // Credit back upstream for the freed input slot.
                 if let Upstream::Wired { switch, port } = self.upstream[si][m.in_port] {
-                    credit_queue.push((switch, port, m.in_vc));
+                    self.scratch_credits.push((switch, port, m.in_vc));
                 }
                 if m.out_port == 0 {
                     // Ejection: the flit reaches the attached endpoint
@@ -679,9 +828,12 @@ impl Network {
                     };
                     self.meter.add(cat, energy);
                     link.send(m.flit, m.out_vc, now);
+                    self.active_links.insert(li);
                 }
             }
         }
+        self.scratch_moves = moves;
+        self.scratch_order = order;
 
         // Phase 5: shared media (wireless channel + MAC).
         if !self.media.is_empty() {
@@ -690,15 +842,17 @@ impl Network {
             for medium in &mut media {
                 let mut actions = MediumActions::new();
                 medium.step(now, &view, &mut actions);
-                self.apply_medium_actions(&actions, &mut credit_queue);
+                self.apply_medium_actions(&actions);
             }
             self.media = media;
         }
 
         // Phase 6: credits land (one-cycle credit loop).
-        for (sw, port, vc) in credit_queue {
+        for i in 0..self.scratch_credits.len() {
+            let (sw, port, vc) = self.scratch_credits[i];
             self.switches[sw].return_credit(port, vc);
         }
+        self.scratch_credits.clear();
 
         // Phase 7: leakage + bookkeeping.
         self.meter.add(
@@ -722,11 +876,16 @@ impl Network {
         self.now = now + 1;
     }
 
-    fn pump_injection(&mut self) {
-        for ni in 0..self.switches.len() {
-            let Some(front) = self.inj_pending[ni].front().copied() else {
-                continue;
-            };
+    fn pump_injection(&mut self, order: &mut Vec<usize>) {
+        {
+            let pending = &self.inj_pending;
+            self.active_injectors.sweep(|ni| !pending[ni].is_empty());
+        }
+        order.clear();
+        order.extend_from_slice(self.active_injectors.members());
+        order.sort_unstable();
+        for &ni in order.iter() {
+            let front = *self.inj_pending[ni].front().expect("swept non-empty");
             let is_head = front.kind.is_head();
             let vc = if is_head {
                 let sw = &self.switches[ni];
@@ -741,6 +900,8 @@ impl Network {
             let Some(vc) = vc else { continue };
             let flit = self.inj_pending[ni].pop_front().expect("front exists");
             self.switches[ni].deliver(0, vc, flit);
+            self.active_switches.insert(ni);
+            self.backlog_flits -= 1;
             self.flits_in_network += 1;
             self.last_progress = self.now;
             self.inj_active_vc[ni] = if flit.kind.is_tail() { None } else { Some(vc) };
@@ -804,11 +965,7 @@ impl Network {
         MediumView::new(views)
     }
 
-    fn apply_medium_actions(
-        &mut self,
-        actions: &MediumActions,
-        credit_queue: &mut Vec<(usize, usize, usize)>,
-    ) {
+    fn apply_medium_actions(&mut self, actions: &MediumActions) {
         for action in actions.actions() {
             match *action {
                 MediumAction::Energy { category, energy } => {
@@ -824,7 +981,7 @@ impl Network {
                     // radio output port.
                     let host = radio.node.index();
                     let (_, host_port) = self.radio_of_switch[host].expect("host radio");
-                    credit_queue.push((host, host_port, tx_vc));
+                    self.scratch_credits.push((host, host_port, tx_vc));
                     // Deliver into the receive VC the MAC reserved.
                     let ti = self.radios[target.index()].node.index();
                     let (_, t_port) = self.radio_of_switch[ti].expect("target radio");
@@ -840,6 +997,7 @@ impl Network {
                         );
                     }
                     self.switches[ti].deliver(t_port, rx_vc, flit);
+                    self.active_switches.insert(ti);
                     self.last_progress = self.now;
                 }
             }

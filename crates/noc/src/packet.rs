@@ -1,7 +1,6 @@
 //! Packet descriptors (injection side) and reassembly (ejection side).
 
-use std::collections::BTreeMap;
-
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use wimnet_topology::NodeId;
 
@@ -75,7 +74,10 @@ impl ArrivedPacket {
 /// delivery invariants (in-order, no duplicates, no gaps).
 #[derive(Debug, Default)]
 pub struct Reassembler {
-    pending: BTreeMap<PacketId, (u32, Flit)>, // (flits seen, head flit copy)
+    /// Keyed by packet id; iteration order is never observed (only
+    /// entry/remove), so the Fx hash map's O(1) lookups are safe on
+    /// this per-ejected-flit hot path.
+    pending: FxHashMap<PacketId, (u32, Flit)>, // (flits seen, head flit copy)
 }
 
 impl Reassembler {

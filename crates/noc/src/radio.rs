@@ -265,6 +265,26 @@ pub trait SharedMedium {
     fn name(&self) -> &str {
         "shared-medium"
     }
+
+    /// Idle fast-forward contract.  The engine calls this only when
+    /// every radio TX buffer is empty and nothing is in flight; `true`
+    /// promises that, under such a view, [`SharedMedium::step`] would
+    /// move no flits and that [`SharedMedium::idle_step`] reproduces its
+    /// state changes and energy charges *exactly* (bit-identical
+    /// floats).  MACs whose idle cycles depend on the full view (phase
+    /// machines, per-radio timers) must keep the conservative default.
+    fn is_quiescent(&self) -> bool {
+        false
+    }
+
+    /// One idle cycle without a [`MediumView`]: replays exactly what
+    /// [`SharedMedium::step`] would have done given an all-empty view.
+    /// Only called when [`SharedMedium::is_quiescent`] returned `true`.
+    /// Implementations must only emit [`MediumAction::Energy`] actions.
+    fn idle_step(&mut self, now: u64, actions: &mut MediumActions) {
+        let _ = (now, actions);
+        unreachable!("idle_step requires an is_quiescent implementation");
+    }
 }
 
 #[cfg(test)]

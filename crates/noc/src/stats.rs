@@ -91,6 +91,15 @@ impl NetworkStats {
         }
     }
 
+    /// Batched form of [`NetworkStats::on_cycle`] for idle fast-forward:
+    /// integer addition, so skipping `n` cycles at once is bit-identical
+    /// to `n` single calls.
+    pub fn on_cycles(&mut self, n: u64) {
+        if self.window_start.is_some() {
+            self.window_cycles += n;
+        }
+    }
+
     /// Records a packet injection of `flits` flits.
     pub fn on_inject(&mut self, flits: u32) {
         self.injected_packets += 1;

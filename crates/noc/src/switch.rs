@@ -19,6 +19,7 @@
 
 use wimnet_topology::NodeId;
 
+use crate::active::ActiveSet;
 use crate::arbiter::RoundRobin;
 use crate::flit::{Flit, PacketId};
 use crate::vc::{InputVc, VcStage};
@@ -90,6 +91,25 @@ pub struct Switch {
     out_spec: Vec<OutPortSpec>,
     va_arb: Vec<RoundRobin>,
     sa_arb: Vec<RoundRobin>,
+    /// Total flits across all input VCs, maintained incrementally so the
+    /// engine's active-set check is O(1).
+    buffered: usize,
+    /// Busy input VCs by flat index (`port * vcs + vc`): a VC is busy
+    /// while it holds flits or its pipeline stage is non-idle.  The RC,
+    /// VA and SA pre-passes iterate this set instead of scanning all
+    /// `ports × vcs` channels — on a wormhole path a switch typically
+    /// has one or two busy VCs out of ~50.  Entries are inserted on
+    /// delivery and dropped by the sweep at the top of `alloc_phase`;
+    /// iteration order is immaterial (pre-passes are commutative, and
+    /// grant priority is imposed by the round-robin arbiters).
+    busy: ActiveSet,
+    // Preallocated per-cycle scratch (allocation-free hot path).
+    /// VA pre-pass: pending requests per output port.
+    scratch_requests: Vec<u32>,
+    /// Per-output "anyone wants this port" flags for the SA pre-pass.
+    scratch_port_flags: Vec<bool>,
+    /// Per-input-VC "already granted/used this cycle" flags.
+    scratch_input_flags: Vec<bool>,
 }
 
 impl Switch {
@@ -113,6 +133,11 @@ impl Switch {
             out_spec: ports.to_vec(),
             va_arb: (0..p).map(|_| RoundRobin::new(p * vcs)).collect(),
             sa_arb: (0..p).map(|_| RoundRobin::new(p * vcs)).collect(),
+            buffered: 0,
+            busy: ActiveSet::new(p * vcs),
+            scratch_requests: vec![0; p],
+            scratch_port_flags: vec![false; p],
+            scratch_input_flags: vec![false; p * vcs],
         }
     }
 
@@ -140,6 +165,8 @@ impl Switch {
     /// reception).  Space and wormhole ownership are asserted by the VC.
     pub fn deliver(&mut self, port: usize, vc: usize, flit: Flit) {
         self.inputs[port][vc].push(flit);
+        self.buffered += 1;
+        self.busy.insert(port * self.vcs + vc);
     }
 
     /// Returns a credit to an output port VC (downstream freed a slot).
@@ -154,13 +181,27 @@ impl Switch {
         self.credits[port][vc]
     }
 
-    /// Total buffered flits across all input VCs.
+    /// Total buffered flits across all input VCs (O(1): maintained on
+    /// every deliver/pop).
     pub fn buffered_flits(&self) -> usize {
-        self.inputs
-            .iter()
-            .flat_map(|p| p.iter())
-            .map(|vc| vc.len())
-            .sum()
+        debug_assert_eq!(
+            self.buffered,
+            self.inputs
+                .iter()
+                .flat_map(|p| p.iter())
+                .map(|vc| vc.len())
+                .sum::<usize>(),
+            "buffered-flit counter out of sync"
+        );
+        self.buffered
+    }
+
+    /// `true` when the switch has nothing to do this cycle: no buffered
+    /// flits means RC finds no fronts, VA sees no requests and SA moves
+    /// nothing, so `alloc_phase`/`st_phase` are provable no-ops (arbiters
+    /// included — failed arbitrations never advance their pointers).
+    pub fn is_quiescent(&self) -> bool {
+        self.buffered == 0
     }
 
     /// Free space of an input VC — used by injection and radio admission.
@@ -170,52 +211,66 @@ impl Switch {
 
     /// RC + VA pipeline stages for this cycle.
     ///
-    /// `lut` maps a destination endpoint to this switch's [`RouteEntry`].
-    /// Returns the VA grants so the network can resolve radio targets.
+    /// `lut` is this switch's forwarding row, indexed by destination node
+    /// index.  VA grants are appended to `grants` (cleared first) so the
+    /// network can resolve radio targets; the out-param keeps the
+    /// per-cycle hot path allocation-free.
     // Index loops here walk several parallel per-port arrays; iterator
     // chains would obscure the hardware structure.
     #[allow(clippy::needless_range_loop)]
-    pub fn alloc_phase(
-        &mut self,
-        now: u64,
-        lut: &dyn Fn(NodeId) -> RouteEntry,
-    ) -> Vec<VaGrant> {
+    pub fn alloc_phase(&mut self, now: u64, lut: &[RouteEntry], grants: &mut Vec<VaGrant>) {
+        grants.clear();
         let ports = self.inputs.len();
+        let vcs = self.vcs;
+        // Drop VCs that went empty-and-idle since the last cycle, then
+        // work only on the remaining busy ones.
+        {
+            let inputs = &self.inputs;
+            self.busy.sweep(|flat| {
+                let ivc = &inputs[flat / vcs][flat % vcs];
+                !ivc.is_empty() || ivc.stage() != VcStage::Idle
+            });
+        }
+        self.busy.sort();
         // --- RC: idle VCs with a head flit at the front compute a route.
-        for port in 0..ports {
-            for vc in 0..self.vcs {
-                let ivc = &mut self.inputs[port][vc];
-                if ivc.stage() == VcStage::Idle {
-                    if let Some(front) = ivc.front() {
-                        assert!(
-                            front.kind.is_head(),
-                            "non-head flit at the front of an idle VC"
-                        );
-                        let entry = lut(front.dest);
-                        ivc.set_stage(VcStage::Routed {
-                            out_port: entry.port,
-                            ready_at: now + 1,
-                        });
-                    }
+        for i in 0..self.busy.members().len() {
+            let flat = self.busy.members()[i];
+            let ivc = &mut self.inputs[flat / vcs][flat % vcs];
+            if ivc.stage() == VcStage::Idle {
+                if let Some(front) = ivc.front() {
+                    assert!(
+                        front.kind.is_head(),
+                        "non-head flit at the front of an idle VC"
+                    );
+                    let entry = lut[front.dest.index()];
+                    ivc.set_stage(VcStage::Routed {
+                        out_port: entry.port,
+                        ready_at: now + 1,
+                    });
                 }
             }
         }
         // --- VA: separable allocation, output side iterates free VCs.
-        // Pre-pass: count ready requests per output port so idle ports
-        // cost nothing (the engine spends most cycles mostly idle).
-        let mut requests = vec![0u32; ports];
-        for port in 0..ports {
-            for vc in 0..self.vcs {
-                if let VcStage::Routed { out_port, ready_at } = self.inputs[port][vc].stage()
-                {
-                    if ready_at <= now {
-                        requests[out_port] += 1;
-                    }
+        // Pre-pass: count ready requests per output port so ports nobody
+        // wants cost nothing (the engine spends most cycles mostly idle).
+        let requests = &mut self.scratch_requests;
+        requests.fill(0);
+        let mut any_request = false;
+        for &flat in self.busy.members() {
+            if let VcStage::Routed { out_port, ready_at } =
+                self.inputs[flat / vcs][flat % vcs].stage()
+            {
+                if ready_at <= now {
+                    requests[out_port] += 1;
+                    any_request = true;
                 }
             }
         }
-        let mut grants = Vec::new();
-        let mut input_granted = vec![false; ports * self.vcs];
+        if !any_request {
+            return;
+        }
+        let input_granted = &mut self.scratch_input_flags;
+        input_granted.fill(false);
         for out_port in 0..ports {
             if requests[out_port] == 0 {
                 continue;
@@ -229,7 +284,10 @@ impl Switch {
                 }
                 let inputs = &self.inputs;
                 let vcs = self.vcs;
-                let won = self.va_arb[out_port].grant(|flat| {
+                // Only busy VCs can be Routed, so arbitrating among the
+                // (sorted) busy list is decision-identical to a full
+                // scan — see `RoundRobin::grant_among`.
+                let won = self.va_arb[out_port].grant_among(self.busy.members(), |flat| {
                     if input_granted[flat] {
                         return false;
                     }
@@ -267,7 +325,6 @@ impl Switch {
                 }
             }
         }
-        grants
     }
 
     /// SA + ST pipeline stage: arbitrates the crossbar and pops winners.
@@ -276,31 +333,44 @@ impl Switch {
     /// (link bandwidth credit); the per-port `max_grants` and per-input
     /// one-flit-per-cycle limits also apply.  Ports flagged in
     /// `shared_band` additionally draw from `band_budget`, the global
-    /// wireless-channel allowance for this cycle.
+    /// wireless-channel allowance for this cycle.  Winning movements are
+    /// appended to `moves` (cleared first).
     pub fn st_phase(
         &mut self,
         now: u64,
         avail: &[u32],
         shared_band: &[bool],
         band_budget: &mut u32,
-    ) -> Vec<StMove> {
+        moves: &mut Vec<StMove>,
+    ) {
+        moves.clear();
         let ports = self.inputs.len();
+        let vcs = self.vcs;
         debug_assert_eq!(avail.len(), ports);
         debug_assert_eq!(shared_band.len(), ports);
-        // Pre-pass mirror of alloc_phase: skip ports nobody wants.
-        let mut active = vec![false; ports];
-        for port in 0..ports {
-            for vc in 0..self.vcs {
-                let ivc = &self.inputs[port][vc];
-                if let VcStage::Active { out_port, ready_at, .. } = ivc.stage() {
-                    if ready_at <= now && !ivc.is_empty() {
-                        active[out_port] = true;
-                    }
+        // Keep the busy list sorted even when st_phase runs without a
+        // preceding alloc_phase (unit tests drive the stages directly);
+        // grant_among requires ascending candidate order.
+        self.busy.sort();
+        // Pre-pass mirror of alloc_phase: only busy VCs can request, and
+        // ports nobody wants are skipped entirely.
+        let active = &mut self.scratch_port_flags;
+        active.fill(false);
+        let mut any_active = false;
+        for &flat in self.busy.members() {
+            let ivc = &self.inputs[flat / vcs][flat % vcs];
+            if let VcStage::Active { out_port, ready_at, .. } = ivc.stage() {
+                if ready_at <= now && !ivc.is_empty() {
+                    active[out_port] = true;
+                    any_active = true;
                 }
             }
         }
-        let mut moves = Vec::new();
-        let mut input_used = vec![false; ports * self.vcs];
+        if !any_active {
+            return;
+        }
+        let input_used = &mut self.scratch_input_flags;
+        input_used.fill(false);
         for out_port in 0..ports {
             if !active[out_port] {
                 continue;
@@ -316,7 +386,9 @@ impl Switch {
                 let credits = &self.credits;
                 let out_spec = &self.out_spec;
                 let vcs = self.vcs;
-                let won = self.sa_arb[out_port].grant(|flat| {
+                // Only busy VCs can be Active with flits; candidate-list
+                // arbitration is decision-identical to the full scan.
+                let won = self.sa_arb[out_port].grant_among(self.busy.members(), |flat| {
                     if input_used[flat] {
                         return false;
                     }
@@ -341,6 +413,7 @@ impl Switch {
                 };
                 debug_assert_eq!(op, out_port);
                 let flit = self.inputs[p][v].pop().expect("winner has a flit");
+                self.buffered -= 1;
                 if !self.out_spec[out_port].is_sink {
                     self.credits[out_port][out_vc] -= 1;
                 }
@@ -363,7 +436,6 @@ impl Switch {
                 });
             }
         }
-        moves
     }
 }
 
@@ -395,21 +467,34 @@ mod tests {
         )
     }
 
-    /// All destinations route to port 1 / next node 9, except node 0
-    /// which is local.
-    fn lut(dest: NodeId) -> RouteEntry {
-        if dest == NodeId(0) {
-            RouteEntry { port: 0, next: NodeId(0) }
-        } else {
-            RouteEntry { port: 1, next: NodeId(9) }
-        }
+    /// Forwarding row over 10 nodes: all destinations route to port 1 /
+    /// next node 9, except node 0 which is local.
+    fn lut() -> Vec<RouteEntry> {
+        (0..10)
+            .map(|d| {
+                if d == 0 {
+                    RouteEntry { port: 0, next: NodeId(0) }
+                } else {
+                    RouteEntry { port: 1, next: NodeId(9) }
+                }
+            })
+            .collect()
+    }
+
+    /// RC/VA returning the grants (allocating wrapper for tests).
+    fn alloc(sw: &mut Switch, now: u64, lut: &[RouteEntry]) -> Vec<VaGrant> {
+        let mut grants = Vec::new();
+        sw.alloc_phase(now, lut, &mut grants);
+        grants
     }
 
     /// SA/ST with no shared-band ports and an unlimited band budget.
     fn st(sw: &mut Switch, now: u64, avail: &[u32]) -> Vec<StMove> {
         let band = vec![false; avail.len()];
         let mut budget = u32::MAX;
-        sw.st_phase(now, avail, &band, &mut budget)
+        let mut moves = Vec::new();
+        sw.st_phase(now, avail, &band, &mut budget, &mut moves);
+        moves
     }
 
     #[test]
@@ -417,11 +502,11 @@ mod tests {
         let mut sw = two_port();
         sw.deliver(0, 0, mk_flit(1, 0, 1, NodeId(9)));
         // Cycle 0: RC happens, VA not ready until cycle 1.
-        let g = sw.alloc_phase(0, &lut);
+        let g = alloc(&mut sw, 0, &lut());
         assert!(g.is_empty(), "VA must wait one cycle after RC");
         assert!(st(&mut sw, 0, &[9, 9]).is_empty());
         // Cycle 1: VA grants.
-        let g = sw.alloc_phase(1, &lut);
+        let g = alloc(&mut sw, 1, &lut());
         assert_eq!(g.len(), 1);
         assert_eq!(g[0].out_port, 1);
         assert_eq!(g[0].packet, PacketId(1));
@@ -441,11 +526,11 @@ mod tests {
         for seq in 0..4 {
             sw.deliver(0, 0, mk_flit(1, seq, 4, NodeId(9)));
         }
-        sw.alloc_phase(0, &lut);
-        sw.alloc_phase(1, &lut);
+        alloc(&mut sw, 0, &lut());
+        alloc(&mut sw, 1, &lut());
         let mut sent = 0;
         for now in 2..6 {
-            sw.alloc_phase(now, &lut);
+            alloc(&mut sw, now, &lut());
             sent += st(&mut sw, now, &[9, 9]).len();
         }
         assert_eq!(sent, 4, "one flit per cycle once active");
@@ -467,11 +552,11 @@ mod tests {
         for seq in 0..4 {
             sw.deliver(0, 0, mk_flit(1, seq, 4, NodeId(9)));
         }
-        sw.alloc_phase(0, &lut);
-        sw.alloc_phase(1, &lut);
+        alloc(&mut sw, 0, &lut());
+        alloc(&mut sw, 1, &lut());
         let mut moved = 0;
         for now in 2..10 {
-            sw.alloc_phase(now, &lut);
+            alloc(&mut sw, now, &lut());
             moved += st(&mut sw, now, &[9, 9]).len();
         }
         assert_eq!(moved, 2, "exactly the initial credit count moves");
@@ -488,11 +573,11 @@ mod tests {
         for seq in 0..4 {
             sw.deliver(1, 0, mk_flit(1, seq, 4, NodeId(0)));
         }
-        sw.alloc_phase(0, &lut);
-        sw.alloc_phase(1, &lut);
+        alloc(&mut sw, 0, &lut());
+        alloc(&mut sw, 1, &lut());
         let mut moved = 0;
         for now in 2..8 {
-            sw.alloc_phase(now, &lut);
+            alloc(&mut sw, now, &lut());
             moved += st(&mut sw, now, &[9, 9]).len();
         }
         assert_eq!(moved, 4);
@@ -506,14 +591,14 @@ mod tests {
         sw.deliver(0, 0, mk_flit(1, 1, 2, NodeId(9)));
         sw.deliver(0, 1, mk_flit(2, 0, 2, NodeId(9)));
         sw.deliver(0, 1, mk_flit(2, 1, 2, NodeId(9)));
-        sw.alloc_phase(0, &lut);
-        let g = sw.alloc_phase(1, &lut);
+        alloc(&mut sw, 0, &lut());
+        let g = alloc(&mut sw, 1, &lut());
         assert_eq!(g.len(), 2, "both packets get output VCs");
         assert_ne!(g[0].out_vc, g[1].out_vc);
         // One flit per cycle through the port: 4 flits take 4 cycles.
         let mut total = 0;
         for now in 2..6 {
-            sw.alloc_phase(now, &lut);
+            alloc(&mut sw, now, &lut());
             let m = st(&mut sw, now, &[9, 9]);
             assert!(m.len() <= 1);
             total += m.len();
@@ -526,8 +611,8 @@ mod tests {
         let mut sw = two_port();
         sw.deliver(0, 0, mk_flit(1, 0, 2, NodeId(9)));
         sw.deliver(0, 0, mk_flit(1, 1, 2, NodeId(9)));
-        sw.alloc_phase(0, &lut);
-        sw.alloc_phase(1, &lut);
+        alloc(&mut sw, 0, &lut());
+        alloc(&mut sw, 1, &lut());
         // Link has no bandwidth this cycle.
         assert!(st(&mut sw, 2, &[1, 0]).is_empty());
         assert_eq!(st(&mut sw, 3, &[1, 1]).len(), 1);
@@ -537,14 +622,14 @@ mod tests {
     fn output_vc_reuse_after_tail() {
         let mut sw = two_port();
         sw.deliver(0, 0, mk_flit(1, 0, 1, NodeId(9)));
-        sw.alloc_phase(0, &lut);
-        let g1 = sw.alloc_phase(1, &lut);
+        alloc(&mut sw, 0, &lut());
+        let g1 = alloc(&mut sw, 1, &lut());
         assert_eq!(g1.len(), 1);
         st(&mut sw, 2, &[9, 9]);
         // Same input VC, new packet: out VC must be available again.
         sw.deliver(0, 0, mk_flit(2, 0, 1, NodeId(9)));
-        sw.alloc_phase(3, &lut);
-        let g2 = sw.alloc_phase(4, &lut);
+        alloc(&mut sw, 3, &lut());
+        let g2 = alloc(&mut sw, 4, &lut());
         assert_eq!(g2.len(), 1);
         assert_eq!(g2[0].packet, PacketId(2));
     }
@@ -566,8 +651,8 @@ mod tests {
                 sw.deliver(0, vc, mk_flit(vc as u64 + 1, seq, 2, NodeId(9)));
             }
         }
-        sw.alloc_phase(0, &lut);
-        sw.alloc_phase(1, &lut);
+        alloc(&mut sw, 0, &lut());
+        alloc(&mut sw, 1, &lut());
         let m = st(&mut sw, 2, &[9, 9]);
         assert_eq!(m.len(), 2, "wide ports move two flits per cycle");
     }
@@ -577,21 +662,21 @@ mod tests {
         let mut sw = two_port();
         sw.deliver(0, 0, mk_flit(1, 0, 2, NodeId(9)));
         sw.deliver(0, 0, mk_flit(1, 1, 2, NodeId(9)));
-        sw.alloc_phase(0, &lut);
-        sw.alloc_phase(1, &lut);
+        alloc(&mut sw, 0, &lut());
+        alloc(&mut sw, 1, &lut());
         // Port 1 is on the shared band with a zero budget: nothing moves.
         let mut budget = 0u32;
-        assert!(sw
-            .st_phase(2, &[9, 9], &[false, true], &mut budget)
-            .is_empty());
+        let mut moves = Vec::new();
+        sw.st_phase(2, &[9, 9], &[false, true], &mut budget, &mut moves);
+        assert!(moves.is_empty());
         // Budget of one: exactly one flit moves and the budget drains.
         let mut budget = 1u32;
-        let moves = sw.st_phase(3, &[9, 9], &[false, true], &mut budget);
+        sw.st_phase(3, &[9, 9], &[false, true], &mut budget, &mut moves);
         assert_eq!(moves.len(), 1);
         assert_eq!(budget, 0);
         // Unflagged ports ignore the budget entirely.
         let mut budget = 0u32;
-        let moves = sw.st_phase(4, &[9, 9], &[false, false], &mut budget);
+        sw.st_phase(4, &[9, 9], &[false, false], &mut budget, &mut moves);
         assert_eq!(moves.len(), 1);
         assert_eq!(budget, 0);
     }
@@ -605,11 +690,11 @@ mod tests {
                 sw.deliver(0, vc, mk_flit(vc as u64 + 1, seq, 3, NodeId(9)));
             }
         }
-        sw.alloc_phase(0, &lut);
-        sw.alloc_phase(1, &lut);
+        alloc(&mut sw, 0, &lut());
+        alloc(&mut sw, 1, &lut());
         let mut winners = Vec::new();
         for now in 2..8 {
-            sw.alloc_phase(now, &lut);
+            alloc(&mut sw, now, &lut());
             for m in st(&mut sw, now, &[9, 9]) {
                 winners.push(m.in_vc);
             }

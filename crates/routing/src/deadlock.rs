@@ -7,6 +7,7 @@
 //! letting the test-suite *prove* which routing policies are safe on which
 //! architectures instead of assuming it.
 
+use rustc_hash::FxHashSet;
 use wimnet_topology::{EdgeId, Graph, NodeId};
 
 use crate::forwarding::Routes;
@@ -59,6 +60,10 @@ impl ChannelDependencyGraph {
             channels.push(Channel { edge: EdgeId(i), into: e.b });
         }
         let mut deps: Vec<Vec<usize>> = vec![Vec::new(); channels.len()];
+        // O(1) membership instead of a linear `Vec::contains` scan per
+        // path segment: every source→destination walk funnels through
+        // here, so on large layouts this dominates CDG construction.
+        let mut seen: FxHashSet<(usize, usize)> = FxHashSet::default();
         for s in graph.node_ids() {
             for d in graph.node_ids() {
                 if s == d {
@@ -70,7 +75,7 @@ impl ChannelDependencyGraph {
                 for i in 1..edges.len() {
                     let c1 = channel_index(edges[i - 1], nodes[i]);
                     let c2 = channel_index(edges[i], nodes[i + 1]);
-                    if !deps[c1].contains(&c2) {
+                    if seen.insert((c1, c2)) {
                         deps[c1].push(c2);
                     }
                 }

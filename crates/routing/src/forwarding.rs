@@ -98,8 +98,15 @@ impl std::fmt::Display for RoutingPolicy {
 pub struct Routes {
     policy: RoutingPolicy,
     root: Option<NodeId>,
-    /// `next_hop[at][dest]`, `None` on the diagonal.
-    next_hop: Vec<Vec<Option<(NodeId, EdgeId)>>>,
+    /// Number of nodes covered (the table is `n × n`).
+    n: usize,
+    /// Flattened `next_hop[at * n + dest]`, `None` on the diagonal.
+    ///
+    /// One contiguous allocation instead of `n` separate rows: the
+    /// cycle engine reads this table once per routed head flit, and a
+    /// flat layout keeps consecutive destinations of one switch on the
+    /// same cache lines.
+    next_hop: Box<[Option<(NodeId, EdgeId)>]>,
 }
 
 /// The minimum-eccentricity node (ties toward the lower id): a central
@@ -164,7 +171,7 @@ impl Routes {
         weight: &dyn Fn(EdgeId, &Edge) -> f64,
     ) -> Result<Self, RoutingError> {
         let n = graph.node_count();
-        let mut next_hop = vec![vec![None; n]; n];
+        let mut next_hop = vec![None; n * n];
         for dest in graph.node_ids() {
             // The graph is undirected, so Dijkstra from `dest` yields the
             // distance *to* `dest`; each node's parent pointer is its
@@ -177,13 +184,14 @@ impl Routes {
                 let hop = sp
                     .parent(at)
                     .ok_or(RoutingError::Unreachable { from: at, to: dest })?;
-                next_hop[at.index()][dest.index()] = Some(hop);
+                next_hop[at.index() * n + dest.index()] = Some(hop);
             }
         }
         Ok(Routes {
             policy: RoutingPolicy::ShortestPath,
             root: None,
-            next_hop,
+            n,
+            next_hop: next_hop.into_boxed_slice(),
         })
     }
 
@@ -194,7 +202,7 @@ impl Routes {
     ) -> Result<Self, RoutingError> {
         let tree = ShortestPathTree::build(graph, root, weight)?;
         let n = graph.node_count();
-        let mut next_hop = vec![vec![None; n]; n];
+        let mut next_hop = vec![None; n * n];
         for at in graph.node_ids() {
             for dest in graph.node_ids() {
                 if at == dest {
@@ -213,13 +221,14 @@ impl Routes {
                     // Climb toward the LCA.
                     tree.parent(at).expect("non-ancestor has a parent")
                 };
-                next_hop[at.index()][dest.index()] = Some(hop);
+                next_hop[at.index() * n + dest.index()] = Some(hop);
             }
         }
         Ok(Routes {
             policy: RoutingPolicy::Tree { root: Some(root) },
             root: Some(root),
-            next_hop,
+            n,
+            next_hop: next_hop.into_boxed_slice(),
         })
     }
 
@@ -247,7 +256,7 @@ impl Routes {
         let mut order: Vec<NodeId> = graph.node_ids().collect();
         order.sort_by_key(|&id| key(id));
 
-        let mut next_hop = vec![vec![None; n]; n];
+        let mut next_hop = vec![None; n * n];
         for dest in graph.node_ids() {
             // dist1[n]: cheapest down-only path n -> dest.
             // Down moves strictly increase the key, so process nodes in
@@ -343,13 +352,14 @@ impl Routes {
                 }
                 let (_, hop_node, hop_edge) =
                     choice.ok_or(RoutingError::Unreachable { from: at, to: dest })?;
-                next_hop[at.index()][dest.index()] = Some((hop_node, hop_edge));
+                next_hop[at.index() * n + dest.index()] = Some((hop_node, hop_edge));
             }
         }
         Ok(Routes {
             policy: RoutingPolicy::UpDown { root: Some(root) },
             root: Some(root),
-            next_hop,
+            n,
+            next_hop: next_hop.into_boxed_slice(),
         })
     }
 
@@ -365,7 +375,7 @@ impl Routes {
 
     /// Number of switches covered by the tables.
     pub fn node_count(&self) -> usize {
-        self.next_hop.len()
+        self.n
     }
 
     /// Next hop from `at` toward `dest` (`None` when `at == dest`).
@@ -374,7 +384,15 @@ impl Routes {
     ///
     /// Panics if either id is out of range.
     pub fn next_hop(&self, at: NodeId, dest: NodeId) -> Option<(NodeId, EdgeId)> {
-        self.next_hop[at.index()][dest.index()]
+        self.next_hop[at.index() * self.n + dest.index()]
+    }
+
+    /// One switch's full row of the table: entry `dest` is the next hop
+    /// from `at` toward `dest` (`None` on the diagonal).  Contiguous, so
+    /// engines can copy it into their own flat lookup structures without
+    /// per-destination calls.
+    pub fn row(&self, at: NodeId) -> &[Option<(NodeId, EdgeId)>] {
+        &self.next_hop[at.index() * self.n..(at.index() + 1) * self.n]
     }
 
     /// The full node path from `from` to `to` (inclusive).

@@ -107,14 +107,14 @@ proptest! {
                 // Only legal when no factorisation divides the mesh.
                 let mut any_fit = false;
                 for kr in 1..=clusters {
-                    if clusters % kr == 0 {
+                    if clusters.is_multiple_of(kr) {
                         let kc = clusters / kr;
                         if spec.rows.is_multiple_of(kr) && spec.cols.is_multiple_of(kc) {
                             any_fit = true;
                         }
                     }
                 }
-                let impossible = cores % clusters != 0 || !any_fit;
+                let impossible = !cores.is_multiple_of(clusters) || !any_fit;
                 prop_assert!(impossible, "rejected a feasible partition");
             }
         }

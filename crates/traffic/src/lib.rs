@@ -89,7 +89,8 @@ pub struct TrafficEvent {
 /// A workload: a deterministic stream of traffic events.
 pub trait Workload {
     /// Packets to inject at cycle `now`.  Called once per cycle with
-    /// strictly increasing `now`.
+    /// strictly increasing `now` — except across a gap sanctioned by
+    /// [`Workload::next_event_at`], whose cycles may be skipped.
     fn generate(&mut self, now: u64) -> Vec<TrafficEvent>;
 
     /// Human-readable name for reports.
@@ -97,4 +98,16 @@ pub trait Workload {
 
     /// The system shape this workload generates for: `(cores, stacks)`.
     fn shape(&self) -> (usize, usize);
+
+    /// The earliest cycle `>= now` at which [`Workload::generate`] may
+    /// return events, or `None` when the workload cannot predict it
+    /// (e.g. per-cycle random draws whose RNG stream must advance every
+    /// cycle).  Returning `Some(c)` is a promise that skipping the
+    /// `generate` calls for cycles in `[now, c)` leaves the workload's
+    /// output unchanged — the idle fast-forward contract the simulation
+    /// driver relies on to jump over dead air.
+    fn next_event_at(&self, now: u64) -> Option<u64> {
+        let _ = now;
+        None
+    }
 }

@@ -90,6 +90,18 @@ impl Workload for TraceReplay<'_> {
     fn shape(&self) -> (usize, usize) {
         (self.trace.cores, self.trace.stacks)
     }
+
+    fn next_event_at(&self, now: u64) -> Option<u64> {
+        // Replays know their future exactly: the next recorded event's
+        // cycle (clamped to `now` for events already due).  When the
+        // trace is exhausted there are no more events, ever; report
+        // "not before u64::MAX" so drivers can skip straight to the end
+        // of the measurement window.
+        match self.trace.events.get(self.pos) {
+            Some(e) => Some(e.cycle.max(now)),
+            None => Some(u64::MAX),
+        }
+    }
 }
 
 #[cfg(test)]

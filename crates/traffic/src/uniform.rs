@@ -142,6 +142,26 @@ impl Workload for UniformRandom {
     fn shape(&self) -> (usize, usize) {
         (self.cores, self.stacks)
     }
+
+    fn next_event_at(&self, now: u64) -> Option<u64> {
+        match self.injection {
+            InjectionProcess::Bernoulli { rate } => {
+                if rate == 0.0 {
+                    // A zero rate never fires and draws no randomness,
+                    // so every remaining cycle may be skipped.
+                    Some(u64::MAX)
+                } else {
+                    // A positive Bernoulli rate flips one coin per core
+                    // per cycle; skipping cycles would desynchronise
+                    // the RNG stream, so the driver must keep calling
+                    // `generate`.
+                    None
+                }
+            }
+            // Saturation offers packets every cycle: nothing to skip.
+            InjectionProcess::Saturation => Some(now),
+        }
+    }
 }
 
 #[cfg(test)]

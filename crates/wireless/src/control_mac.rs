@@ -275,6 +275,14 @@ impl SharedMedium for ControlPacketMac {
     fn name(&self) -> &str {
         "control-packet-mac"
     }
+
+    fn is_quiescent(&self) -> bool {
+        // Declined deliberately: the control/data phase machine and the
+        // sleepy-receiver accounting depend on the per-cycle view, so an
+        // idle replay without a view cannot be proven bit-identical.
+        // The engine therefore never fast-forwards past this MAC.
+        false
+    }
 }
 
 #[cfg(test)]

@@ -252,6 +252,45 @@ impl SharedMedium for ParallelMac {
     fn name(&self) -> &str {
         "parallel-wi-links"
     }
+
+    fn is_quiescent(&self) -> bool {
+        // With every TX buffer empty (the engine's precondition), a step
+        // only (a) accrues bandwidth credit, (b) advances the WI
+        // round-robin pointer and (c) charges constant idle/sleep
+        // power.  Once the credit accumulators have saturated at their
+        // cap, (a) is a no-op and `idle_step` replays (b) and (c)
+        // exactly.
+        let cap = self.flits_per_cycle.max(1.0);
+        self.tx_credit.iter().all(|&c| c >= cap) && self.rx_credit.iter().all(|&c| c >= cap)
+    }
+
+    fn idle_step(&mut self, now: u64, actions: &mut MediumActions) {
+        let _ = now;
+        let n = self.cfg.radios;
+        if n == 0 {
+            return;
+        }
+        // Mirror of `step` under an all-empty view: credits are already
+        // saturated (is_quiescent), no WI transmits, the rotation
+        // pointer still advances, and the transceiver power charge is
+        // identical — all radios sleep in sleepy mode, all idle
+        // otherwise.
+        self.wi_rr = (self.wi_rr + 1) % n;
+        let awake = if self.cfg.sleepy_receivers { 0 } else { n };
+        let asleep = n - awake;
+        if awake > 0 {
+            actions.energy(
+                EnergyCategory::WirelessIdle,
+                self.cfg.energy.wireless_idle_over(1) * awake as f64,
+            );
+        }
+        if asleep > 0 {
+            actions.energy(
+                EnergyCategory::WirelessSleep,
+                self.cfg.energy.wireless_sleep_over(1) * asleep as f64,
+            );
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,162 @@
+//! Determinism regression tests: the safety net under the active-set /
+//! zero-allocation engine rework.
+//!
+//! The engine contract is *bit-identical* reproducibility: the same
+//! `SystemConfig` and seed must produce the same `NetworkStats` and the
+//! same energy meter totals — down to the last float bit — no matter
+//! how often the simulation is repeated or how many experiments run
+//! concurrently on other threads.  Any optimization that reorders
+//! floating-point accumulation, iterates components in a
+//! data-dependent order, or skips a cycle it should not, breaks these
+//! tests immediately.
+
+use wimnet::core::experiments::run_all;
+use wimnet::core::{Experiment, MultichipSystem, SystemConfig};
+use wimnet::topology::Architecture;
+use wimnet::traffic::{InjectionProcess, UniformRandom};
+
+/// Full bit-level fingerprint of a finished simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Fingerprint {
+    packets_injected: u64,
+    packets_delivered: u64,
+    flits_delivered: u64,
+    window_packets: u64,
+    window_flits: u64,
+    latency_sum_bits: u64,
+    latency_max: Option<u64>,
+    latency_min: Option<u64>,
+    energy_total_bits: u64,
+    energy_breakdown_bits: Vec<u64>,
+}
+
+fn run_fingerprint(config: &SystemConfig, load: InjectionProcess) -> Fingerprint {
+    let mut sys = MultichipSystem::build(config).expect("system builds");
+    let mut workload = UniformRandom::new(
+        config.multichip.total_cores(),
+        config.multichip.num_stacks,
+        0.20,
+        load,
+        config.packet_flits,
+        config.seed,
+    );
+    let outcome = sys.run(&mut workload).expect("run completes");
+    let net = sys.network();
+    let stats = net.stats();
+    Fingerprint {
+        packets_injected: stats.packets_injected(),
+        packets_delivered: stats.packets_delivered(),
+        flits_delivered: stats.flits_delivered(),
+        window_packets: stats.window_packets_delivered(),
+        window_flits: stats.window_flits_delivered(),
+        latency_sum_bits: outcome
+            .avg_latency_cycles
+            .unwrap_or(f64::NAN)
+            .to_bits(),
+        latency_max: stats.max_latency(),
+        latency_min: stats.min_latency(),
+        energy_total_bits: net.meter().total().picojoules().to_bits(),
+        energy_breakdown_bits: net
+            .meter()
+            .breakdown()
+            .entries
+            .iter()
+            .map(|(_, e)| e.picojoules().to_bits())
+            .collect(),
+    }
+}
+
+fn quick(arch: Architecture) -> SystemConfig {
+    SystemConfig::xcym(4, 4, arch).quick_test_profile()
+}
+
+#[test]
+fn repeated_runs_are_bit_identical_per_architecture() {
+    for arch in Architecture::ALL {
+        let cfg = quick(arch);
+        let load = InjectionProcess::Bernoulli { rate: 0.004 };
+        let a = run_fingerprint(&cfg, load);
+        let b = run_fingerprint(&cfg, load);
+        assert_eq!(a, b, "{arch}: identical seeds must be bit-identical");
+        assert!(a.packets_delivered > 0, "{arch}: sanity — traffic flowed");
+    }
+}
+
+#[test]
+fn saturation_runs_are_bit_identical() {
+    let cfg = quick(Architecture::Wireless);
+    let a = run_fingerprint(&cfg, InjectionProcess::Saturation);
+    let b = run_fingerprint(&cfg, InjectionProcess::Saturation);
+    assert_eq!(a, b);
+}
+
+/// `run_all` executes experiments on one OS thread each; results must
+/// not depend on how many run concurrently (1 vs 4 here) or on
+/// scheduling order.
+#[test]
+fn thread_count_does_not_change_outcomes() {
+    let cfg = quick(Architecture::Wireless);
+    let exp = Experiment::uniform_random(&cfg, 0.004);
+
+    let solo = run_all(std::slice::from_ref(&exp)).expect("solo run");
+    let batch =
+        run_all(&[exp.clone(), exp.clone(), exp.clone(), exp.clone()]).expect("batch run");
+
+    let key = |o: &wimnet::core::RunOutcome| {
+        (
+            o.packets_delivered(),
+            o.avg_latency_cycles.unwrap_or(f64::NAN).to_bits(),
+            o.total_energy_nj().to_bits(),
+        )
+    };
+    let reference = key(&solo[0]);
+    for (i, o) in batch.iter().enumerate() {
+        assert_eq!(key(o), reference, "outcome {i} diverged under concurrency");
+    }
+}
+
+/// Fast-forward must never jump across the warmup/measurement
+/// boundary: `begin_measurement` runs at the top of the iteration
+/// where `cycle == warmup_cycles`, so a jump initiated in the
+/// iteration that *ends* there must stop short.  (Regression test: an
+/// empty trace makes the whole run fast-forwardable, and a warmup
+/// that expires right as the links saturate used to skip the window
+/// entirely, leaving zero window cycles and undiscarded warmup
+/// energy.)
+#[test]
+fn fast_forward_stops_at_the_measurement_boundary() {
+    for (arch, warmup) in [(Architecture::Wireless, 2), (Architecture::Substrate, 7)] {
+        let mut cfg = quick(arch);
+        cfg.warmup_cycles = warmup;
+        let trace = wimnet::traffic::Trace::default();
+        let mut sys = MultichipSystem::build(&cfg).unwrap();
+        let mut replay = trace.replay();
+        sys.run(&mut replay).unwrap();
+        assert_eq!(
+            sys.network().stats().window_cycles(),
+            cfg.measure_cycles,
+            "{arch}: measurement window must cover exactly the measured cycles"
+        );
+    }
+}
+
+/// Idle fast-forward must not change what an idle system reports:
+/// leakage accrues cycle-exactly even when the cycles are skipped.
+#[test]
+fn idle_fast_forward_keeps_cycle_exact_leakage() {
+    let cfg = quick(Architecture::Substrate);
+    let mut a = MultichipSystem::build(&cfg).unwrap();
+    let mut b = MultichipSystem::build(&cfg).unwrap();
+    // One long idle stretch vs many short ones: same cycle count, same
+    // energy bits.
+    a.idle(10_000);
+    for _ in 0..100 {
+        b.idle(100);
+    }
+    assert_eq!(a.network().now(), b.network().now());
+    assert_eq!(
+        a.network().meter().total().picojoules().to_bits(),
+        b.network().meter().total().picojoules().to_bits(),
+        "leakage must be bit-identical regardless of fast-forward chunking"
+    );
+}
