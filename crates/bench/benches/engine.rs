@@ -149,6 +149,36 @@ fn bench_step_hot_loop(c: &mut Criterion) {
             BatchSize::LargeInput,
         )
     });
+    // Shared-channel MAC attached: exercises the per-cycle MediumView
+    // refresh (reused buffers — the view path must not allocate after
+    // the first cycle) alongside the control-packet MAC's phase machine.
+    g.bench_function("shared_channel_2k_cycles", |b| {
+        b.iter_batched(
+            || {
+                let layout = build_layout(Architecture::Wireless);
+                let routes =
+                    Routes::build(layout.graph(), RoutingPolicy::default()).unwrap();
+                let mut net = Network::new(&layout, routes, NocConfig::paper()).unwrap();
+                let channel =
+                    wimnet_wireless::ChannelConfig::paper(net.radio_count());
+                net.attach_medium(Box::new(wimnet_wireless::ControlPacketMac::new(
+                    channel,
+                )));
+                let cores = layout.core_nodes().to_vec();
+                // Cross-chip pairs so traffic actually rides the medium.
+                for (i, &src) in cores.iter().enumerate().take(16) {
+                    let dst = cores[(i + 19) % cores.len()];
+                    net.inject(PacketDesc::new(src, dst, 64, 0));
+                }
+                net
+            },
+            |mut net| {
+                net.run_for(2_000);
+                net
+            },
+            BatchSize::LargeInput,
+        )
+    });
     g.finish();
 }
 

@@ -7,6 +7,17 @@
 //!
 //! * `idle` — an empty interposer network stepped for 200k cycles (the
 //!   cost floor of long measurement windows at low load);
+//! * `fig3_anchor_load` — the fig3 analysis' zero-load anchor (1e-4
+//!   packets/core/cycle, the latency baseline `find_saturation_load`
+//!   bisects against), summed over 8 seeds to average out realization
+//!   noise: the point where the counter-RNG Bernoulli fast-forward
+//!   pays — the network is genuinely idle between packets and the
+//!   driver can now skip those cycles *and* their workload draws,
+//!   leaving wall-clock at the per-packet work floor;
+//! * `fig3_lowest_load` — the lowest *plotted* fig3 point (0.001): at
+//!   paper 4C4M scale ~11 packets are in flight on average, the
+//!   network never fully drains, and the row documents that
+//!   fast-forward neither helps nor hurts there;
 //! * `fig3_low_load` — one fig3 latency point at 0.002 packets/core/
 //!   cycle on the wireless system, paper windows;
 //! * `fig3_sweep` — the fig3 low-to-mid-load latency curve (0.001 …
@@ -16,7 +27,12 @@
 //!   bound: every component active every cycle, so active-set tracking
 //!   cannot help and must not hurt);
 //! * `shared_channel` — the §III.D serialized channel under the
-//!   control-packet MAC (exercises the medium path).
+//!   control-packet MAC (exercises the medium path and the reused
+//!   `MediumView` buffers);
+//! * `sweep_grid_pool` — an 18-point ScenarioGrid (3 architectures × 6
+//!   loads, paper windows) on the work-stealing pool; the binary
+//!   asserts the combined fingerprint is identical across pool shapes
+//!   (1×1, 2×3 and all-cores×1 threads×chunk) before recording it.
 //!
 //! Each traffic scenario also records a *determinism fingerprint*
 //! (packets, flits, latency and energy with exact bit patterns); two
@@ -29,6 +45,7 @@
 
 use std::time::Instant;
 
+use wimnet_core::sweeps::{run_pool, ScenarioGrid};
 use wimnet_core::{latency_curve, MacKind, MultichipSystem, SystemConfig, WirelessModel};
 use wimnet_noc::{Network, NocConfig};
 use wimnet_routing::{Routes, RoutingPolicy};
@@ -121,6 +138,53 @@ fn main() {
         scenarios.push(Scenario { name: "idle", wall_ms: wall, cycles, fingerprint: None });
     }
 
+    // --- fig3 zero-load anchor: the Bernoulli fast-forward showcase.
+    // Eight seeds, wall-clock summed: single realizations at this load
+    // carry ±20% packet-count noise that would drown the signal.
+    {
+        let mut wall = 0.0;
+        let mut cycles = 0;
+        let mut fp = Fingerprint {
+            packets: 0,
+            flits: 0,
+            latency_bits: 0,
+            energy_pj_bits: 0,
+            energy_pj: 0.0,
+        };
+        for seed in 1..=8u64 {
+            let mut config = SystemConfig::xcym(4, 4, Architecture::Wireless);
+            config.seed = seed;
+            let (w, c, f) =
+                run_system(&config, InjectionProcess::Bernoulli { rate: 0.0001 });
+            wall += w;
+            cycles += c;
+            fp.packets += f.packets;
+            fp.flits += f.flits;
+            fp.latency_bits ^= f.latency_bits;
+            fp.energy_pj_bits ^= f.energy_pj_bits;
+            fp.energy_pj += f.energy_pj;
+        }
+        scenarios.push(Scenario {
+            name: "fig3_anchor_load",
+            wall_ms: wall,
+            cycles,
+            fingerprint: Some(fp),
+        });
+    }
+
+    // --- fig3 lowest plotted point (never fully idle at 4C4M scale).
+    {
+        let config = SystemConfig::xcym(4, 4, Architecture::Wireless);
+        let (wall, cycles, fp) =
+            run_system(&config, InjectionProcess::Bernoulli { rate: 0.001 });
+        scenarios.push(Scenario {
+            name: "fig3_lowest_load",
+            wall_ms: wall,
+            cycles,
+            fingerprint: Some(fp),
+        });
+    }
+
     // --- fig3 single low-load point, wireless, paper windows.
     {
         let config = SystemConfig::xcym(4, 4, Architecture::Wireless);
@@ -211,6 +275,58 @@ fn main() {
             wall_ms: wall,
             cycles: config.warmup_cycles + config.measure_cycles,
             fingerprint: Some(fingerprint_of(&sys, outcome.avg_latency_cycles)),
+        });
+    }
+
+    // --- scenario grid on the work-stealing pool: 3 architectures × 6
+    // loads, paper windows.  The same grid must produce bit-identical
+    // outcomes for every pool shape; the recorded fingerprint folds all
+    // 18 points together.
+    {
+        let grid = ScenarioGrid::new("bench-grid")
+            .architectures(&Architecture::ALL)
+            .loads(&[0.001, 0.002, 0.004, 0.008, 0.016, 0.032]);
+        let experiments = grid.experiments();
+        let fold = |outcomes: &[wimnet_core::RunOutcome]| -> Fingerprint {
+            let mut packets = 0u64;
+            let mut flits = 0u64;
+            let mut latency_bits = 0u64;
+            let mut energy_bits = 0u64;
+            let mut energy_pj = 0.0f64;
+            for (e, o) in experiments.iter().zip(outcomes) {
+                packets += o.packets_delivered();
+                // Uniform-random packets are all `packet_flits` long.
+                flits += o.packets_delivered() * u64::from(e.config().packet_flits);
+                latency_bits ^= o.avg_latency_cycles.unwrap_or(f64::NAN).to_bits();
+                energy_bits ^= o.total_energy_nj().to_bits();
+                energy_pj += o.total_energy_nj() * 1e3;
+            }
+            Fingerprint { packets, flits, latency_bits, energy_pj_bits: energy_bits, energy_pj }
+        };
+        let start = Instant::now();
+        let pooled = run_pool(&experiments, wimnet_core::sweeps::default_threads(), 1)
+            .expect("grid runs");
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        let fp = fold(&pooled);
+        // Pool-shape invariance is part of the benchmark's contract:
+        // refuse to record a fingerprint that depends on the scheduler.
+        for (threads, chunk) in [(1usize, 1usize), (2, 3)] {
+            let again = fold(&run_pool(&experiments, threads, chunk).expect("grid reruns"));
+            assert_eq!(
+                (again.packets, again.flits, again.latency_bits, again.energy_pj_bits),
+                (fp.packets, fp.flits, fp.latency_bits, fp.energy_pj_bits),
+                "pool shape ({threads}×{chunk}) changed the grid fingerprint"
+            );
+        }
+        let cycles = experiments
+            .iter()
+            .map(|e| e.config().warmup_cycles + e.config().measure_cycles)
+            .sum();
+        scenarios.push(Scenario {
+            name: "sweep_grid_pool",
+            wall_ms: wall,
+            cycles,
+            fingerprint: Some(fp),
         });
     }
 

@@ -147,15 +147,25 @@ mod tests {
 
     #[test]
     fn saturation_load_is_found_and_bracketed() {
+        // The relative-threshold criterion needs a longer window than
+        // the quick profile to anchor its zero-load latency reliably
+        // (the 1e-4 anchor sees only ~10 packets in 1 500 cycles, so
+        // the knee estimate is anchor-noise-limited below ~4 000).
+        let windows = |arch| {
+            let mut cfg = quick(arch);
+            cfg.warmup_cycles = 500;
+            cfg.measure_cycles = 4_000;
+            cfg
+        };
         let wireless =
-            find_saturation_load(&quick(Architecture::Wireless), 3.0, 0.01).unwrap();
+            find_saturation_load(&windows(Architecture::Wireless), 3.0, 0.01).unwrap();
         assert!(wireless > 0.0 && wireless < 1.0, "got {wireless}");
-        // Wireless saturates at a higher injection load than the
+        // Wireless saturates at no lower an injection load than the
         // interposer (the Fig 3 claim).  The substrate is excluded: its
         // post-saturation latency plateaus from survivor bias, which the
         // threshold criterion cannot bracket.
         let interposer =
-            find_saturation_load(&quick(Architecture::Interposer), 3.0, 0.01).unwrap();
+            find_saturation_load(&windows(Architecture::Interposer), 3.0, 0.01).unwrap();
         assert!(
             wireless >= interposer,
             "wireless {wireless} vs interposer {interposer}"

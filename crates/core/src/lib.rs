@@ -14,6 +14,9 @@
 //!   percentage-gain arithmetic behind Figs 4–6.
 //! * [`experiments`] — one function per figure (`fig2` … `fig6`) plus
 //!   the [`Experiment`] runner they share.
+//! * [`sweeps`] — declarative [`ScenarioGrid`] cartesian products and
+//!   the work-stealing pool (`run_pool`) that executes grids larger
+//!   than the core count (see `docs/sweeps.md`).
 //! * [`report`] — plain-text tables and CSV output for the harness.
 //!
 //! # Quickstart
@@ -37,10 +40,12 @@ pub mod error;
 pub mod experiments;
 pub mod metrics;
 pub mod report;
+pub mod sweeps;
 pub mod system;
 
 pub use driver::{compare_on_shared_trace, find_saturation_load, latency_curve};
 pub use error::CoreError;
 pub use experiments::{Experiment, Scale, WorkloadSpec};
 pub use metrics::{percentage_gain, RunOutcome};
+pub use sweeps::{run_pool, ScenarioGrid, ScenarioPoint};
 pub use system::{MacKind, MultichipSystem, SystemConfig, WirelessModel};

@@ -1,0 +1,485 @@
+//! Declarative scenario grids and the work-stealing experiment pool.
+//!
+//! The paper's figures are small hand-rolled sweeps (a handful of loads
+//! × three architectures).  Scaling the reproduction to the scenario
+//! counts of the related mm-wave studies — hundreds of load × topology
+//! × MAC × seed combinations — needs two things this module provides:
+//!
+//! * [`ScenarioGrid`] — a named-axis cartesian product compiled into
+//!   concrete [`Experiment`]s with stable, deterministic point order
+//!   (row-major over the axes, last axis fastest);
+//! * [`run_pool`] — a work-stealing executor over `std::thread`:
+//!   workers pull chunks of experiment indices from a shared atomic
+//!   queue, so grids much larger than the core count saturate the
+//!   machine even when per-point runtimes differ wildly (a saturated
+//!   point can cost 50× a fast-forwarded low-load point).
+//!
+//! Results are written into per-index slots, so the output order equals
+//! the input order and — because each simulation is single-threaded and
+//! seed-deterministic — the outcomes are **bit-identical for every
+//! thread count and chunk size** (guarded by `tests/determinism.rs`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use wimnet_topology::Architecture;
+
+use crate::error::CoreError;
+use crate::experiments::{Experiment, Scale, WorkloadSpec};
+use crate::metrics::RunOutcome;
+use crate::system::{SystemConfig, WirelessModel};
+use wimnet_traffic::InjectionProcess;
+
+/// Default work chunk: one experiment per steal.  Simulations are
+/// coarse (milliseconds to seconds), so per-steal overhead is already
+/// negligible at chunk 1 and finer chunks balance better.
+const DEFAULT_CHUNK: usize = 1;
+
+/// Runs `experiments` on a work-stealing pool of `threads` OS threads,
+/// handing out `chunk` consecutive experiments per steal.
+///
+/// Outcomes are returned in input order and are bit-identical for every
+/// `(threads, chunk)` choice: each experiment is an independent,
+/// seed-deterministic, single-threaded simulation, and the pool only
+/// decides *which thread* runs it, never *what* it computes.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing experiment (also
+/// independent of the pool shape).
+pub fn run_pool(
+    experiments: &[Experiment],
+    threads: usize,
+    chunk: usize,
+) -> Result<Vec<RunOutcome>, CoreError> {
+    let n = experiments.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let chunk = chunk.max(1);
+    let threads = threads.clamp(1, n.div_ceil(chunk));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<Result<RunOutcome, CoreError>>> =
+        (0..n).map(|_| OnceLock::new()).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for i in start..(start + chunk).min(n) {
+                    let filled = slots[i].set(experiments[i].run()).is_ok();
+                    debug_assert!(filled, "each index is stolen exactly once");
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("pool visited every index"))
+        .collect()
+}
+
+/// The number of worker threads [`ScenarioGrid::run`] and the default
+/// `run_all` use: every available core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// One materialised grid point: the axis values that produced an
+/// [`Experiment`], kept alongside its outcome for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioPoint {
+    /// Position in the grid's row-major enumeration.
+    pub index: usize,
+    /// Human-readable point label, e.g.
+    /// `"4C4M (Wireless) mem=20% load=0.002 seed=0x5177"`.
+    pub label: String,
+    /// Architecture axis value.
+    pub architecture: Architecture,
+    /// Chip-count axis value.
+    pub chips: usize,
+    /// Stack-count axis value.
+    pub stacks: usize,
+    /// Wireless-model (MAC) axis value.
+    pub wireless: WirelessModel,
+    /// Memory-fraction axis value.
+    pub memory_fraction: f64,
+    /// Injection axis value.
+    pub injection: InjectionProcess,
+    /// Seed axis value.
+    pub seed: u64,
+}
+
+/// A declarative cartesian product of simulation scenarios.
+///
+/// Every axis has a default of one value (the paper's 4C4M wireless
+/// saturation point), so a grid only names the axes it sweeps:
+///
+/// ```
+/// use wimnet_core::sweeps::ScenarioGrid;
+/// use wimnet_core::Scale;
+/// use wimnet_topology::Architecture;
+///
+/// let grid = ScenarioGrid::new("fig3")
+///     .scale(Scale::Quick)
+///     .architectures(&Architecture::ALL)
+///     .loads(&[0.001, 0.008]);
+/// assert_eq!(grid.len(), 6);
+/// let outcomes = grid.run()?;
+/// assert_eq!(outcomes.len(), 6);
+/// # Ok::<(), wimnet_core::CoreError>(())
+/// ```
+///
+/// Axis order is fixed (architecture → chips → stacks → wireless model
+/// → memory fraction → injection → seed, last fastest), so point
+/// indices are stable across runs and machines.
+#[derive(Debug, Clone)]
+pub struct ScenarioGrid {
+    name: String,
+    scale: Scale,
+    architectures: Vec<Architecture>,
+    chips: Vec<usize>,
+    stacks: Vec<usize>,
+    wireless: Vec<WirelessModel>,
+    memory_fractions: Vec<f64>,
+    injections: Vec<InjectionProcess>,
+    seeds: Vec<u64>,
+}
+
+impl ScenarioGrid {
+    /// An empty grid named `name`, with every axis at the paper default:
+    /// wireless 4C4M, default wireless model, 20 % memory traffic,
+    /// saturation load, seed `0x5177`, paper-scale windows.
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioGrid {
+            name: name.into(),
+            scale: Scale::Paper,
+            architectures: vec![Architecture::Wireless],
+            chips: vec![4],
+            stacks: vec![4],
+            wireless: vec![WirelessModel::default()],
+            memory_fractions: vec![0.20],
+            injections: vec![InjectionProcess::Saturation],
+            seeds: vec![0x5177],
+        }
+    }
+
+    /// The grid's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the simulation scale (window lengths).
+    #[must_use]
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sweeps the architecture axis.
+    #[must_use]
+    pub fn architectures(mut self, archs: &[Architecture]) -> Self {
+        assert!(!archs.is_empty(), "architecture axis must be non-empty");
+        self.architectures = archs.to_vec();
+        self
+    }
+
+    /// Sweeps the chip-count axis (XC in the paper's XCYM naming).
+    #[must_use]
+    pub fn chips(mut self, chips: &[usize]) -> Self {
+        assert!(!chips.is_empty(), "chips axis must be non-empty");
+        self.chips = chips.to_vec();
+        self
+    }
+
+    /// Sweeps the memory-stack-count axis (YM).
+    #[must_use]
+    pub fn stacks(mut self, stacks: &[usize]) -> Self {
+        assert!(!stacks.is_empty(), "stacks axis must be non-empty");
+        self.stacks = stacks.to_vec();
+        self
+    }
+
+    /// Sweeps the wireless-medium/MAC axis.  Only wireless-architecture
+    /// points are affected (wired fabrics carry no medium); mixed grids
+    /// typically pair this with `architectures(&[Architecture::Wireless])`.
+    #[must_use]
+    pub fn wireless_models(mut self, models: &[WirelessModel]) -> Self {
+        assert!(!models.is_empty(), "wireless axis must be non-empty");
+        self.wireless = models.to_vec();
+        self
+    }
+
+    /// Sweeps the memory-access-fraction axis.
+    #[must_use]
+    pub fn memory_fractions(mut self, fractions: &[f64]) -> Self {
+        assert!(!fractions.is_empty(), "memory-fraction axis must be non-empty");
+        self.memory_fractions = fractions.to_vec();
+        self
+    }
+
+    /// Sweeps the injection axis over Bernoulli loads
+    /// (packets/core/cycle).
+    #[must_use]
+    pub fn loads(mut self, loads: &[f64]) -> Self {
+        assert!(!loads.is_empty(), "load axis must be non-empty");
+        self.injections = loads
+            .iter()
+            .map(|&rate| InjectionProcess::Bernoulli { rate })
+            .collect();
+        self
+    }
+
+    /// Sweeps the injection axis over explicit processes (mix Bernoulli
+    /// points with saturation).
+    #[must_use]
+    pub fn injections(mut self, injections: &[InjectionProcess]) -> Self {
+        assert!(!injections.is_empty(), "injection axis must be non-empty");
+        self.injections = injections.to_vec();
+        self
+    }
+
+    /// Sweeps the seed axis (statistical replication).
+    #[must_use]
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        assert!(!seeds.is_empty(), "seed axis must be non-empty");
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// The named axes and their lengths, in nesting order.
+    pub fn axes(&self) -> Vec<(&'static str, usize)> {
+        vec![
+            ("architecture", self.architectures.len()),
+            ("chips", self.chips.len()),
+            ("stacks", self.stacks.len()),
+            ("wireless", self.wireless.len()),
+            ("memory_fraction", self.memory_fractions.len()),
+            ("injection", self.injections.len()),
+            ("seed", self.seeds.len()),
+        ]
+    }
+
+    /// Number of grid points (the product of all axis lengths).
+    pub fn len(&self) -> usize {
+        self.axes().iter().map(|(_, n)| n).product()
+    }
+
+    /// `true` when the grid has no points (never: axes are non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialises every grid point in row-major order.
+    pub fn points(&self) -> Vec<ScenarioPoint> {
+        let mut points = Vec::with_capacity(self.len());
+        for &architecture in &self.architectures {
+            for &chips in &self.chips {
+                for &stacks in &self.stacks {
+                    for &wireless in &self.wireless {
+                        for &memory_fraction in &self.memory_fractions {
+                            for &injection in &self.injections {
+                                for &seed in &self.seeds {
+                                    let index = points.len();
+                                    let load = match injection {
+                                        InjectionProcess::Bernoulli { rate } => {
+                                            format!("load={rate}")
+                                        }
+                                        InjectionProcess::Saturation => {
+                                            "saturation".to_string()
+                                        }
+                                    };
+                                    points.push(ScenarioPoint {
+                                        index,
+                                        label: format!(
+                                            "{chips}C{stacks}M ({architecture}) \
+                                             mem={:.0}% {load} seed={seed:#x}",
+                                            memory_fraction * 100.0
+                                        ),
+                                        architecture,
+                                        chips,
+                                        stacks,
+                                        wireless,
+                                        memory_fraction,
+                                        injection,
+                                        seed,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// Compiles one point into a runnable [`Experiment`].
+    pub fn experiment(&self, point: &ScenarioPoint) -> Experiment {
+        let mut config = self
+            .scale
+            .apply(SystemConfig::xcym(point.chips, point.stacks, point.architecture));
+        config.wireless = point.wireless;
+        config.seed = point.seed;
+        let spec = match point.injection {
+            InjectionProcess::Bernoulli { rate } => WorkloadSpec::UniformRandom {
+                load: rate,
+                memory_fraction: point.memory_fraction,
+            },
+            InjectionProcess::Saturation => WorkloadSpec::Saturation {
+                memory_fraction: point.memory_fraction,
+            },
+        };
+        Experiment::new(config, spec)
+    }
+
+    /// Compiles the whole grid, point order preserved.
+    pub fn experiments(&self) -> Vec<Experiment> {
+        self.points().iter().map(|p| self.experiment(p)).collect()
+    }
+
+    /// Runs the grid on the default pool (all cores, chunk 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed failing point's error.
+    pub fn run(&self) -> Result<Vec<RunOutcome>, CoreError> {
+        self.run_with(default_threads(), DEFAULT_CHUNK)
+    }
+
+    /// Runs the grid on a pool of `threads` threads with `chunk`-sized
+    /// steals.  Outcomes are in point order and independent of the pool
+    /// shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed failing point's error.
+    pub fn run_with(
+        &self,
+        threads: usize,
+        chunk: usize,
+    ) -> Result<Vec<RunOutcome>, CoreError> {
+        run_pool(&self.experiments(), threads, chunk)
+    }
+
+    /// Runs the grid and pairs each outcome with its point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed failing point's error.
+    pub fn run_annotated(&self) -> Result<Vec<(ScenarioPoint, RunOutcome)>, CoreError> {
+        Ok(self.points().into_iter().zip(self.run()?).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_len_is_the_axis_product() {
+        let grid = ScenarioGrid::new("t")
+            .architectures(&Architecture::ALL)
+            .loads(&[0.001, 0.002, 0.004])
+            .seeds(&[1, 2]);
+        assert_eq!(grid.len(), 3 * 3 * 2);
+        assert_eq!(grid.points().len(), grid.len());
+        assert!(!grid.is_empty());
+        assert_eq!(grid.name(), "t");
+    }
+
+    #[test]
+    fn points_enumerate_row_major_with_stable_indices() {
+        let grid = ScenarioGrid::new("t")
+            .architectures(&[Architecture::Wireless, Architecture::Interposer])
+            .loads(&[0.1, 0.2]);
+        let points = grid.points();
+        assert_eq!(points.len(), 4);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+        // Last axis (injection) fastest.
+        assert_eq!(points[0].architecture, Architecture::Wireless);
+        assert_eq!(points[1].architecture, Architecture::Wireless);
+        assert!(matches!(
+            points[0].injection,
+            InjectionProcess::Bernoulli { rate } if rate == 0.1
+        ));
+        assert!(matches!(
+            points[1].injection,
+            InjectionProcess::Bernoulli { rate } if rate == 0.2
+        ));
+        assert_eq!(points[2].architecture, Architecture::Interposer);
+    }
+
+    #[test]
+    fn axes_are_named_in_nesting_order() {
+        let grid = ScenarioGrid::new("t").loads(&[0.1, 0.2]).seeds(&[1, 2, 3]);
+        let axes = grid.axes();
+        assert_eq!(axes[0], ("architecture", 1));
+        assert_eq!(axes[5], ("injection", 2));
+        assert_eq!(axes[6], ("seed", 3));
+    }
+
+    #[test]
+    fn grid_compiles_and_runs_quick_points() {
+        let grid = ScenarioGrid::new("smoke")
+            .scale(Scale::Quick)
+            .architectures(&[Architecture::Wireless, Architecture::Substrate])
+            .loads(&[0.002]);
+        let annotated = grid.run_annotated().unwrap();
+        assert_eq!(annotated.len(), 2);
+        for (point, outcome) in &annotated {
+            assert!(
+                outcome.packets_delivered() > 0,
+                "{} delivered nothing",
+                point.label
+            );
+        }
+        // The point label names the architecture and load.
+        assert!(annotated[0].0.label.contains("4C4M"));
+        assert!(annotated[0].0.label.contains("load=0.002"));
+    }
+
+    #[test]
+    fn pool_shape_does_not_change_results() {
+        let grid = ScenarioGrid::new("det")
+            .scale(Scale::Quick)
+            .loads(&[0.001, 0.004, 0.016]);
+        let exps = grid.experiments();
+        let a = run_pool(&exps, 1, 1).unwrap();
+        let b = run_pool(&exps, 8, 2).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.packets_delivered(), y.packets_delivered());
+            assert_eq!(
+                x.avg_latency_cycles.map(f64::to_bits),
+                y.avg_latency_cycles.map(f64::to_bits)
+            );
+            assert_eq!(x.total_energy_nj().to_bits(), y.total_energy_nj().to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_experiment_list_is_fine() {
+        assert!(run_pool(&[], 4, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pool_reports_the_lowest_indexed_failure() {
+        // A stalling configuration: zero measure cycles is rejected at
+        // build time, deterministically, whatever thread finds it.
+        let mut bad = SystemConfig::xcym(4, 4, Architecture::Wireless).quick_test_profile();
+        bad.measure_cycles = 0;
+        let good = SystemConfig::xcym(4, 4, Architecture::Wireless).quick_test_profile();
+        let exps = vec![
+            Experiment::uniform_random(&good, 0.001),
+            Experiment::uniform_random(&bad, 0.001),
+            Experiment::uniform_random(&good, 0.002),
+        ];
+        let err = run_pool(&exps, 4, 1).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidParameter { .. }));
+    }
+}

@@ -439,8 +439,11 @@ impl MultichipSystem {
             // network is provably idle, jump straight there instead of
             // spinning empty cycles.  The jump never crosses the
             // measurement-window boundary (begin_measurement must run at
-            // exactly the warmup cycle).
-            if self.pending_replies.is_empty() {
+            // exactly the warmup cycle).  `is_idle` is checked *before*
+            // asking the workload: `next_event_at` may scan a counter
+            // RNG (Bernoulli workloads), and that scan would be wasted
+            // every cycle the network is still draining flits.
+            if self.pending_replies.is_empty() && self.net.is_idle() {
                 if let Some(next) = workload.next_event_at(cycle) {
                     // `<=` (not `<`): at cycle == warmup_cycles the
                     // loop top has not yet run begin_measurement, so

@@ -173,6 +173,12 @@ pub struct Network {
     scratch_moves: Vec<StMove>,
     scratch_avail: Vec<u32>,
     scratch_credits: Vec<(usize, usize, usize)>,
+    /// Reusable medium snapshot: refreshed in place each cycle a shared
+    /// medium is attached, so MAC runs allocate nothing on the view
+    /// path after the first cycle.
+    scratch_view: MediumView,
+    /// Reusable MAC action list (cleared per medium per cycle).
+    scratch_actions: MediumActions,
 }
 
 impl std::fmt::Debug for Network {
@@ -444,6 +450,8 @@ impl Network {
             scratch_moves: Vec::new(),
             scratch_avail: Vec::with_capacity(max_ports),
             scratch_credits: Vec::new(),
+            scratch_view: MediumView::default(),
+            scratch_actions: MediumActions::new(),
             switches,
             lut: lut.into_boxed_slice(),
             links,
@@ -623,7 +631,7 @@ impl Network {
             return 0;
         }
         let mut media = std::mem::take(&mut self.media);
-        let mut actions = MediumActions::new();
+        let mut actions = std::mem::take(&mut self.scratch_actions);
         for k in 0..cycles {
             let now = self.now + k;
             // Phase 5 position: media idle accounting first…
@@ -661,6 +669,7 @@ impl Network {
             }
         }
         self.media = media;
+        self.scratch_actions = actions;
         self.stats.on_cycles(cycles);
         self.now += cycles;
         cycles
@@ -835,16 +844,21 @@ impl Network {
         self.scratch_moves = moves;
         self.scratch_order = order;
 
-        // Phase 5: shared media (wireless channel + MAC).
+        // Phase 5: shared media (wireless channel + MAC).  View and
+        // action list are per-run scratch, refreshed/cleared in place.
         if !self.media.is_empty() {
-            let view = self.build_view();
+            let mut view = std::mem::take(&mut self.scratch_view);
+            self.refresh_view(&mut view);
             let mut media = std::mem::take(&mut self.media);
+            let mut actions = std::mem::take(&mut self.scratch_actions);
             for medium in &mut media {
-                let mut actions = MediumActions::new();
+                actions.list.clear();
                 medium.step(now, &view, &mut actions);
                 self.apply_medium_actions(&actions);
             }
             self.media = media;
+            self.scratch_actions = actions;
+            self.scratch_view = view;
         }
 
         // Phase 6: credits land (one-cycle credit loop).
@@ -908,61 +922,65 @@ impl Network {
         }
     }
 
-    fn build_view(&self) -> MediumView {
-        let mut views = Vec::with_capacity(self.radios.len());
-        for (i, radio) in self.radios.iter().enumerate() {
-            let tx = radio
-                .vcs
-                .iter()
-                .map(|vc| {
-                    let front = vc.fifo.front().copied();
-                    let (run, has_tail) = match front {
-                        Some((f, _)) => {
-                            let mut run = 0usize;
-                            let mut has_tail = false;
-                            for (g, _) in vc.fifo.iter() {
-                                if g.packet != f.packet {
-                                    break;
-                                }
-                                run += 1;
-                                if g.kind.is_tail() {
-                                    has_tail = true;
-                                    break;
-                                }
+    /// Refreshes `view` in place to the current radio TX/RX state.  The
+    /// per-radio snapshot vectors are cleared and refilled with `Copy`
+    /// entries, so after the first cycle this allocates nothing.
+    fn refresh_view(&self, view: &mut MediumView) {
+        let radios_out = view.radios_mut();
+        if radios_out.len() != self.radios.len() {
+            radios_out.clear();
+            radios_out.extend(self.radios.iter().enumerate().map(|(i, radio)| {
+                RadioView {
+                    id: RadioId(i),
+                    node: radio.node,
+                    tx: Vec::with_capacity(radio.vcs.len()),
+                    rx: Vec::with_capacity(self.cfg.vcs),
+                }
+            }));
+        }
+        for (radio, out) in self.radios.iter().zip(radios_out.iter_mut()) {
+            out.node = radio.node;
+            out.tx.clear();
+            for vc in &radio.vcs {
+                let front = vc.fifo.front().copied();
+                let (run, has_tail) = match front {
+                    Some((f, _)) => {
+                        let mut run = 0usize;
+                        let mut has_tail = false;
+                        for (g, _) in vc.fifo.iter() {
+                            if g.packet != f.packet {
+                                break;
                             }
-                            (run, has_tail)
+                            run += 1;
+                            if g.kind.is_tail() {
+                                has_tail = true;
+                                break;
+                            }
                         }
-                        None => (0, false),
-                    };
-                    TxVcView {
-                        front,
-                        len: vc.fifo.len(),
-                        front_run_len: run,
-                        front_run_has_tail: has_tail,
+                        (run, has_tail)
                     }
-                })
-                .collect();
+                    None => (0, false),
+                };
+                out.tx.push(TxVcView {
+                    front,
+                    len: vc.fifo.len(),
+                    front_run_len: run,
+                    front_run_has_tail: has_tail,
+                });
+            }
             let si = radio.node.index();
             let (_, radio_port) = self.radio_of_switch[si].expect("radio switch");
             let sw = &self.switches[si];
-            let rx = (0..self.cfg.vcs)
-                .map(|v| {
-                    let ivc = sw.input_vc(radio_port, v);
-                    RxVcView {
-                        owner: ivc.owner(),
-                        len: ivc.len(),
-                        capacity: ivc.capacity(),
-                    }
-                })
-                .collect();
-            views.push(RadioView {
-                id: RadioId(i),
-                node: radio.node,
-                tx,
-                rx,
-            });
+            out.rx.clear();
+            for v in 0..self.cfg.vcs {
+                let ivc = sw.input_vc(radio_port, v);
+                out.rx.push(RxVcView {
+                    owner: ivc.owner(),
+                    len: ivc.len(),
+                    capacity: ivc.capacity(),
+                });
+            }
         }
-        MediumView::new(views)
     }
 
     fn apply_medium_actions(&mut self, actions: &MediumActions) {

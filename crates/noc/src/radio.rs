@@ -136,16 +136,28 @@ pub struct RadioView {
 }
 
 /// Per-cycle snapshot of every radio, offered to the [`SharedMedium`].
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The engine keeps **one** `MediumView` alive for the whole run and
+/// refreshes it in place each cycle (`Network` owns it as scratch):
+/// the per-radio `tx`/`rx` vectors are cleared and refilled with
+/// `Copy` snapshots, so after the first cycle a shared-channel MAC run
+/// allocates nothing on the view path.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MediumView {
     radios: Vec<RadioView>,
 }
 
 impl MediumView {
-    /// Assembles a view from per-radio snapshots.  The engine builds one
-    /// per cycle; MAC unit tests may construct views directly.
+    /// Assembles a view from per-radio snapshots.  MAC unit tests
+    /// construct views directly; the engine reuses one, refreshing the
+    /// per-radio snapshots in place.
     pub fn new(radios: Vec<RadioView>) -> Self {
         MediumView { radios }
+    }
+
+    /// Mutable access for in-place refresh (engine internal).
+    pub(crate) fn radios_mut(&mut self) -> &mut Vec<RadioView> {
+        &mut self.radios
     }
 
     /// All radios in MAC sequence order.

@@ -1,8 +1,37 @@
 //! Packet injection processes.
+//!
+//! Injection draws are **counter-based**: which cores fire at a cycle
+//! is a pure function of `(seed, cycle)` (a stateless hash,
+//! [`rand::counter`]), not a walk of sequential RNG state.  That is
+//! what makes [`InjectionSampler::next_fire_at`] sound — the next
+//! firing cycle can be computed without drawing (or skipping)
+//! anything, so the simulation driver may fast-forward over quiet
+//! stretches of a Bernoulli workload and still produce the
+//! bit-identical event stream.
+//!
+//! The draw is **cycle-major**: one hash of the cycle index decides
+//! how many cores fire (a Binomial(n, p) inverse-CDF lookup) and a
+//! uniform subset decides which.  That factorisation is
+//! distributionally identical to `n` independent Bernoulli(p) coins —
+//! `K ~ Binomial(n, p)` plus a uniform `K`-subset *is* the product
+//! Bernoulli law — but it prices a quiet cycle at a single mixer draw
+//! instead of `n`, which is what lets `next_fire_at` scan thousands of
+//! idle cycles for the cost of generating one.  See `docs/sweeps.md`
+//! for the full soundness argument.
 
-use rand::rngs::SmallRng;
+use rand::counter::{unit_f64, CounterRng, StreamKey};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Cycles [`InjectionSampler::next_fire_at`] scans before giving a
+/// conservative bound.  The bound is still sound (no fire happens
+/// before it) and the driver simply asks again from there, so the cap
+/// only limits the cost of one query at astronomically low rates.
+const SCAN_HORIZON: u64 = 65_536;
+
+/// The stream id of the cycle-major draw.  Per-core streams use the
+/// core index; `u64::MAX` can never collide with one.
+const CYCLE_STREAM: u64 = u64::MAX;
 
 /// When sources create packets.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -20,14 +49,6 @@ pub enum InjectionProcess {
 }
 
 impl InjectionProcess {
-    /// `true` if a core injects at this cycle draw.
-    pub fn fires(&self, rng: &mut SmallRng) -> bool {
-        match *self {
-            InjectionProcess::Bernoulli { rate } => rng.gen::<f64>() < rate,
-            InjectionProcess::Saturation => true,
-        }
-    }
-
     /// The offered load in packets/core/cycle.
     pub fn offered_load(&self) -> f64 {
         match *self {
@@ -51,33 +72,371 @@ impl InjectionProcess {
     }
 }
 
+/// A compiled, seeded injection process over `cores` cores: answers
+/// "who fires at cycle `t`?" and "when is the next fire ≥ `t`?" as
+/// pure functions of the cycle index.
+#[derive(Debug, Clone)]
+pub struct InjectionSampler {
+    process: InjectionProcess,
+    cores: usize,
+    /// The cycle-major draw stream.
+    cycle_key: StreamKey,
+    /// `P(no core fires)` = `(1 − rate)^cores`, the single-compare
+    /// answer for a quiet cycle (1.0 for a zero rate, 0.0 for
+    /// saturation).  Two f64 edge regimes are handled explicitly:
+    ///
+    /// * underflow to exactly `0.0` (`cores · ln(1 − rate) < ~−745`)
+    ///   switches [`InjectionSampler::fires_at_into`] to a per-coin
+    ///   fallback, because the Binomial pmf recurrence cannot start
+    ///   from a flushed zero;
+    /// * rounding to exactly `1.0` (rates below ~2⁻⁵³/cores) makes the
+    ///   rate *effectively zero at f64 granularity*: the sampler
+    ///   consistently reports no fires ever ([`InjectionSampler::next_fire_at`]
+    ///   returns `u64::MAX` without scanning), which is within
+    ///   statistical tolerance of any such rate.
+    p_none: f64,
+}
+
+impl InjectionSampler {
+    /// Compiles `process` for a system of `cores` cores under `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or the process fails
+    /// [`InjectionProcess::validate`].
+    pub fn new(process: InjectionProcess, cores: usize, seed: u64) -> Self {
+        assert!(cores > 0, "sampler needs at least one core");
+        process.validate();
+        let p_none = match process {
+            InjectionProcess::Bernoulli { rate } => {
+                (1.0 - rate).powi(i32::try_from(cores).expect("core count fits i32"))
+            }
+            InjectionProcess::Saturation => 0.0,
+        };
+        InjectionSampler {
+            process,
+            cores,
+            cycle_key: StreamKey::new(seed, CYCLE_STREAM),
+            p_none,
+        }
+    }
+
+    /// The compiled process.
+    pub fn process(&self) -> InjectionProcess {
+        self.process
+    }
+
+    /// The core count the sampler draws for.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// `true` if any core fires at `cycle` — one mixer draw.  In the
+    /// underflow regime (`p_none == 0.0` at a positive sub-unit rate)
+    /// this is unconditionally `true`: the all-quiet probability is
+    /// below 2⁻¹⁰⁷⁴, unobservable in any run, and "may fire" is the
+    /// sound direction for the fast-forward contract.
+    #[inline]
+    pub fn any_fire_at(&self, cycle: u64) -> bool {
+        match self.process {
+            InjectionProcess::Saturation => true,
+            InjectionProcess::Bernoulli { rate } => {
+                rate > 0.0
+                    && self.p_none < 1.0
+                    && (self.p_none == 0.0
+                        || unit_f64(self.cycle_key.draw0(cycle)) >= self.p_none)
+            }
+        }
+    }
+
+    /// The cores firing at `cycle`, pushed onto `out` in increasing
+    /// order (`out` is cleared first).  A pure function of the cycle
+    /// index: querying any subset of cycles in any order yields the
+    /// same sets.
+    pub fn fires_at_into(&self, cycle: u64, out: &mut Vec<usize>) {
+        out.clear();
+        match self.process {
+            InjectionProcess::Saturation => out.extend(0..self.cores),
+            InjectionProcess::Bernoulli { rate } => {
+                if rate <= 0.0 {
+                    return;
+                }
+                if rate >= 1.0 {
+                    out.extend(0..self.cores);
+                    return;
+                }
+                let mut rng = self.cycle_key.rng(cycle);
+                if self.p_none == 0.0 {
+                    // Underflow fallback: `(1−p)^n` is not representable,
+                    // so the pmf recurrence cannot start.  Flip the n
+                    // coins directly on the cycle stream — O(n), but this
+                    // regime (n·ln(1−p) < −745) is saturation-adjacent:
+                    // fires happen every cycle and scans never run long.
+                    for core in 0..self.cores {
+                        if rng.gen::<f64>() < rate {
+                            out.push(core);
+                        }
+                    }
+                    return;
+                }
+                // Draw 0 is the same word `any_fire_at` tests: the
+                // count comes from inverting the Binomial CDF at it, so
+                // `u < p_none  ⟺  k = 0` and the two answers agree.
+                let u: f64 = rng.gen();
+                if u < self.p_none {
+                    return;
+                }
+                let k = self.binomial_inverse_cdf(u);
+                self.uniform_subset(k, &mut rng, out);
+            }
+        }
+    }
+
+    /// Inverts the Binomial(cores, rate) CDF at `u` by walking the pmf
+    /// recurrence `pmf(k+1) = pmf(k) · (n−k)/(k+1) · p/(1−p)` from
+    /// `pmf(0) = (1−p)^n`.  O(k) — and `k` is the number of events the
+    /// caller must materialise anyway.
+    fn binomial_inverse_cdf(&self, u: f64) -> usize {
+        let InjectionProcess::Bernoulli { rate } = self.process else {
+            unreachable!("only Bernoulli draws a count");
+        };
+        let n = self.cores;
+        let ratio = rate / (1.0 - rate);
+        let mut pmf = self.p_none;
+        let mut cdf = pmf;
+        let mut k = 0usize;
+        while u >= cdf && k < n {
+            pmf *= (n - k) as f64 / (k + 1) as f64 * ratio;
+            cdf += pmf;
+            k += 1;
+        }
+        // Floating-point tail: if rounding kept `cdf` below `u`, every
+        // core fired.
+        k
+    }
+
+    /// Uniform `k`-subset of `0..cores`, sorted ascending into `out`.
+    ///
+    /// Sparse sets (`k² ≤ cores`) use Floyd's algorithm — `k` draws,
+    /// with the membership probe bounded by `k ≤ √cores`.  Dense sets
+    /// use Knuth's selection sampling (Algorithm S) — one draw per
+    /// candidate index, O(cores) total, instead of Floyd's O(k²)
+    /// linear-scan probes.  Both are exactly uniform; which one runs is
+    /// a deterministic function of `k`, so the draw stream stays a pure
+    /// function of the cycle.
+    fn uniform_subset(&self, k: usize, rng: &mut CounterRng, out: &mut Vec<usize>) {
+        debug_assert!(k <= self.cores);
+        if k == self.cores {
+            out.extend(0..self.cores);
+            return;
+        }
+        if k.saturating_mul(k) <= self.cores {
+            for j in (self.cores - k)..self.cores {
+                let t = rng.gen_range(0..j + 1);
+                if out.contains(&t) {
+                    out.push(j);
+                } else {
+                    out.push(t);
+                }
+            }
+            out.sort_unstable();
+        } else {
+            let mut need = k;
+            for i in 0..self.cores {
+                if need == 0 {
+                    break;
+                }
+                let remaining = (self.cores - i) as f64;
+                if rng.gen::<f64>() * remaining < need as f64 {
+                    out.push(i);
+                    need -= 1;
+                }
+            }
+        }
+    }
+
+    /// The earliest cycle `>= from` at which any core fires, or a
+    /// sound conservative bound: the returned cycle `c` guarantees no
+    /// core fires in `[from, c)`, though `c` itself may be quiet when
+    /// the scan horizon was reached (callers re-query from there).
+    /// `u64::MAX` means "never" (zero rate).  One mixer draw per
+    /// scanned cycle.
+    pub fn next_fire_at(&self, from: u64) -> u64 {
+        match self.process {
+            InjectionProcess::Saturation => from,
+            InjectionProcess::Bernoulli { rate } => {
+                if rate <= 0.0 || self.p_none >= 1.0 {
+                    // Zero — or effectively zero at f64 granularity
+                    // (p_none rounded to 1.0): nothing ever fires, so
+                    // don't burn scan cycles proving it.
+                    return u64::MAX;
+                }
+                let horizon = from.saturating_add(SCAN_HORIZON);
+                let mut cycle = from;
+                while cycle < horizon {
+                    if self.any_fire_at(cycle) {
+                        return cycle;
+                    }
+                    cycle += 1;
+                }
+                horizon
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+
+    fn fires(s: &InjectionSampler, cycle: u64) -> Vec<usize> {
+        let mut v = Vec::new();
+        s.fires_at_into(cycle, &mut v);
+        v
+    }
 
     #[test]
     fn bernoulli_rate_is_respected_statistically() {
-        let mut rng = SmallRng::seed_from_u64(7);
-        let p = InjectionProcess::Bernoulli { rate: 0.3 };
-        let fires = (0..100_000).filter(|_| p.fires(&mut rng)).count();
-        let rate = fires as f64 / 100_000.0;
+        let s = InjectionSampler::new(InjectionProcess::Bernoulli { rate: 0.3 }, 16, 7);
+        let cycles = 20_000u64;
+        let total: usize = (0..cycles).map(|t| fires(&s, t).len()).sum();
+        let rate = total as f64 / (cycles as f64 * 16.0);
         assert!((rate - 0.3).abs() < 0.01, "observed {rate}");
     }
 
     #[test]
-    fn saturation_always_fires() {
-        let mut rng = SmallRng::seed_from_u64(7);
-        let p = InjectionProcess::Saturation;
-        assert!((0..100).all(|_| p.fires(&mut rng)));
-        assert_eq!(p.offered_load(), 1.0);
+    fn saturation_always_fires_everyone() {
+        let s = InjectionSampler::new(InjectionProcess::Saturation, 8, 7);
+        for t in 0..50 {
+            assert_eq!(fires(&s, t), (0..8).collect::<Vec<_>>());
+            assert!(s.any_fire_at(t));
+        }
+        assert_eq!(s.next_fire_at(123), 123);
+        assert_eq!(s.process().offered_load(), 1.0);
     }
 
     #[test]
     fn zero_rate_never_fires() {
-        let mut rng = SmallRng::seed_from_u64(7);
-        let p = InjectionProcess::Bernoulli { rate: 0.0 };
-        assert!((0..100).all(|_| !p.fires(&mut rng)));
+        let s = InjectionSampler::new(InjectionProcess::Bernoulli { rate: 0.0 }, 8, 7);
+        assert!((0..100u64).all(|t| fires(&s, t).is_empty() && !s.any_fire_at(t)));
+        assert_eq!(s.next_fire_at(0), u64::MAX);
+    }
+
+    #[test]
+    fn unit_rate_fires_everyone() {
+        let s = InjectionSampler::new(InjectionProcess::Bernoulli { rate: 1.0 }, 8, 7);
+        assert_eq!(fires(&s, 3), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fire_sets_are_sorted_unique_and_in_range() {
+        let s = InjectionSampler::new(InjectionProcess::Bernoulli { rate: 0.4 }, 24, 9);
+        for t in 0..2_000 {
+            let f = fires(&s, t);
+            assert!(f.windows(2).all(|w| w[0] < w[1]), "sorted unique: {f:?}");
+            assert!(f.iter().all(|&c| c < 24));
+        }
+    }
+
+    #[test]
+    fn any_fire_agrees_with_the_fire_set() {
+        let s = InjectionSampler::new(InjectionProcess::Bernoulli { rate: 0.05 }, 16, 11);
+        for t in 0..5_000 {
+            assert_eq!(s.any_fire_at(t), !fires(&s, t).is_empty(), "cycle {t}");
+        }
+    }
+
+    #[test]
+    fn fires_are_independent_of_query_order() {
+        // The counter-based property: answers do not depend on which
+        // other cycles were queried, or in what order.
+        let s = InjectionSampler::new(InjectionProcess::Bernoulli { rate: 0.2 }, 8, 9);
+        let forward: Vec<Vec<usize>> = (0..500u64).map(|t| fires(&s, t)).collect();
+        let backward: Vec<Vec<usize>> =
+            (0..500u64).rev().map(|t| fires(&s, t)).collect();
+        assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn next_fire_at_matches_brute_force() {
+        for seed in [0u64, 1, 0x5177, u64::MAX] {
+            let s =
+                InjectionSampler::new(InjectionProcess::Bernoulli { rate: 0.01 }, 8, seed);
+            let mut from = 0u64;
+            for _ in 0..20 {
+                let next = s.next_fire_at(from);
+                // Nothing fires strictly before `next`.
+                for t in from..next.min(from + 10_000) {
+                    assert!(
+                        fires(&s, t).is_empty(),
+                        "seed {seed}: fire before the promised cycle {next}"
+                    );
+                }
+                // And (within the horizon) something fires *at* it.
+                if next < from + SCAN_HORIZON {
+                    assert!(!fires(&s, next).is_empty());
+                }
+                from = next + 1;
+            }
+        }
+    }
+
+    #[test]
+    fn next_fire_at_caps_the_scan_at_the_horizon() {
+        // 1e-9 is representable ((1−p)^1 < 1.0) but far too rare to
+        // fire inside one horizon with this seed.
+        let s = InjectionSampler::new(InjectionProcess::Bernoulli { rate: 1e-9 }, 1, 1);
+        assert_eq!(s.next_fire_at(100), 100 + SCAN_HORIZON);
+    }
+
+    #[test]
+    fn effectively_zero_rates_report_never_without_scanning() {
+        // Below ~2⁻⁵³/cores, (1−rate)^cores rounds to exactly 1.0: the
+        // rate is zero at f64 granularity, and the sampler must say so
+        // consistently (no fires, no horizon-long scans).
+        let s = InjectionSampler::new(InjectionProcess::Bernoulli { rate: 1e-18 }, 1, 1);
+        assert_eq!(s.next_fire_at(100), u64::MAX);
+        assert!((0..1000u64).all(|t| !s.any_fire_at(t) && fires(&s, t).is_empty()));
+    }
+
+    #[test]
+    fn underflow_regime_still_samples_bernoulli_per_core() {
+        // (1 − 0.99)^160 underflows f64 to exactly 0.0; the sampler
+        // must fall back to per-coin draws, not fire all cores always.
+        let (n, p) = (160usize, 0.99f64);
+        let s = InjectionSampler::new(InjectionProcess::Bernoulli { rate: p }, n, 3);
+        let cycles = 3_000u64;
+        let counts: Vec<f64> = (0..cycles).map(|t| fires(&s, t).len() as f64).collect();
+        let mean = counts.iter().sum::<f64>() / cycles as f64;
+        let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>()
+            / cycles as f64;
+        let expect_mean = n as f64 * p; // 158.4
+        assert!((mean - expect_mean).abs() < 0.2, "mean {mean} vs {expect_mean}");
+        assert!(var > 0.5, "count variance collapsed: {var}");
+        // A balanced rate on a huge system (0.5^2048 == 0.0) too.
+        let s = InjectionSampler::new(InjectionProcess::Bernoulli { rate: 0.5 }, 2048, 3);
+        let mean = (0..200u64).map(|t| fires(&s, t).len() as f64).sum::<f64>() / 200.0;
+        assert!((mean - 1024.0).abs() < 15.0, "mean {mean} vs 1024");
+        assert!(s.any_fire_at(0), "any_fire_at stays sound in the fallback regime");
+    }
+
+    #[test]
+    fn binomial_count_matches_the_binomial_law() {
+        // Mean n·p and variance n·p·(1−p) of the per-cycle fire count.
+        let (n, p) = (32usize, 0.25f64);
+        let s = InjectionSampler::new(InjectionProcess::Bernoulli { rate: p }, n, 5);
+        let cycles = 20_000u64;
+        let counts: Vec<f64> = (0..cycles).map(|t| fires(&s, t).len() as f64).collect();
+        let mean = counts.iter().sum::<f64>() / cycles as f64;
+        let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>()
+            / cycles as f64;
+        let expect_mean = n as f64 * p;
+        let expect_var = n as f64 * p * (1.0 - p);
+        assert!((mean - expect_mean).abs() < 0.1, "mean {mean} vs {expect_mean}");
+        assert!(
+            (var - expect_var).abs() < expect_var * 0.05,
+            "var {var} vs {expect_var}"
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod trace;
 pub mod uniform;
 
 pub use app::{AppPhase, AppProfile, AppWorkload};
-pub use injection::InjectionProcess;
+pub use injection::{InjectionProcess, InjectionSampler};
 pub use patterns::TrafficPattern;
 pub use trace::{Trace, TraceEvent};
 pub use uniform::UniformRandom;
@@ -101,11 +101,16 @@ pub trait Workload {
 
     /// The earliest cycle `>= now` at which [`Workload::generate`] may
     /// return events, or `None` when the workload cannot predict it
-    /// (e.g. per-cycle random draws whose RNG stream must advance every
-    /// cycle).  Returning `Some(c)` is a promise that skipping the
-    /// `generate` calls for cycles in `[now, c)` leaves the workload's
-    /// output unchanged — the idle fast-forward contract the simulation
-    /// driver relies on to jump over dead air.
+    /// (e.g. a sequential RNG or phase machine whose state must advance
+    /// every cycle, like [`AppWorkload`]).  Returning `Some(c)` is a
+    /// promise that skipping the `generate` calls for cycles in
+    /// `[now, c)` leaves the workload's output unchanged — the idle
+    /// fast-forward contract the simulation driver relies on to jump
+    /// over dead air.  The Bernoulli workloads ([`UniformRandom`],
+    /// [`patterns::PatternWorkload`]) satisfy it with counter-based
+    /// draws: generation is a pure function of `(seed, core, cycle)`,
+    /// so the next firing cycle is computable without consuming state
+    /// (see `docs/sweeps.md`).
     fn next_event_at(&self, now: u64) -> Option<u64> {
         let _ = now;
         None

@@ -4,11 +4,11 @@
 //! exercises interconnects with adversarial permutations.  They are
 //! included for the extended evaluation and the ablation benches.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::counter::StreamKey;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::injection::InjectionProcess;
+use crate::injection::{InjectionProcess, InjectionSampler};
 use crate::{Endpoint, MessageKind, TrafficEvent, Workload};
 
 /// A destination function over core indices.
@@ -47,7 +47,7 @@ impl TrafficPattern {
     ///
     /// Panics if `cores` is not a power of two for the bit-permutation
     /// patterns, or if a hotspot index is out of range.
-    pub fn dest(&self, src: usize, cores: usize, rng: &mut SmallRng) -> usize {
+    pub fn dest<R: Rng>(&self, src: usize, cores: usize, rng: &mut R) -> usize {
         let pow2 = cores.is_power_of_two();
         let d = match self {
             TrafficPattern::BitComplement => {
@@ -103,15 +103,22 @@ impl TrafficPattern {
 /// A [`Workload`] that drives a [`TrafficPattern`] with an injection
 /// process and a memory-access fraction (memory picks stacks uniformly,
 /// as in the paper's workload).
+///
+/// Like [`crate::UniformRandom`], generation is counter-based per
+/// `(core, cycle)`, so the workload supports exact
+/// [`Workload::next_event_at`] answers and idle fast-forward.
 #[derive(Debug, Clone)]
 pub struct PatternWorkload {
     pattern: TrafficPattern,
     cores: usize,
     stacks: usize,
     memory_fraction: f64,
-    injection: InjectionProcess,
+    sampler: InjectionSampler,
     packet_flits: u32,
-    rng: SmallRng,
+    /// Per-core destination stream keys (see [`crate::UniformRandom`]).
+    keys: Vec<StreamKey>,
+    /// Reusable fire-set buffer.
+    fired: Vec<usize>,
     name: String,
 }
 
@@ -140,9 +147,10 @@ impl PatternWorkload {
             cores,
             stacks,
             memory_fraction,
-            injection,
+            sampler: InjectionSampler::new(injection, cores, seed),
             packet_flits,
-            rng: SmallRng::seed_from_u64(seed),
+            keys: (0..cores as u64).map(|c| StreamKey::new(seed, c)).collect(),
+            fired: Vec::with_capacity(cores),
             name,
         }
     }
@@ -150,18 +158,20 @@ impl PatternWorkload {
 
 impl Workload for PatternWorkload {
     fn generate(&mut self, now: u64) -> Vec<TrafficEvent> {
-        let mut events = Vec::new();
-        for core in 0..self.cores {
-            if !self.injection.fires(&mut self.rng) {
-                continue;
-            }
-            let (dest, kind) = if self.rng.gen::<f64>() < self.memory_fraction {
+        let mut fired = std::mem::take(&mut self.fired);
+        self.sampler.fires_at_into(now, &mut fired);
+        let mut events = Vec::with_capacity(fired.len());
+        for &core in &fired {
+            // Each firing core draws destinations from its own
+            // (core, cycle) stream.
+            let mut rng = self.keys[core].rng(now);
+            let (dest, kind) = if rng.gen::<f64>() < self.memory_fraction {
                 (
-                    Endpoint::Memory(self.rng.gen_range(0..self.stacks)),
+                    Endpoint::Memory(rng.gen_range(0..self.stacks)),
                     MessageKind::Oneway,
                 )
             } else {
-                let d = self.pattern.dest(core, self.cores, &mut self.rng);
+                let d = self.pattern.dest(core, self.cores, &mut rng);
                 if d == core {
                     continue; // fixed points of the permutation stay local
                 }
@@ -175,6 +185,7 @@ impl Workload for PatternWorkload {
                 kind,
             });
         }
+        self.fired = fired;
         events
     }
 
@@ -185,14 +196,23 @@ impl Workload for PatternWorkload {
     fn shape(&self) -> (usize, usize) {
         (self.cores, self.stacks)
     }
+
+    fn next_event_at(&self, now: u64) -> Option<u64> {
+        // Sound even though permutation fixed points may drop a firing
+        // core's event: next_fire_at returns the first cycle any core
+        // *fires*, which can only be earlier than (or equal to) the
+        // first cycle any event survives the fixed-point filter.
+        Some(self.sampler.next_fire_at(now))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(3)
+    fn rng() -> rand::rngs::SmallRng {
+        use rand::SeedableRng;
+        rand::rngs::SmallRng::seed_from_u64(3)
     }
 
     #[test]

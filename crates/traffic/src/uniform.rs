@@ -4,11 +4,20 @@
 //! probability of being a memory access while the rest of the traffic is
 //! addressed to all other cores in the entire system with equal
 //! probability."  Memory accesses pick a stack uniformly.
+//!
+//! Generation is **counter-based**: the set of firing cores is a pure
+//! function of the cycle index ([`InjectionSampler`]) and each firing
+//! `(core, cycle)` pair draws its destination from its own
+//! [`CounterRng`] stream, so [`UniformRandom::generate`] is a pure
+//! function of the cycle index.  Skipping quiet cycles therefore cannot
+//! desynchronise anything, which lets [`Workload::next_event_at`] return
+//! the true next firing cycle for Bernoulli injection and unlock idle
+//! fast-forward on the paper's Fig 3 low-load sweeps.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::counter::{CounterRng, StreamKey};
+use rand::Rng;
 
-use crate::injection::InjectionProcess;
+use crate::injection::{InjectionProcess, InjectionSampler};
 use crate::{Endpoint, MessageKind, TrafficEvent, Workload};
 
 /// Uniform-random traffic over all cores with a memory-access share.
@@ -17,14 +26,18 @@ pub struct UniformRandom {
     cores: usize,
     stacks: usize,
     memory_fraction: f64,
-    injection: InjectionProcess,
+    sampler: InjectionSampler,
     packet_flits: u32,
     /// Probability that a memory access targets the core's home stack
     /// (NUMA affinity); the rest go to a uniformly random stack.
     local_memory_bias: f64,
     /// Home stack per core (required when `local_memory_bias > 0`).
     home_stack: Option<Vec<usize>>,
-    rng: SmallRng,
+    /// Per-core destination stream keys (the `(seed, core)` hash
+    /// prefix, precomputed).
+    keys: Vec<StreamKey>,
+    /// Reusable fire-set buffer for [`InjectionSampler::fires_at_into`].
+    fired: Vec<usize>,
     name: String,
 }
 
@@ -57,11 +70,12 @@ impl UniformRandom {
             cores,
             stacks,
             memory_fraction,
-            injection,
+            sampler: InjectionSampler::new(injection, cores, seed),
             packet_flits,
             local_memory_bias: 0.0,
             home_stack: None,
-            rng: SmallRng::seed_from_u64(seed),
+            keys: (0..cores as u64).map(|c| StreamKey::new(seed, c)).collect(),
+            fired: Vec::with_capacity(cores),
             name: format!(
                 "uniform-random ({:.0}% memory, load {})",
                 memory_fraction * 100.0,
@@ -96,19 +110,18 @@ impl UniformRandom {
         self.memory_fraction
     }
 
-    /// Draws a destination for a packet from `src`.
-    fn destination(&mut self, src: usize) -> (Endpoint, MessageKind) {
-        if self.rng.gen::<f64>() < self.memory_fraction {
+    /// Draws a destination for a packet from `src`, consuming further
+    /// draws of that `(core, cycle)` pair's counter stream.
+    fn destination(&self, src: usize, rng: &mut CounterRng) -> (Endpoint, MessageKind) {
+        if rng.gen::<f64>() < self.memory_fraction {
             let stack = match &self.home_stack {
-                Some(home) if self.rng.gen::<f64>() < self.local_memory_bias => {
-                    home[src]
-                }
-                _ => self.rng.gen_range(0..self.stacks),
+                Some(home) if rng.gen::<f64>() < self.local_memory_bias => home[src],
+                _ => rng.gen_range(0..self.stacks),
             };
             (Endpoint::Memory(stack), MessageKind::Oneway)
         } else {
             // Uniform over all *other* cores.
-            let mut dest = self.rng.gen_range(0..self.cores - 1);
+            let mut dest = rng.gen_range(0..self.cores - 1);
             if dest >= src {
                 dest += 1;
             }
@@ -119,19 +132,24 @@ impl UniformRandom {
 
 impl Workload for UniformRandom {
     fn generate(&mut self, now: u64) -> Vec<TrafficEvent> {
-        let mut events = Vec::new();
-        for core in 0..self.cores {
-            if self.injection.fires(&mut self.rng) {
-                let (dest, kind) = self.destination(core);
-                events.push(TrafficEvent {
-                    cycle: now,
-                    src: Endpoint::Core(core),
-                    dest,
-                    flits: self.packet_flits,
-                    kind,
-                });
-            }
+        // One cycle-major draw decides the firing set (a quiet cycle
+        // costs a single mixer round); each firing core then draws its
+        // destination from its own (core, cycle) stream.
+        let mut fired = std::mem::take(&mut self.fired);
+        self.sampler.fires_at_into(now, &mut fired);
+        let mut events = Vec::with_capacity(fired.len());
+        for &core in &fired {
+            let mut rng = self.keys[core].rng(now);
+            let (dest, kind) = self.destination(core, &mut rng);
+            events.push(TrafficEvent {
+                cycle: now,
+                src: Endpoint::Core(core),
+                dest,
+                flits: self.packet_flits,
+                kind,
+            });
         }
+        self.fired = fired;
         events
     }
 
@@ -144,23 +162,14 @@ impl Workload for UniformRandom {
     }
 
     fn next_event_at(&self, now: u64) -> Option<u64> {
-        match self.injection {
-            InjectionProcess::Bernoulli { rate } => {
-                if rate == 0.0 {
-                    // A zero rate never fires and draws no randomness,
-                    // so every remaining cycle may be skipped.
-                    Some(u64::MAX)
-                } else {
-                    // A positive Bernoulli rate flips one coin per core
-                    // per cycle; skipping cycles would desynchronise
-                    // the RNG stream, so the driver must keep calling
-                    // `generate`.
-                    None
-                }
-            }
-            // Saturation offers packets every cycle: nothing to skip.
-            InjectionProcess::Saturation => Some(now),
-        }
+        // Counter-based draws make this exact: the firing set at every
+        // cycle is a pure function of the cycle index, so the scan
+        // below answers "first cycle >= now with any event" without
+        // consuming or desynchronising anything — at one mixer draw per
+        // scanned cycle.  next_fire_at may also return a sound
+        // conservative bound at its scan horizon; either way no event
+        // exists before the returned cycle.
+        Some(self.sampler.next_fire_at(now))
     }
 }
 
@@ -232,6 +241,46 @@ mod tests {
         for now in 0..100 {
             assert_eq!(a.generate(now), b.generate(now));
         }
+    }
+
+    #[test]
+    fn generate_is_history_free() {
+        // The counter-based property: the events at a cycle do not
+        // depend on which other cycles were generated first — exactly
+        // the soundness condition for skipping quiet cycles.
+        let mut warmed = workload(0.3, 0.05);
+        for now in 0..500 {
+            warmed.generate(now);
+        }
+        let mut cold = workload(0.3, 0.05);
+        assert_eq!(cold.generate(500), warmed.generate(500));
+    }
+
+    #[test]
+    fn next_event_at_is_exact_for_bernoulli() {
+        let w = workload(0.2, 0.01);
+        let mut checked = 0u64;
+        let mut now = 0u64;
+        while checked < 10 {
+            let next = w.next_event_at(now).unwrap();
+            // No events strictly before the promise...
+            let mut probe = w.clone();
+            for t in now..next {
+                assert!(probe.generate(t).is_empty(), "event before {next}");
+            }
+            // ...and one exactly at it.
+            assert!(!probe.generate(next).is_empty());
+            now = next + 1;
+            checked += 1;
+        }
+    }
+
+    #[test]
+    fn next_event_at_handles_the_degenerate_rates() {
+        let zero = workload(0.2, 0.0);
+        assert_eq!(zero.next_event_at(17), Some(u64::MAX));
+        let sat = UniformRandom::new(64, 4, 0.2, InjectionProcess::Saturation, 64, 9);
+        assert_eq!(sat.next_event_at(17), Some(17));
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Statistical acceptance tests for the counter-based injection RNG.
+//!
+//! Replacing the sequential `SmallRng` coin walk with a cycle-major
+//! counter draw (Binomial count + uniform subset, a stateless hash of
+//! the cycle index) must not change the *statistics* the paper's
+//! sweeps are built on: each core's firing sequence is an i.i.d.
+//! Bernoulli(rate) process, independent across cores and cycles.
+//! These tests pin the empirical rate to the configured rate within a
+//! few standard errors, across rates, seeds and cores — and check the
+//! cheap independence symptoms a bad factorisation would show first
+//! (per-core skew, lag-1 cycle correlation, pairwise core
+//! correlation).
+
+use wimnet_traffic::{InjectionProcess, InjectionSampler, UniformRandom, Workload};
+
+/// Standard error of a Bernoulli(p) mean over n draws.
+fn stderr(p: f64, n: u64) -> f64 {
+    (p * (1.0 - p) / n as f64).sqrt()
+}
+
+fn fire_sets(sampler: &InjectionSampler, cycles: u64) -> Vec<Vec<usize>> {
+    let mut out = Vec::with_capacity(cycles as usize);
+    let mut buf = Vec::new();
+    for t in 0..cycles {
+        sampler.fires_at_into(t, &mut buf);
+        out.push(buf.clone());
+    }
+    out
+}
+
+#[test]
+fn empirical_rate_matches_configured_rate_across_rates_and_seeds() {
+    let cycles = 30_000u64;
+    let cores = 16usize;
+    for &rate in &[0.001, 0.01, 0.125, 0.5, 0.9] {
+        for seed in [0u64, 7, 0x5177, u64::MAX - 1] {
+            let s = InjectionSampler::new(
+                InjectionProcess::Bernoulli { rate },
+                cores,
+                seed,
+            );
+            let total: usize = fire_sets(&s, cycles).iter().map(Vec::len).sum();
+            let n = cycles * cores as u64;
+            let observed = total as f64 / n as f64;
+            let tol = 4.5 * stderr(rate, n);
+            assert!(
+                (observed - rate).abs() < tol,
+                "rate {rate} seed {seed}: observed {observed} (tol {tol})"
+            );
+        }
+    }
+}
+
+#[test]
+fn per_core_rates_are_uniform_across_the_core_axis() {
+    // Every core's own marginal must hit the rate — a subset-selection
+    // bug (e.g. a bias toward low indices) would skew some cores.
+    let s = InjectionSampler::new(InjectionProcess::Bernoulli { rate: 0.1 }, 64, 0x5177);
+    let cycles = 30_000u64;
+    let mut per_core = vec![0u64; 64];
+    let mut buf = Vec::new();
+    for t in 0..cycles {
+        s.fires_at_into(t, &mut buf);
+        for &c in &buf {
+            per_core[c] += 1;
+        }
+    }
+    for (core, &fires) in per_core.iter().enumerate() {
+        let observed = fires as f64 / cycles as f64;
+        assert!(
+            (observed - 0.1).abs() < 4.5 * stderr(0.1, cycles),
+            "core {core}: observed {observed}"
+        );
+    }
+}
+
+#[test]
+fn lag_one_cycle_correlation_is_negligible() {
+    // P(core fires at t+1 | it fired at t) ≈ P(fire) for i.i.d. draws.
+    let s = InjectionSampler::new(InjectionProcess::Bernoulli { rate: 0.3 }, 8, 42);
+    let cycles = 60_000u64;
+    let sets = fire_sets(&s, cycles + 1);
+    let mut fires_after_fire = 0u64;
+    let mut fires_total = 0u64;
+    for t in 0..cycles as usize {
+        for &c in &sets[t] {
+            fires_total += 1;
+            if sets[t + 1].contains(&c) {
+                fires_after_fire += 1;
+            }
+        }
+    }
+    let conditional = fires_after_fire as f64 / fires_total as f64;
+    assert!(
+        (conditional - 0.3).abs() < 4.5 * stderr(0.3, fires_total),
+        "lag-1 conditional rate {conditional} (over {fires_total} fires)"
+    );
+}
+
+#[test]
+fn pairwise_core_correlation_is_negligible() {
+    // P(core b fires | core a fires, same cycle) ≈ P(fire): the
+    // Binomial-count + uniform-subset factorisation must not introduce
+    // within-cycle correlation beyond the exact product law.
+    let s = InjectionSampler::new(InjectionProcess::Bernoulli { rate: 0.25 }, 16, 13);
+    let cycles = 60_000u64;
+    let sets = fire_sets(&s, cycles);
+    let (a, b) = (3usize, 11usize);
+    let mut a_fires = 0u64;
+    let mut both = 0u64;
+    for set in &sets {
+        if set.contains(&a) {
+            a_fires += 1;
+            if set.contains(&b) {
+                both += 1;
+            }
+        }
+    }
+    let conditional = both as f64 / a_fires as f64;
+    assert!(
+        (conditional - 0.25).abs() < 4.5 * stderr(0.25, a_fires),
+        "P(b | a) = {conditional} over {a_fires} trials"
+    );
+}
+
+#[test]
+fn workload_event_rate_matches_offered_load_end_to_end() {
+    // Through the full UniformRandom path (fire + destination draws):
+    // total events ≈ cores × cycles × rate.
+    for &rate in &[0.002, 0.05] {
+        let mut w = UniformRandom::new(
+            64,
+            4,
+            0.2,
+            InjectionProcess::Bernoulli { rate },
+            64,
+            0x5177,
+        );
+        let cycles = 5_000u64;
+        let total: usize = (0..cycles).map(|t| w.generate(t).len()).sum();
+        let n = 64.0 * cycles as f64;
+        let expected = n * rate;
+        let tol = 4.5 * (n * rate * (1.0 - rate)).sqrt();
+        assert!(
+            ((total as f64) - expected).abs() < tol,
+            "rate {rate}: {total} events, expected {expected} ± {tol}"
+        );
+    }
+}
+
+#[test]
+fn skipping_cycles_leaves_the_remaining_stream_untouched() {
+    // The fast-forward soundness property at the workload level: a
+    // driver that only generates the cycles next_event_at points at
+    // sees exactly the events a cycle-by-cycle driver sees.
+    let make = || {
+        UniformRandom::new(
+            64,
+            4,
+            0.2,
+            InjectionProcess::Bernoulli { rate: 0.0004 },
+            64,
+            99,
+        )
+    };
+    let mut dense = make();
+    let mut dense_events = Vec::new();
+    for t in 0..20_000u64 {
+        dense_events.extend(dense.generate(t));
+    }
+
+    let mut skipping = make();
+    let mut skipped_events = Vec::new();
+    let mut t = 0u64;
+    while t < 20_000 {
+        let next = skipping.next_event_at(t).unwrap();
+        if next >= 20_000 {
+            break;
+        }
+        let events = skipping.generate(next);
+        assert!(
+            !events.is_empty() || next > t,
+            "next_event_at may only return quiet cycles at its horizon"
+        );
+        skipped_events.extend(events);
+        t = next + 1;
+    }
+    assert_eq!(dense_events, skipped_events);
+    assert!(!dense_events.is_empty(), "sanity: the window saw traffic");
+}

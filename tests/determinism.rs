@@ -11,9 +11,10 @@
 //! tests immediately.
 
 use wimnet::core::experiments::run_all;
-use wimnet::core::{Experiment, MultichipSystem, SystemConfig};
+use wimnet::core::sweeps::{run_pool, ScenarioGrid};
+use wimnet::core::{Experiment, MultichipSystem, Scale, SystemConfig};
 use wimnet::topology::Architecture;
-use wimnet::traffic::{InjectionProcess, UniformRandom};
+use wimnet::traffic::{InjectionProcess, TrafficEvent, UniformRandom, Workload};
 
 /// Full bit-level fingerprint of a finished simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -136,6 +137,126 @@ fn fast_forward_stops_at_the_measurement_boundary() {
             sys.network().stats().window_cycles(),
             cfg.measure_cycles,
             "{arch}: measurement window must cover exactly the measured cycles"
+        );
+    }
+}
+
+/// Disables fast-forward on any workload by reporting "cannot predict".
+/// Generation is forwarded untouched, so the only difference between a
+/// wrapped and an unwrapped run is whether the driver skips idle
+/// cycles.
+struct NoFastForward<W>(W);
+
+impl<W: Workload> Workload for NoFastForward<W> {
+    fn generate(&mut self, now: u64) -> Vec<TrafficEvent> {
+        self.0.generate(now)
+    }
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+    fn shape(&self) -> (usize, usize) {
+        self.0.shape()
+    }
+    fn next_event_at(&self, _now: u64) -> Option<u64> {
+        None
+    }
+}
+
+/// The counter-based injection RNG makes Bernoulli generation a pure
+/// function of `(seed, core, cycle)`, so the driver may fast-forward
+/// over quiet low-load stretches.  The whole point of that soundness
+/// argument (docs/sweeps.md) is THIS property: a fast-forwarded run is
+/// bit-identical — stats, latency bits, every energy category — to one
+/// that steps every cycle.
+#[test]
+fn bernoulli_fast_forward_is_bit_identical_to_full_stepping() {
+    for arch in Architecture::ALL {
+        let cfg = quick(arch);
+        // Low enough that idle gaps dominate and fast-forward engages.
+        let load = InjectionProcess::Bernoulli { rate: 0.0005 };
+        let make = || {
+            UniformRandom::new(
+                cfg.multichip.total_cores(),
+                cfg.multichip.num_stacks,
+                0.20,
+                load,
+                cfg.packet_flits,
+                cfg.seed,
+            )
+        };
+
+        let mut fast = MultichipSystem::build(&cfg).expect("system builds");
+        fast.run(&mut make()).expect("fast-forwarded run");
+
+        let mut full = MultichipSystem::build(&cfg).expect("system builds");
+        full.run(&mut NoFastForward(make())).expect("full-stepped run");
+
+        assert_eq!(
+            fast.network().stats().packets_delivered(),
+            full.network().stats().packets_delivered(),
+            "{arch}: delivered packets diverged"
+        );
+        assert_eq!(
+            fast.network().stats().window_flits_delivered(),
+            full.network().stats().window_flits_delivered(),
+            "{arch}: window flits diverged"
+        );
+        assert_eq!(
+            fast.network().meter().total().picojoules().to_bits(),
+            full.network().meter().total().picojoules().to_bits(),
+            "{arch}: energy totals must match to the last bit"
+        );
+        let fast_breakdown: Vec<u64> = fast
+            .network()
+            .meter()
+            .breakdown()
+            .entries
+            .iter()
+            .map(|(_, e)| e.picojoules().to_bits())
+            .collect();
+        let full_breakdown: Vec<u64> = full
+            .network()
+            .meter()
+            .breakdown()
+            .entries
+            .iter()
+            .map(|(_, e)| e.picojoules().to_bits())
+            .collect();
+        assert_eq!(fast_breakdown, full_breakdown, "{arch}: breakdown diverged");
+        assert!(
+            fast.network().stats().packets_delivered() > 0,
+            "{arch}: sanity — the low-load run still carried traffic"
+        );
+    }
+}
+
+/// The work-stealing pool decides only *where* an experiment runs,
+/// never *what* it computes: every (threads, chunk) shape must produce
+/// bit-identical outcomes in the same order.
+#[test]
+fn pool_shape_is_invisible_in_the_results() {
+    let grid = ScenarioGrid::new("pool-shape")
+        .scale(Scale::Quick)
+        .architectures(&[Architecture::Wireless, Architecture::Interposer])
+        .loads(&[0.001, 0.004]);
+    let exps = grid.experiments();
+    let key = |o: &wimnet::core::RunOutcome| {
+        (
+            o.packets_delivered(),
+            o.avg_latency_cycles.unwrap_or(f64::NAN).to_bits(),
+            o.total_energy_nj().to_bits(),
+        )
+    };
+    let reference: Vec<_> = run_pool(&exps, 1, 1).expect("serial").iter().map(key).collect();
+    for (threads, chunk) in [(2, 1), (4, 1), (4, 3), (8, 2), (16, 1)] {
+        let got: Vec<_> = run_pool(&exps, threads, chunk)
+            .expect("pooled")
+            .iter()
+            .map(key)
+            .collect();
+        assert_eq!(
+            got, reference,
+            "pool shape ({threads} threads, chunk {chunk}) changed outcomes"
         );
     }
 }
