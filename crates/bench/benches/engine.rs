@@ -133,6 +133,32 @@ fn bench_step_hot_loop(c: &mut Criterion) {
             BatchSize::LargeInput,
         )
     });
+    // Wired-only saturated traffic (no radios anywhere): isolates the
+    // switch datapath — slab FIFO walks, arbitration, credit/meter
+    // bookkeeping — from every wireless code path.
+    g.bench_function("wired_2k_cycles", |b| {
+        b.iter_batched(
+            || {
+                let layout = build_layout(Architecture::Substrate);
+                let routes =
+                    Routes::build(layout.graph(), RoutingPolicy::default()).unwrap();
+                let cores = layout.core_nodes().to_vec();
+                let mut net = Network::new(&layout, routes, NocConfig::paper()).unwrap();
+                for (i, &src) in cores.iter().enumerate() {
+                    for k in 0..4 {
+                        let dst = cores[(i + 17 + k * 13) % cores.len()];
+                        net.inject(PacketDesc::new(src, dst, 64, 0));
+                    }
+                }
+                net
+            },
+            |mut net| {
+                net.run_for(2_000);
+                net
+            },
+            BatchSize::LargeInput,
+        )
+    });
     g.bench_function("saturated_2k_cycles", |b| {
         b.iter_batched(
             &setup,

@@ -216,6 +216,24 @@ fn main() {
         });
     }
 
+    // --- fig3 high-injection point (0.064, above the plotted sweep's
+    // top): the saturated-load regime where wall-clock is pure per-flit
+    // work — arbitration plus the energy meter — and the slab/SoA switch
+    // datapath is the lever.  Tracked separately from `saturated`
+    // (open-loop Saturation) because fig3's energy/latency numbers are
+    // measured on Bernoulli offered loads.
+    {
+        let config = SystemConfig::xcym(4, 4, Architecture::Wireless);
+        let (wall, cycles, fp) =
+            run_system(&config, InjectionProcess::Bernoulli { rate: 0.064 });
+        scenarios.push(Scenario {
+            name: "fig3_high_load",
+            wall_ms: wall,
+            cycles,
+            fingerprint: Some(fp),
+        });
+    }
+
     // --- saturation: every component busy (active sets cannot help).
     {
         let config = SystemConfig::xcym(4, 4, Architecture::Wireless);

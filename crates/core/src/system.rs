@@ -433,6 +433,14 @@ impl MultichipSystem {
             if self.net.is_stalled(self.config.stall_threshold) {
                 return Err(CoreError::Stalled { cycle });
             }
+            // Debug builds periodically sweep the switches' slab
+            // bookkeeping invariants (buffered counter and busy sets vs
+            // slab occupancy) so a drifting counter fails the nearest
+            // test instead of corrupting a long run silently.
+            #[cfg(debug_assertions)]
+            if cycle % 1024 == 0 {
+                self.net.assert_switch_invariants();
+            }
             cycle += 1;
             // Idle fast-forward: when the workload promises no events
             // before `next`, nothing is pending at the stacks and the

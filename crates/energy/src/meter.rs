@@ -223,6 +223,99 @@ impl AddAssign<&EnergyMeter> for EnergyMeter {
     }
 }
 
+/// A run-length-encoded log of pending meter charges.
+///
+/// Hot paths that charge the same few constants thousands of times per
+/// cycle (the per-flit-hop switch-traversal and link-crossing energies)
+/// push into a `ChargeBatch` instead of calling [`EnergyMeter::add`]
+/// per flit, then drain the batch once per cycle with
+/// [`EnergyMeter::apply_batch`].  Consecutive identical charges collapse
+/// into one `(category, energy, count)` run, so a saturated cycle's
+/// hundreds of meter calls become a handful of run records.
+///
+/// **Bit-identity contract:** draining replays the charges *in push
+/// order*, one [`EnergyMeter::add`] per logged charge.  Run-length
+/// merging only coalesces *adjacent* charges whose energies share the
+/// exact bit pattern, and repeated addition of the same f64 value is
+/// exactly what the unbatched call sequence performed — so meter totals
+/// (whose f64 accumulation order is observable) come out bit-identical
+/// to unbatched metering.
+///
+/// # Example
+///
+/// ```
+/// use wimnet_energy::{ChargeBatch, Energy, EnergyCategory, EnergyMeter};
+///
+/// let mut batch = ChargeBatch::new();
+/// batch.push(EnergyCategory::SwitchDynamic, Energy::from_pj(2.0));
+/// batch.push(EnergyCategory::SwitchDynamic, Energy::from_pj(2.0));
+/// batch.push(EnergyCategory::Wire, Energy::from_pj(8.0));
+/// assert_eq!(batch.runs(), 2);
+///
+/// let mut meter = EnergyMeter::new();
+/// meter.apply_batch(&batch);
+/// batch.clear();
+/// assert!((meter.total().picojoules() - 12.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChargeBatch {
+    runs: Vec<(EnergyCategory, Energy, u32)>,
+}
+
+impl ChargeBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        ChargeBatch::default()
+    }
+
+    /// Logs one charge, merging it into the previous run when category
+    /// and exact energy bit pattern match.
+    #[inline]
+    pub fn push(&mut self, category: EnergyCategory, energy: Energy) {
+        if let Some(last) = self.runs.last_mut() {
+            if last.0 == category && last.1.joules().to_bits() == energy.joules().to_bits() {
+                last.2 += 1;
+                return;
+            }
+        }
+        self.runs.push((category, energy, 1));
+    }
+
+    /// Number of run records currently held (not the charge count).
+    pub fn runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total logged charges across all runs.
+    pub fn charges(&self) -> u64 {
+        self.runs.iter().map(|&(_, _, n)| u64::from(n)).sum()
+    }
+
+    /// `true` when nothing is logged.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Forgets all logged charges, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.runs.clear();
+    }
+}
+
+impl EnergyMeter {
+    /// Drains a [`ChargeBatch`] into the meter, replaying the logged
+    /// charges in push order (see the batch's bit-identity contract).
+    /// The batch is left untouched; callers [`ChargeBatch::clear`] it
+    /// for reuse.
+    pub fn apply_batch(&mut self, batch: &ChargeBatch) {
+        for &(category, energy, count) in &batch.runs {
+            for _ in 0..count {
+                self.add(category, energy);
+            }
+        }
+    }
+}
+
 impl fmt::Display for EnergyMeter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{:<20} {:>14}", "category", "energy")?;
@@ -343,6 +436,65 @@ mod tests {
     fn negative_energy_panics_in_debug() {
         let mut m = EnergyMeter::new();
         m.add(EnergyCategory::Wire, Energy::from_pj(-1.0));
+    }
+
+    #[test]
+    fn charge_batch_is_bit_identical_to_unbatched_adds() {
+        // An interleaved per-flit charge pattern (the phase-4 shape:
+        // switch traversal, then a link crossing, repeated).
+        let charges = [
+            (EnergyCategory::SwitchDynamic, Energy::from_pj(20.16)),
+            (EnergyCategory::Wire, Energy::from_pj(3.7)),
+            (EnergyCategory::SwitchDynamic, Energy::from_pj(20.16)),
+            (EnergyCategory::SwitchDynamic, Energy::from_pj(20.16)),
+            (EnergyCategory::WirelessRx, Energy::from_pj(12.8)),
+            (EnergyCategory::WirelessTx, Energy::from_pj(60.8)),
+            (EnergyCategory::SwitchDynamic, Energy::from_pj(20.16)),
+            (EnergyCategory::Wire, Energy::from_pj(3.7)),
+            (EnergyCategory::Wire, Energy::from_pj(3.7)),
+        ];
+        let mut direct = EnergyMeter::new();
+        let mut batch = ChargeBatch::new();
+        for &(c, e) in &charges {
+            direct.add(c, e);
+            batch.push(c, e);
+        }
+        assert!(batch.runs() < charges.len(), "adjacent runs must merge");
+        assert_eq!(batch.charges(), charges.len() as u64);
+        let mut batched = EnergyMeter::new();
+        batched.apply_batch(&batch);
+        assert_eq!(
+            direct.total().joules().to_bits(),
+            batched.total().joules().to_bits(),
+            "total must replay bit-identically"
+        );
+        for (cat, e) in direct.iter() {
+            assert_eq!(
+                e.joules().to_bits(),
+                batched.category(cat).joules().to_bits(),
+                "{cat} diverged under batching"
+            );
+        }
+    }
+
+    #[test]
+    fn charge_batch_clear_and_reuse() {
+        let mut batch = ChargeBatch::new();
+        assert!(batch.is_empty());
+        for _ in 0..4 {
+            batch.push(EnergyCategory::Tsv, Energy::from_pj(1.0));
+        }
+        assert_eq!(batch.runs(), 1);
+        assert_eq!(batch.charges(), 4);
+        let mut m = EnergyMeter::new();
+        m.apply_batch(&batch);
+        assert!((m.category(EnergyCategory::Tsv).picojoules() - 4.0).abs() < 1e-12);
+        batch.clear();
+        assert!(batch.is_empty());
+        // Applying an empty batch is a no-op.
+        let before = m.clone();
+        m.apply_batch(&batch);
+        assert_eq!(m, before);
     }
 
     #[test]

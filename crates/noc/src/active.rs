@@ -71,6 +71,26 @@ impl ActiveSet {
             }
         });
     }
+
+    /// O(1) membership test (invariant checking; the hot path never
+    /// needs it — insert is already idempotent).
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        self.stamp[i]
+    }
+
+    /// Asserts that the stamp array and the dense member list agree:
+    /// every stamped index is listed exactly once and vice versa.
+    /// O(n); test support.
+    pub(crate) fn assert_consistent(&self) {
+        let mut seen = vec![false; self.stamp.len()];
+        for &i in &self.list {
+            assert!(self.stamp[i], "member {i} is not stamped");
+            assert!(!seen[i], "member {i} is listed twice");
+            seen[i] = true;
+        }
+        let stamped = self.stamp.iter().filter(|&&s| s).count();
+        assert_eq!(stamped, self.list.len(), "stamped count != member count");
+    }
 }
 
 #[cfg(test)]

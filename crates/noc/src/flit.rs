@@ -20,11 +20,19 @@ impl std::fmt::Display for PacketId {
 }
 
 /// Position of a flit within its packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// `repr(u8)` + a [`Default`] keep the kind lane of the switches' SoA
+/// flit slab (`wimnet_noc::vc::VcFabric`) one dense byte array; the
+/// default ([`FlitKind::Body`]) is what unoccupied slab slots hold — it
+/// carries no head/tail semantics, so a stale slot can never fabricate
+/// a wormhole open or release.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
 pub enum FlitKind {
     /// First flit: carries the route and allocates VCs.
     Head,
     /// Middle flit: follows the wormhole path.
+    #[default]
     Body,
     /// Last flit: releases the path.
     Tail,

@@ -70,3 +70,4 @@ pub use network::{Network, NocConfig, WirelessMode};
 pub use packet::{ArrivedPacket, PacketDesc};
 pub use radio::{MediumActions, MediumView, RadioId, SharedMedium};
 pub use stats::NetworkStats;
+pub use vc::{VcFabric, VcStage};

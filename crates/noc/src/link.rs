@@ -118,10 +118,12 @@ impl Link {
     /// Called once per cycle *before* any admission: accrues bandwidth
     /// credit.  Credit is capped at one cycle's worth above a whole flit
     /// so idle links cannot bank unbounded bursts.
+    #[inline]
     pub fn begin_cycle(&mut self) {
         self.credit = (self.credit + self.rate).min(self.credit_cap());
     }
 
+    #[inline]
     fn credit_cap(&self) -> f64 {
         self.rate.max(1.0) + self.rate
     }
@@ -131,16 +133,19 @@ impl Link {
     /// engine skips quiescent links entirely; because `begin_cycle`
     /// clamps credit at exactly the cap, skipping it on a saturated link
     /// leaves bit-identical state.
+    #[inline]
     pub fn is_quiescent(&self) -> bool {
         self.in_flight.is_empty() && self.credit >= self.credit_cap()
     }
 
     /// `true` if the link can accept one more flit this cycle.
+    #[inline]
     pub fn can_accept(&self) -> bool {
         self.credit >= 1.0
     }
 
     /// Whole flits the link can still accept this cycle.
+    #[inline]
     pub fn available(&self) -> u32 {
         self.credit.max(0.0) as u32
     }
@@ -150,6 +155,7 @@ impl Link {
     /// # Panics
     ///
     /// Panics if called while [`Link::can_accept`] is false.
+    #[inline]
     pub fn send(&mut self, flit: Flit, vc: usize, now: u64) {
         assert!(self.can_accept(), "link admission without bandwidth credit");
         self.credit -= 1.0;
@@ -164,6 +170,7 @@ impl Link {
     /// `out` in admission order (which preserves per-packet flit order —
     /// same path, same link).  The caller owns `out` so the per-cycle
     /// hot path never allocates.
+    #[inline]
     pub fn take_arrivals_into(&mut self, now: u64, out: &mut Vec<LinkDelivery>) {
         while let Some(d) = self.in_flight.front() {
             if d.arrives_at <= now {

@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use wimnet_energy::{EnergyCategory, EnergyMeter, EnergyModel, Power};
+use wimnet_energy::{ChargeBatch, Energy, EnergyCategory, EnergyMeter, EnergyModel, Power};
 use wimnet_routing::Routes;
 use wimnet_topology::{EdgeKind, MultichipLayout};
 
@@ -135,11 +135,28 @@ pub struct Network {
     lut: Box<[RouteEntry]>,
     links: Vec<Link>,
     link_dst: Vec<(usize, usize)>,
-    out_link: Vec<Vec<Option<usize>>>,
-    /// Per switch, per port: does this port transmit on the shared
-    /// wireless band (point-to-point mode only)?
-    band_port: Vec<Vec<bool>>,
-    upstream: Vec<Vec<Upstream>>,
+    /// Per-switch global-port offsets: switch `si`'s ports occupy global
+    /// ids `port_base[si] .. port_base[si + 1]`.  The flat port tables
+    /// below are all indexed by global port id, so the run-time layout
+    /// matches the switches' own flat `port * vcs + vc` slabs (one
+    /// contiguous array per concern instead of `Vec<Vec<…>>`).
+    port_base: Vec<usize>,
+    /// Outgoing link per global port (`None` for the local sink and the
+    /// radio port).
+    out_link: Vec<Option<usize>>,
+    /// Per global port: does this port transmit on the shared wireless
+    /// band (point-to-point mode only)?
+    band_port: Vec<bool>,
+    /// Where credits for a freed input-VC slot must be returned, per
+    /// global port.
+    upstream: Vec<Upstream>,
+    /// Per-flit-hop meter charges, precomputed per global port at
+    /// construction (switch traversal first, then the port's link
+    /// crossing, in exactly the order the unbatched meter calls used).
+    /// Global port `gp` owns `flit_charges[start .. start + len]` with
+    /// `(start, len) = charge_span[gp]`.
+    flit_charges: Vec<(EnergyCategory, Energy)>,
+    charge_span: Vec<(u32, u32)>,
     radios: Vec<RadioTx>,
     radio_of_switch: Vec<Option<(RadioId, usize)>>,
     radio_by_node: Vec<Option<RadioId>>,
@@ -179,6 +196,11 @@ pub struct Network {
     scratch_view: MediumView,
     /// Reusable MAC action list (cleared per medium per cycle).
     scratch_actions: MediumActions,
+    /// Per-cycle batched meter charges: phase 4 logs per-flit-hop
+    /// energies here (run-length encoded) and drains them into the
+    /// meter once per cycle, replaying the exact unbatched add order so
+    /// totals stay bit-identical (see [`ChargeBatch`]).
+    charge_log: ChargeBatch,
 }
 
 impl std::fmt::Debug for Network {
@@ -235,27 +257,43 @@ impl Network {
         // Ports: 0 = local, then wired edges in adjacency order, then the
         // radio port for WI switches.
         let mut switches = Vec::with_capacity(n);
-        let mut out_link: Vec<Vec<Option<usize>>> = Vec::with_capacity(n);
-        let mut band_port: Vec<Vec<bool>> = Vec::with_capacity(n);
-        let mut upstream: Vec<Vec<Upstream>> = Vec::with_capacity(n);
         let mut links: Vec<Link> = Vec::new();
         let mut link_dst: Vec<(usize, usize)> = Vec::new();
         // edge -> (port at a, port at b) for wired edges.
         let mut port_of_edge: Vec<Option<(usize, usize)>> = vec![None; graph.edge_count()];
 
-        // First pass: decide port numbering.
-        let mut wired_ports: Vec<Vec<usize>> = vec![Vec::new(); n]; // edge ids in port order
+        // First pass: decide port numbering.  The per-node wired-edge
+        // lists are a CSR table (offsets + one flat edge-id array), so
+        // build-time layout matches the flat run-time port tables.
+        let mut wired_off = vec![0usize; n + 1];
         for node in graph.node_ids() {
             for &(_, eid) in graph.neighbors(node) {
                 let e = graph.edge(eid).expect("edge exists");
                 if e.kind != EdgeKind::Wireless || p2p {
-                    wired_ports[node.index()].push(eid.index());
+                    wired_off[node.index() + 1] += 1;
                 }
             }
         }
+        for i in 0..n {
+            wired_off[i + 1] += wired_off[i];
+        }
+        let mut wired_edges = vec![0usize; wired_off[n]];
+        {
+            let mut fill = wired_off.clone();
+            for node in graph.node_ids() {
+                for &(_, eid) in graph.neighbors(node) {
+                    let e = graph.edge(eid).expect("edge exists");
+                    if e.kind != EdgeKind::Wireless || p2p {
+                        wired_edges[fill[node.index()]] = eid.index();
+                        fill[node.index()] += 1;
+                    }
+                }
+            }
+        }
+        let wired_of = |ni: usize| &wired_edges[wired_off[ni]..wired_off[ni + 1]];
         for node in graph.node_ids() {
             let ni = node.index();
-            for (k, &eid) in wired_ports[ni].iter().enumerate() {
+            for (k, &eid) in wired_of(ni).iter().enumerate() {
                 let port = 1 + k;
                 let e = graph.edge(wimnet_topology::EdgeId(eid)).expect("edge exists");
                 let slot = &mut port_of_edge[eid];
@@ -273,10 +311,28 @@ impl Network {
             }
         }
 
-        // Second pass: build switches and links.
+        // Second pass: build switches, links and the flat global-port
+        // tables (out-link, band flag, upstream, per-flit meter charges).
+        let bits = u64::from(cfg.flit_bits);
+        let traversal = cfg.energy.switch_traversal(bits);
+        let mut port_base = Vec::with_capacity(n + 1);
+        port_base.push(0usize);
+        let mut out_link: Vec<Option<usize>> = Vec::new();
+        let mut band_port: Vec<bool> = Vec::new();
+        let mut upstream: Vec<Upstream> = Vec::new();
+        let mut flit_charges: Vec<(EnergyCategory, Energy)> = Vec::new();
+        let mut charge_span: Vec<(u32, u32)> = Vec::new();
+        let push_charges = |flit_charges: &mut Vec<(EnergyCategory, Energy)>,
+                                charge_span: &mut Vec<(u32, u32)>,
+                                link_charge: &[(EnergyCategory, Energy)]| {
+            let start = u32::try_from(flit_charges.len()).expect("charge table fits u32");
+            flit_charges.push((EnergyCategory::SwitchDynamic, traversal));
+            flit_charges.extend_from_slice(link_charge);
+            charge_span.push((start, 1 + link_charge.len() as u32));
+        };
         for node in graph.node_ids() {
             let ni = node.index();
-            let wired = &wired_ports[ni];
+            let wired = wired_of(ni);
             let has_radio = radio_by_node[ni].is_some();
             let port_count = 1 + wired.len() + usize::from(has_radio);
 
@@ -294,11 +350,14 @@ impl Network {
                 is_sink: true,
                 max_grants: sink_grants,
             });
-            let mut node_out_link = vec![None; port_count];
-            let mut node_upstream = vec![Upstream::Local; port_count];
+            // Port 0: local ejection — no link, no band, local credits,
+            // and a flit hop charges only the switch traversal.
+            out_link.push(None);
+            band_port.push(false);
+            upstream.push(Upstream::Local);
+            push_charges(&mut flit_charges, &mut charge_span, &[]);
 
-            for (k, &eid) in wired.iter().enumerate() {
-                let port = 1 + k;
+            for &eid in wired {
                 let e = graph.edge(wimnet_topology::EdgeId(eid)).expect("edge exists");
                 let (rate, latency) = match (e.kind, cfg.wireless_mode) {
                     (
@@ -328,12 +387,35 @@ impl Network {
                     latency,
                 ));
                 link_dst.push((dst_sw, dst_port));
-                node_out_link[port] = Some(li);
-                // The reverse link fills the upstream entry of this port.
-                node_upstream[port] = Upstream::Wired {
-                    switch: dst_sw,
-                    port: dst_port,
+                out_link.push(Some(li));
+                band_port.push(e.kind == EdgeKind::Wireless);
+                // The reverse link fills the upstream entry of this
+                // port (fixed up to the true source below).
+                upstream.push(Upstream::Wired { switch: dst_sw, port: dst_port });
+                // Per-flit meter charges of this port, in the order the
+                // unbatched hot path issued them: traversal, then the
+                // link-kind crossing (receiver decode before transmit
+                // for point-to-point wireless).
+                let link_charge: &[(EnergyCategory, Energy)] = match e.kind {
+                    EdgeKind::Mesh => {
+                        &[(EnergyCategory::Wire, cfg.energy.wire(bits, e.length_mm))]
+                    }
+                    EdgeKind::Interposer => &[(
+                        EnergyCategory::InterposerWire,
+                        cfg.energy.interposer_wire(bits, e.length_mm),
+                    )],
+                    EdgeKind::SerialIo => {
+                        &[(EnergyCategory::SerialIo, cfg.energy.serial_io(bits))]
+                    }
+                    EdgeKind::WideIo => {
+                        &[(EnergyCategory::WideIo, cfg.energy.wide_io(bits))]
+                    }
+                    EdgeKind::Wireless => &[
+                        (EnergyCategory::WirelessRx, cfg.energy.wireless_rx(bits)),
+                        (EnergyCategory::WirelessTx, cfg.energy.wireless_tx(bits)),
+                    ],
                 };
+                push_charges(&mut flit_charges, &mut charge_span, link_charge);
             }
             if has_radio {
                 let port = port_count - 1;
@@ -343,21 +425,18 @@ impl Network {
                     is_sink: false,
                     max_grants: 1,
                 });
-                node_upstream[port] = Upstream::Radio;
+                out_link.push(None);
+                band_port.push(false);
+                upstream.push(Upstream::Radio);
+                // Radio-port hops charge traversal only; the medium
+                // meters its own TX/RX energy.
+                push_charges(&mut flit_charges, &mut charge_span, &[]);
                 radio_of_switch[ni] = Some((rid, port));
             }
-            let node_band: Vec<bool> = (0..port_count)
-                .map(|p| {
-                    node_out_link[p]
-                        .map(|li| links[li].kind() == EdgeKind::Wireless)
-                        .unwrap_or(false)
-                })
-                .collect();
             switches.push(Switch::new(node, cfg.vcs, cfg.buf_depth, &specs));
-            out_link.push(node_out_link);
-            band_port.push(node_band);
-            upstream.push(node_upstream);
+            port_base.push(out_link.len());
         }
+        debug_assert_eq!(charge_span.len(), out_link.len());
 
         // Upstream entries above point at the *destination* of our
         // outgoing link; what we need is the *source* of the incoming
@@ -367,7 +446,7 @@ impl Network {
         // edge.  Recompute cleanly:
         for node in graph.node_ids() {
             let ni = node.index();
-            for (k, &eid) in wired_ports[ni].iter().enumerate() {
+            for (k, &eid) in wired_of(ni).iter().enumerate() {
                 let port = 1 + k;
                 let e = graph.edge(wimnet_topology::EdgeId(eid)).expect("edge exists");
                 let (pa, pb) = port_of_edge[eid].expect("numbered");
@@ -376,7 +455,8 @@ impl Network {
                 } else {
                     (e.a.index(), pa)
                 };
-                upstream[ni][port] = Upstream::Wired { switch: src_sw, port: src_port };
+                upstream[port_base[ni] + port] =
+                    Upstream::Wired { switch: src_sw, port: src_port };
             }
         }
 
@@ -456,9 +536,13 @@ impl Network {
             lut: lut.into_boxed_slice(),
             links,
             link_dst,
+            port_base,
             out_link,
             band_port,
             upstream,
+            flit_charges,
+            charge_span,
+            charge_log: ChargeBatch::new(),
             radios,
             radio_of_switch,
             radio_by_node,
@@ -529,6 +613,20 @@ impl Network {
     /// source-queue backlog).
     pub fn flits_in_flight(&self) -> u64 {
         self.flits_in_network
+    }
+
+    /// Exhaustively checks every switch's slab bookkeeping invariants
+    /// (see [`Switch::assert_invariants`]); test support, O(switches ×
+    /// ports × vcs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when any switch's `buffered` counter or busy set disagrees
+    /// with its flit-slab occupancy.
+    pub fn assert_switch_invariants(&self) {
+        for sw in &self.switches {
+            sw.assert_invariants();
+        }
     }
 
     /// Flits generated but still waiting in source queues (O(1): the
@@ -757,10 +855,11 @@ impl Network {
         order.sort_unstable_by_key(|&si| (si + n_switches - offset) % n_switches);
         let mut moves = std::mem::take(&mut self.scratch_moves);
         for &si in &order {
-            let ports = self.switches[si].port_count();
+            let pb = self.port_base[si];
+            let ports = self.port_base[si + 1] - pb;
             self.scratch_avail.clear();
-            for p in 0..ports {
-                let a = match self.out_link[si].get(p).copied().flatten() {
+            for gp in pb..pb + ports {
+                let a = match self.out_link[gp] {
                     Some(li) => self.links[li].available(),
                     None => u32::MAX, // local sink / radio: credits gate
                 };
@@ -769,18 +868,23 @@ impl Network {
             self.switches[si].st_phase(
                 now,
                 &self.scratch_avail,
-                &self.band_port[si],
+                &self.band_port[pb..pb + ports],
                 &mut band_budget,
                 &mut moves,
             );
             for m in &moves {
                 self.last_progress = now;
-                self.meter.add(
-                    EnergyCategory::SwitchDynamic,
-                    self.cfg.energy.switch_traversal(self.cfg.flit_bits.into()),
-                );
+                // Per-flit-hop energy: log the port's precomputed charge
+                // sequence (traversal + link crossing); the batch drains
+                // into the meter once per cycle, in this exact order.
+                let (start, len) = self.charge_span[pb + m.out_port];
+                for &(cat, energy) in
+                    &self.flit_charges[start as usize..(start + len) as usize]
+                {
+                    self.charge_log.push(cat, energy);
+                }
                 // Credit back upstream for the freed input slot.
-                if let Upstream::Wired { switch, port } = self.upstream[si][m.in_port] {
+                if let Upstream::Wired { switch, port } = self.upstream[pb + m.in_port] {
                     self.scratch_credits.push((switch, port, m.in_vc));
                 }
                 if m.out_port == 0 {
@@ -804,45 +908,22 @@ impl Network {
                     );
                     radio.vcs[m.out_vc].fifo.push_back((m.flit, target));
                 } else {
-                    let li = self.out_link[si][m.out_port].expect("wired port has a link");
-                    let link = &mut self.links[li];
-                    let bits = u64::from(self.cfg.flit_bits);
-                    let (cat, energy) = match link.kind() {
-                        EdgeKind::Mesh => (
-                            EnergyCategory::Wire,
-                            self.cfg.energy.wire(bits, link.length_mm()),
-                        ),
-                        EdgeKind::Interposer => (
-                            EnergyCategory::InterposerWire,
-                            self.cfg.energy.interposer_wire(bits, link.length_mm()),
-                        ),
-                        EdgeKind::SerialIo => {
-                            (EnergyCategory::SerialIo, self.cfg.energy.serial_io(bits))
-                        }
-                        EdgeKind::WideIo => {
-                            (EnergyCategory::WideIo, self.cfg.energy.wide_io(bits))
-                        }
-                        EdgeKind::Wireless => {
-                            // Point-to-point wireless link: the receiver
-                            // decode energy is charged alongside.
-                            self.meter.add(
-                                EnergyCategory::WirelessRx,
-                                self.cfg.energy.wireless_rx(bits),
-                            );
-                            (
-                                EnergyCategory::WirelessTx,
-                                self.cfg.energy.wireless_tx(bits),
-                            )
-                        }
-                    };
-                    self.meter.add(cat, energy);
-                    link.send(m.flit, m.out_vc, now);
+                    let li = self.out_link[pb + m.out_port].expect("wired port has a link");
+                    self.links[li].send(m.flit, m.out_vc, now);
                     self.active_links.insert(li);
                 }
             }
         }
         self.scratch_moves = moves;
         self.scratch_order = order;
+
+        // Drain the batched per-flit charges before phase 5 so the
+        // meter's accumulation order matches the former per-move adds
+        // exactly (media charges always followed phase 4's).
+        if !self.charge_log.is_empty() {
+            self.meter.apply_batch(&self.charge_log);
+            self.charge_log.clear();
+        }
 
         // Phase 5: shared media (wireless channel + MAC).  View and
         // action list are per-run scratch, refreshed/cleared in place.
@@ -904,8 +985,7 @@ impl Network {
             let vc = if is_head {
                 let sw = &self.switches[ni];
                 self.inj_rr[ni].grant(|v| {
-                    let ivc = sw.input_vc(0, v);
-                    ivc.may_accept(front.packet, true) && ivc.free_space() > 0
+                    sw.may_accept(0, v, front.packet, true) && sw.input_space(0, v) > 0
                 })
             } else {
                 let v = self.inj_active_vc[ni].expect("body flit has an active VC");
@@ -973,11 +1053,10 @@ impl Network {
             let sw = &self.switches[si];
             out.rx.clear();
             for v in 0..self.cfg.vcs {
-                let ivc = sw.input_vc(radio_port, v);
                 out.rx.push(RxVcView {
-                    owner: ivc.owner(),
-                    len: ivc.len(),
-                    capacity: ivc.capacity(),
+                    owner: sw.vc_owner(radio_port, v),
+                    len: sw.vc_len(radio_port, v),
+                    capacity: sw.vc_capacity(),
                 });
             }
         }
@@ -1004,10 +1083,10 @@ impl Network {
                     let ti = self.radios[target.index()].node.index();
                     let (_, t_port) = self.radio_of_switch[ti].expect("target radio");
                     {
-                        let ivc = self.switches[ti].input_vc(t_port, rx_vc);
+                        let sw = &self.switches[ti];
                         assert!(
-                            ivc.may_accept(flit.packet, flit.kind.is_head())
-                                && ivc.free_space() > 0,
+                            sw.may_accept(t_port, rx_vc, flit.packet, flit.kind.is_head())
+                                && sw.input_space(t_port, rx_vc) > 0,
                             "MAC reservation violated at {target} vc {rx_vc} \
                              for {} ({:?})",
                             flit.packet,

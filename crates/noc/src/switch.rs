@@ -16,13 +16,18 @@
 //! up to `max_grants` per cycle (1 for ordinary links, 2 for the
 //! 1.6-flit/cycle wide memory I/O), a standard input-speedup
 //! simplification applied uniformly to all architectures.
+//!
+//! Storage is slab-based ([`VcFabric`]): all input VCs live in one
+//! contiguous struct-of-arrays flit slab, and the credit / output-owner
+//! tables are flat `port * vcs + vc` arrays — the RC/VA/SA pre-passes
+//! walk dense memory (see `docs/engine.md`, "Switch memory layout").
 
 use wimnet_topology::NodeId;
 
 use crate::active::ActiveSet;
 use crate::arbiter::RoundRobin;
 use crate::flit::{Flit, PacketId};
-use crate::vc::{InputVc, VcStage};
+use crate::vc::{VcFabric, VcStage};
 
 /// One row of a switch's forwarding lookup table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,9 +90,12 @@ pub struct OutPortSpec {
 pub struct Switch {
     node: NodeId,
     vcs: usize,
-    inputs: Vec<Vec<InputVc>>,
-    credits: Vec<Vec<u32>>,
-    out_owner: Vec<Vec<Option<PacketId>>>,
+    /// All input VCs, flattened into one contiguous flit slab.
+    inputs: VcFabric,
+    /// Remaining downstream credit per output VC (`port * vcs + vc`).
+    credits: Vec<u32>,
+    /// Packet owning each output VC (`port * vcs + vc`).
+    out_owner: Vec<Option<PacketId>>,
     out_spec: Vec<OutPortSpec>,
     va_arb: Vec<RoundRobin>,
     sa_arb: Vec<RoundRobin>,
@@ -122,14 +130,16 @@ impl Switch {
     pub fn new(node: NodeId, vcs: usize, buf_depth: usize, ports: &[OutPortSpec]) -> Self {
         assert!(vcs > 0 && buf_depth > 0 && !ports.is_empty());
         let p = ports.len();
+        let mut credits = Vec::with_capacity(p * vcs);
+        for spec in ports {
+            credits.extend(std::iter::repeat_n(spec.credit, vcs));
+        }
         Switch {
             node,
             vcs,
-            inputs: (0..p)
-                .map(|_| (0..vcs).map(|_| InputVc::new(buf_depth)).collect())
-                .collect(),
-            credits: ports.iter().map(|s| vec![s.credit; vcs]).collect(),
-            out_owner: (0..p).map(|_| vec![None; vcs]).collect(),
+            inputs: VcFabric::new(p, vcs, buf_depth),
+            credits,
+            out_owner: vec![None; p * vcs],
             out_spec: ports.to_vec(),
             va_arb: (0..p).map(|_| RoundRobin::new(p * vcs)).collect(),
             sa_arb: (0..p).map(|_| RoundRobin::new(p * vcs)).collect(),
@@ -148,7 +158,7 @@ impl Switch {
 
     /// Number of ports.
     pub fn port_count(&self) -> usize {
-        self.inputs.len()
+        self.out_spec.len()
     }
 
     /// Virtual channels per port.
@@ -156,29 +166,53 @@ impl Switch {
         self.vcs
     }
 
-    /// Immutable view of one input VC.
-    pub fn input_vc(&self, port: usize, vc: usize) -> &InputVc {
-        &self.inputs[port][vc]
+    /// The slab fabric holding every input VC (read-only inspection).
+    pub fn fabric(&self) -> &VcFabric {
+        &self.inputs
+    }
+
+    /// Buffered flits in one input VC.
+    pub fn vc_len(&self, port: usize, vc: usize) -> usize {
+        self.inputs.len(self.inputs.flat(port, vc))
+    }
+
+    /// Input VC buffer capacity (uniform across the switch).
+    pub fn vc_capacity(&self) -> usize {
+        self.inputs.capacity()
+    }
+
+    /// Packet owning one input VC's wormhole reservation, if any.
+    pub fn vc_owner(&self, port: usize, vc: usize) -> Option<PacketId> {
+        self.inputs.owner(self.inputs.flat(port, vc))
+    }
+
+    /// `true` if a flit of `packet` may enter the given input VC (see
+    /// [`VcFabric::may_accept`]); space must be checked separately via
+    /// [`Switch::input_space`].
+    pub fn may_accept(&self, port: usize, vc: usize, packet: PacketId, is_head: bool) -> bool {
+        self.inputs.may_accept(self.inputs.flat(port, vc), packet, is_head)
     }
 
     /// Delivers a flit into an input VC (link arrival, injection or radio
-    /// reception).  Space and wormhole ownership are asserted by the VC.
+    /// reception).  Space and wormhole ownership are asserted by the
+    /// fabric.
     pub fn deliver(&mut self, port: usize, vc: usize, flit: Flit) {
-        self.inputs[port][vc].push(flit);
+        let flat = self.inputs.flat(port, vc);
+        self.inputs.push(flat, flit);
         self.buffered += 1;
-        self.busy.insert(port * self.vcs + vc);
+        self.busy.insert(flat);
     }
 
     /// Returns a credit to an output port VC (downstream freed a slot).
     pub fn return_credit(&mut self, port: usize, vc: usize) {
         if !self.out_spec[port].is_sink {
-            self.credits[port][vc] += 1;
+            self.credits[port * self.vcs + vc] += 1;
         }
     }
 
     /// Remaining credit of an output VC.
     pub fn credit(&self, port: usize, vc: usize) -> u32 {
-        self.credits[port][vc]
+        self.credits[port * self.vcs + vc]
     }
 
     /// Total buffered flits across all input VCs (O(1): maintained on
@@ -186,10 +220,8 @@ impl Switch {
     pub fn buffered_flits(&self) -> usize {
         debug_assert_eq!(
             self.buffered,
-            self.inputs
-                .iter()
-                .flat_map(|p| p.iter())
-                .map(|vc| vc.len())
+            (0..self.inputs.vc_total())
+                .map(|flat| self.inputs.len(flat))
                 .sum::<usize>(),
             "buffered-flit counter out of sync"
         );
@@ -206,7 +238,53 @@ impl Switch {
 
     /// Free space of an input VC — used by injection and radio admission.
     pub fn input_space(&self, port: usize, vc: usize) -> usize {
-        self.inputs[port][vc].free_space()
+        self.inputs.free_space(self.inputs.flat(port, vc))
+    }
+
+    /// Exhaustively checks the slab bookkeeping invariants; test support
+    /// (O(ports × vcs), not for the per-cycle path).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `buffered` disagrees with slab occupancy, or when a
+    /// VC holding flits or a live pipeline stage is missing from the
+    /// busy set (the busy set may hold *extra* members — they are swept
+    /// lazily at the top of `alloc_phase`).
+    pub fn assert_invariants(&self) {
+        let occupancy: usize = (0..self.inputs.vc_total())
+            .map(|flat| self.inputs.len(flat))
+            .sum();
+        assert_eq!(
+            self.buffered, occupancy,
+            "buffered counter {} != slab occupancy {occupancy}",
+            self.buffered
+        );
+        for flat in 0..self.inputs.vc_total() {
+            let needs_busy =
+                !self.inputs.is_empty(flat) || self.inputs.stage(flat) != VcStage::Idle;
+            if needs_busy {
+                assert!(
+                    self.busy.contains(flat),
+                    "VC {flat} holds work but is not in the busy set"
+                );
+            }
+            // Owner sanity: entry ownership constrains the *newest*
+            // (most recently pushed) flit — the owner's run is still
+            // open at the back of the ring.  The front may belong to an
+            // earlier, already-tailed packet queued ahead of it.
+            if let (Some(owner), false) = (self.inputs.owner(flat), self.inputs.is_empty(flat))
+            {
+                let last = self
+                    .inputs
+                    .get(flat, self.inputs.len(flat) - 1)
+                    .expect("non-empty VC has a last flit");
+                assert_eq!(
+                    last.packet, owner,
+                    "VC {flat}: entry owner {owner} does not match the newest flit"
+                );
+            }
+        }
+        self.busy.assert_consistent();
     }
 
     /// RC + VA pipeline stages for this cycle.
@@ -220,34 +298,29 @@ impl Switch {
     #[allow(clippy::needless_range_loop)]
     pub fn alloc_phase(&mut self, now: u64, lut: &[RouteEntry], grants: &mut Vec<VaGrant>) {
         grants.clear();
-        let ports = self.inputs.len();
-        let vcs = self.vcs;
+        let ports = self.out_spec.len();
         // Drop VCs that went empty-and-idle since the last cycle, then
         // work only on the remaining busy ones.
         {
             let inputs = &self.inputs;
             self.busy.sweep(|flat| {
-                let ivc = &inputs[flat / vcs][flat % vcs];
-                !ivc.is_empty() || ivc.stage() != VcStage::Idle
+                !inputs.is_empty(flat) || inputs.stage(flat) != VcStage::Idle
             });
         }
         self.busy.sort();
         // --- RC: idle VCs with a head flit at the front compute a route.
         for i in 0..self.busy.members().len() {
             let flat = self.busy.members()[i];
-            let ivc = &mut self.inputs[flat / vcs][flat % vcs];
-            if ivc.stage() == VcStage::Idle {
-                if let Some(front) = ivc.front() {
-                    assert!(
-                        front.kind.is_head(),
-                        "non-head flit at the front of an idle VC"
-                    );
-                    let entry = lut[front.dest.index()];
-                    ivc.set_stage(VcStage::Routed {
-                        out_port: entry.port,
-                        ready_at: now + 1,
-                    });
-                }
+            if self.inputs.stage(flat) == VcStage::Idle && !self.inputs.is_empty(flat) {
+                assert!(
+                    self.inputs.front_kind(flat).is_head(),
+                    "non-head flit at the front of an idle VC"
+                );
+                let entry = lut[self.inputs.front_dest(flat).index()];
+                self.inputs.set_stage(
+                    flat,
+                    VcStage::Routed { out_port: entry.port, ready_at: now + 1 },
+                );
             }
         }
         // --- VA: separable allocation, output side iterates free VCs.
@@ -257,9 +330,7 @@ impl Switch {
         requests.fill(0);
         let mut any_request = false;
         for &flat in self.busy.members() {
-            if let VcStage::Routed { out_port, ready_at } =
-                self.inputs[flat / vcs][flat % vcs].stage()
-            {
+            if let VcStage::Routed { out_port, ready_at } = self.inputs.stage(flat) {
                 if ready_at <= now {
                     requests[out_port] += 1;
                     any_request = true;
@@ -279,11 +350,10 @@ impl Switch {
                 if requests[out_port] == 0 {
                     break;
                 }
-                if self.out_owner[out_port][out_vc].is_some() {
+                if self.out_owner[out_port * self.vcs + out_vc].is_some() {
                     continue;
                 }
                 let inputs = &self.inputs;
-                let vcs = self.vcs;
                 // Only busy VCs can be Routed, so arbitrating among the
                 // (sorted) busy list is decision-identical to a full
                 // scan — see `RoundRobin::grant_among`.
@@ -291,8 +361,7 @@ impl Switch {
                     if input_granted[flat] {
                         return false;
                     }
-                    let (p, v) = (flat / vcs, flat % vcs);
-                    match inputs[p][v].stage() {
+                    match inputs.stage(flat) {
                         VcStage::Routed { out_port: op, ready_at } => {
                             op == out_port && ready_at <= now
                         }
@@ -301,17 +370,14 @@ impl Switch {
                 });
                 if let Some(flat) = won {
                     let (p, v) = (flat / self.vcs, flat % self.vcs);
-                    let packet = self.inputs[p][v]
-                        .front()
-                        .expect("routed VC has a front flit")
-                        .packet;
-                    let dest = self.inputs[p][v].front().expect("front").dest;
-                    self.inputs[p][v].set_stage(VcStage::Active {
-                        out_port,
-                        out_vc,
-                        ready_at: now + 1,
-                    });
-                    self.out_owner[out_port][out_vc] = Some(packet);
+                    debug_assert!(!self.inputs.is_empty(flat), "routed VC has a front flit");
+                    let packet = self.inputs.front_packet(flat);
+                    let dest = self.inputs.front_dest(flat);
+                    self.inputs.set_stage(
+                        flat,
+                        VcStage::Active { out_port, out_vc, ready_at: now + 1 },
+                    );
+                    self.out_owner[out_port * self.vcs + out_vc] = Some(packet);
                     input_granted[flat] = true;
                     requests[out_port] -= 1;
                     grants.push(VaGrant {
@@ -344,7 +410,7 @@ impl Switch {
         moves: &mut Vec<StMove>,
     ) {
         moves.clear();
-        let ports = self.inputs.len();
+        let ports = self.out_spec.len();
         let vcs = self.vcs;
         debug_assert_eq!(avail.len(), ports);
         debug_assert_eq!(shared_band.len(), ports);
@@ -358,9 +424,8 @@ impl Switch {
         active.fill(false);
         let mut any_active = false;
         for &flat in self.busy.members() {
-            let ivc = &self.inputs[flat / vcs][flat % vcs];
-            if let VcStage::Active { out_port, ready_at, .. } = ivc.stage() {
-                if ready_at <= now && !ivc.is_empty() {
+            if let VcStage::Active { out_port, ready_at, .. } = self.inputs.stage(flat) {
+                if ready_at <= now && !self.inputs.is_empty(flat) {
                     active[out_port] = true;
                     any_active = true;
                 }
@@ -385,37 +450,34 @@ impl Switch {
                 let inputs = &self.inputs;
                 let credits = &self.credits;
                 let out_spec = &self.out_spec;
-                let vcs = self.vcs;
                 // Only busy VCs can be Active with flits; candidate-list
                 // arbitration is decision-identical to the full scan.
                 let won = self.sa_arb[out_port].grant_among(self.busy.members(), |flat| {
                     if input_used[flat] {
                         return false;
                     }
-                    let (p, v) = (flat / vcs, flat % vcs);
-                    let ivc = &inputs[p][v];
-                    match ivc.stage() {
+                    match inputs.stage(flat) {
                         VcStage::Active { out_port: op, out_vc, ready_at } => {
                             op == out_port
                                 && ready_at <= now
-                                && !ivc.is_empty()
+                                && !inputs.is_empty(flat)
                                 && (out_spec[out_port].is_sink
-                                    || credits[out_port][out_vc] > 0)
+                                    || credits[out_port * vcs + out_vc] > 0)
                         }
                         _ => false,
                     }
                 });
                 let Some(flat) = won else { break };
                 let (p, v) = (flat / self.vcs, flat % self.vcs);
-                let VcStage::Active { out_port: op, out_vc, .. } = self.inputs[p][v].stage()
+                let VcStage::Active { out_port: op, out_vc, .. } = self.inputs.stage(flat)
                 else {
                     unreachable!("winner was Active");
                 };
                 debug_assert_eq!(op, out_port);
-                let flit = self.inputs[p][v].pop().expect("winner has a flit");
+                let flit = self.inputs.pop(flat).expect("winner has a flit");
                 self.buffered -= 1;
                 if !self.out_spec[out_port].is_sink {
-                    self.credits[out_port][out_vc] -= 1;
+                    self.credits[out_port * self.vcs + out_vc] -= 1;
                 }
                 if shared_band[out_port] {
                     *band_budget -= 1;
@@ -423,8 +485,8 @@ impl Switch {
                 input_used[flat] = true;
                 let releases_input = flit.kind.is_tail();
                 if releases_input {
-                    self.inputs[p][v].set_stage(VcStage::Idle);
-                    self.out_owner[out_port][out_vc] = None;
+                    self.inputs.set_stage(flat, VcStage::Idle);
+                    self.out_owner[out_port * self.vcs + out_vc] = None;
                 }
                 moves.push(StMove {
                     in_port: p,
@@ -704,5 +766,21 @@ mod tests {
         for w in winners.windows(2) {
             assert_ne!(w[0], w[1], "round robin must alternate: {winners:?}");
         }
+    }
+
+    #[test]
+    fn invariants_hold_through_a_pipelined_transfer() {
+        let mut sw = two_port();
+        for seq in 0..4 {
+            sw.deliver(0, 0, mk_flit(1, seq, 4, NodeId(9)));
+        }
+        sw.assert_invariants();
+        for now in 0..8 {
+            alloc(&mut sw, now, &lut());
+            sw.assert_invariants();
+            st(&mut sw, now, &[9, 9]);
+            sw.assert_invariants();
+        }
+        assert_eq!(sw.buffered_flits(), 0);
     }
 }

@@ -33,6 +33,11 @@ const SCAN_HORIZON: u64 = 65_536;
 /// core index; `u64::MAX` can never collide with one.
 const CYCLE_STREAM: u64 = u64::MAX;
 
+/// The stream id of the event-indexed geometric-gap draw
+/// ([`GeometricGaps`]); distinct from every per-core stream and from
+/// [`CYCLE_STREAM`].
+const GEOMETRIC_STREAM: u64 = u64::MAX - 1;
+
 /// When sources create packets.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum InjectionProcess {
@@ -285,6 +290,163 @@ impl InjectionSampler {
     }
 }
 
+/// Gaps this far out are reported as "never" ([`u64::MAX`]); beyond any
+/// simulated horizon, and keeps the cursor arithmetic overflow-free.
+const GAP_NEVER: f64 = 9.2e18; // ~2^63
+
+/// An event-indexed geometric-gap fire process: the O(1)-per-event
+/// counterpart of scanning i.i.d. Bernoulli coins cycle by cycle.
+///
+/// The process fires at cycles `t_1 < t_2 < …` where the gaps
+/// `t_{k+1} − t_k` are i.i.d. geometric with per-cycle fire probability
+/// `p` — exactly the gap law of a Bernoulli(p) coin per cycle — and
+/// each gap is a pure function of `(seed, event ordinal)` via the
+/// counter RNG, so the whole event stream is reproducible and
+/// independent of how it is consumed.
+///
+/// [`GeometricGaps::next_fire`] produces each event with **one** mixer
+/// draw and one `ln`, whatever the gap length; a cycle-stepping driver
+/// can consume the identical stream through [`GeometricGapStepper`]
+/// (one bool per cycle).  `tests` prove the two walks bit-identical —
+/// the same jump-equals-step contract the engine's idle fast-forward
+/// keeps.
+///
+/// **Relation to [`InjectionSampler`]:** the cycle-major sampler keys
+/// its coin at cycle `t` by a *hash of `t`*, which gives O(1) random
+/// access (`any_fire_at`) but makes first-passage queries
+/// (`next_fire_at`) cost one draw per scanned cycle — hash outputs at
+/// distinct cycles are independent, so no scan can be skipped.  This
+/// process keys the *gap* by event ordinal instead: first-passage is
+/// O(1), random access is not.  The two constructions realise the same
+/// law from opposite ends; pick by access pattern.  Because their
+/// realisations differ, `GeometricGaps` is additive API — the default
+/// workloads keep the cycle-major sampler and their fingerprints.
+#[derive(Debug, Clone)]
+pub struct GeometricGaps {
+    key: StreamKey,
+    /// Per-cycle quiet probability `1 − p`.
+    p_quiet: f64,
+    ln_quiet: f64,
+    /// Next gap ordinal to draw.
+    event: u64,
+    /// The earliest cycle the next fire may land on.
+    cursor: u64,
+}
+
+impl GeometricGaps {
+    /// A geometric-gap process with per-cycle fire probability
+    /// `p_fire`, first eligible cycle `start`, on `seed`'s dedicated
+    /// gap stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_fire` lies outside `[0, 1]`.
+    pub fn new(seed: u64, p_fire: f64, start: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_fire),
+            "fire probability {p_fire} outside [0, 1]"
+        );
+        let p_quiet = 1.0 - p_fire;
+        GeometricGaps {
+            key: StreamKey::new(seed, GEOMETRIC_STREAM),
+            p_quiet,
+            ln_quiet: p_quiet.ln(),
+            event: 0,
+            cursor: start,
+        }
+    }
+
+    /// The process whose events occur (in law) whenever *any* core of
+    /// `sampler` fires — per-cycle fire probability
+    /// `1 − (1 − rate)^cores`.
+    pub fn any_fire_of(sampler: &InjectionSampler, seed: u64, start: u64) -> Self {
+        GeometricGaps::new(seed, 1.0 - sampler.p_none, start)
+    }
+
+    /// The gap (≥ 1 cycle) encoded by event ordinal `k`: the geometric
+    /// inverse CDF at that ordinal's uniform draw, `u64::MAX` for
+    /// "never" (gaps beyond ~2⁶³ cycles, or a zero fire probability).
+    /// A pure function of `(seed, k)` — one mixer draw, one `ln`.
+    fn gap(&self, k: u64) -> u64 {
+        if self.p_quiet >= 1.0 {
+            return u64::MAX; // zero rate: nothing ever fires
+        }
+        if self.p_quiet <= 0.0 {
+            return 1; // unit rate: every cycle fires
+        }
+        let u = unit_f64(self.key.draw0(k));
+        // 1 − u is uniform on (0, 1], so the log is finite and ≤ 0;
+        // P(gap > m) = P(1 − u < q^m) = q^m — the geometric law of a
+        // Bernoulli(1 − q) coin per cycle.
+        let x = (1.0 - u).ln() / self.ln_quiet;
+        if !x.is_finite() || x >= GAP_NEVER {
+            return u64::MAX;
+        }
+        let k = x.ceil();
+        if k < 1.0 {
+            1
+        } else {
+            k as u64
+        }
+    }
+
+    /// The next fire cycle, or `u64::MAX` when the process never fires
+    /// again within any representable horizon.  O(1) per call.
+    pub fn next_fire(&mut self) -> u64 {
+        let gap = self.gap(self.event);
+        if gap == u64::MAX || self.cursor.checked_add(gap - 1).is_none() {
+            // Park the cursor; every later call keeps answering "never"
+            // without consuming further events.
+            return u64::MAX;
+        }
+        self.event += 1;
+        let fire = self.cursor + (gap - 1);
+        self.cursor = fire + 1;
+        fire
+    }
+
+    /// A cycle-stepping walker over the identical event stream,
+    /// starting from this process's current position.
+    pub fn stepper(&self) -> GeometricGapStepper {
+        GeometricGapStepper { gaps: self.clone(), countdown: 0, exhausted: false }
+    }
+}
+
+/// Cycle-by-cycle consumer of a [`GeometricGaps`] stream: `step()` is
+/// called once per cycle and answers "does the process fire now?".
+///
+/// This is the reference "scan" implementation the O(1) iterator is
+/// tested against: stepping N cycles visits the exact fire cycles
+/// [`GeometricGaps::next_fire`] jumps to.
+#[derive(Debug, Clone)]
+pub struct GeometricGapStepper {
+    gaps: GeometricGaps,
+    /// Cycles left until the pending fire (0 = no gap drawn yet).
+    countdown: u64,
+    /// `true` once a gap came back "never".
+    exhausted: bool,
+}
+
+impl GeometricGapStepper {
+    /// Advances one cycle; `true` when the process fires on it.
+    pub fn step(&mut self) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        if self.countdown == 0 {
+            let gap = self.gaps.gap(self.gaps.event);
+            if gap == u64::MAX {
+                self.exhausted = true;
+                return false;
+            }
+            self.gaps.event += 1;
+            self.countdown = gap;
+        }
+        self.countdown -= 1;
+        self.countdown == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,5 +605,114 @@ mod tests {
     #[should_panic]
     fn out_of_range_rate_panics() {
         InjectionProcess::Bernoulli { rate: 1.5 }.validate();
+    }
+
+    // --- geometric-gap event iterator -------------------------------
+
+    /// The satellite contract: the O(1)-per-event jump walk and the
+    /// one-bool-per-cycle scan walk visit bit-identical fire cycles.
+    #[test]
+    fn geometric_jumps_are_bit_identical_to_the_cycle_scan() {
+        for (seed, p, start) in [
+            (0u64, 0.5f64, 0u64),
+            (7, 0.01, 3),
+            (0x5177, 0.2, 1_000),
+            (u64::MAX, 0.003, 17),
+        ] {
+            let mut jump = GeometricGaps::new(seed, p, start);
+            let mut step = jump.stepper();
+            let horizon = 200_000u64;
+            let scanned: Vec<u64> = (start..start + horizon)
+                .filter(|_| step.step())
+                .collect();
+            assert!(!scanned.is_empty(), "seed {seed}: no fires in the horizon");
+            let mut jumped = Vec::with_capacity(scanned.len());
+            while jumped.len() < scanned.len() {
+                let f = jump.next_fire();
+                assert!(f < start + horizon, "jump left the scanned window");
+                jumped.push(f);
+            }
+            assert_eq!(jumped, scanned, "seed {seed}, p {p}: walks diverged");
+        }
+    }
+
+    #[test]
+    fn geometric_gap_law_matches_bernoulli_coins() {
+        // Mean gap 1/p and the memoryless variance (1 − p)/p².
+        let p = 0.05f64;
+        let mut g = GeometricGaps::new(11, p, 0);
+        let n = 50_000usize;
+        let mut prev = None;
+        let mut gaps = Vec::with_capacity(n);
+        for _ in 0..n {
+            let f = g.next_fire();
+            if let Some(q) = prev {
+                gaps.push((f - q) as f64);
+            }
+            prev = Some(f);
+        }
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / gaps.len() as f64;
+        assert!((mean - 1.0 / p).abs() < 0.25, "mean gap {mean} vs {}", 1.0 / p);
+        let expect_var = (1.0 - p) / (p * p);
+        assert!(
+            (var - expect_var).abs() < expect_var * 0.05,
+            "gap variance {var} vs {expect_var}"
+        );
+    }
+
+    #[test]
+    fn geometric_edge_rates() {
+        // Unit rate: every cycle fires, starting exactly at `start`.
+        let mut g = GeometricGaps::new(3, 1.0, 42);
+        assert_eq!(g.next_fire(), 42);
+        assert_eq!(g.next_fire(), 43);
+        // Zero rate: never fires, repeatedly.
+        let mut g = GeometricGaps::new(3, 0.0, 0);
+        assert_eq!(g.next_fire(), u64::MAX);
+        assert_eq!(g.next_fire(), u64::MAX);
+        let mut s = g.stepper();
+        assert!((0..100).all(|_| !s.step()));
+    }
+
+    #[test]
+    fn geometric_stream_is_a_pure_function_of_the_seed() {
+        let collect = |seed| {
+            let mut g = GeometricGaps::new(seed, 0.1, 5);
+            (0..50).map(|_| g.next_fire()).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(9), collect(9));
+        assert_ne!(collect(9), collect(10));
+    }
+
+    #[test]
+    fn any_fire_of_matches_the_sampler_rate_statistically() {
+        // The event rate of the geometric process built from a sampler
+        // must match the sampler's empirical any-fire rate: same law,
+        // different (independent) realisation.
+        let s = InjectionSampler::new(InjectionProcess::Bernoulli { rate: 0.004 }, 64, 7);
+        let cycles = 50_000u64;
+        let sampler_fires =
+            (0..cycles).filter(|&t| s.any_fire_at(t)).count() as f64 / cycles as f64;
+        let mut g = GeometricGaps::any_fire_of(&s, 7, 0);
+        let mut geo_fires = 0usize;
+        loop {
+            let f = g.next_fire();
+            if f >= cycles {
+                break;
+            }
+            geo_fires += 1;
+        }
+        let geo_rate = geo_fires as f64 / cycles as f64;
+        let p = 1.0 - (1.0 - 0.004f64).powi(64);
+        assert!((sampler_fires - p).abs() < 0.01, "sampler rate {sampler_fires} vs {p}");
+        assert!((geo_rate - p).abs() < 0.01, "geometric rate {geo_rate} vs {p}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn geometric_rejects_bad_probability() {
+        GeometricGaps::new(0, 1.5, 0);
     }
 }

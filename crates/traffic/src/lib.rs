@@ -33,7 +33,7 @@ pub mod trace;
 pub mod uniform;
 
 pub use app::{AppPhase, AppProfile, AppWorkload};
-pub use injection::{InjectionProcess, InjectionSampler};
+pub use injection::{GeometricGapStepper, GeometricGaps, InjectionProcess, InjectionSampler};
 pub use patterns::TrafficPattern;
 pub use trace::{Trace, TraceEvent};
 pub use uniform::UniformRandom;
