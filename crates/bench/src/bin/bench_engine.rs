@@ -3,45 +3,57 @@
 //! emits `BENCH_engine.json` so the perf trajectory is tracked across
 //! PRs.
 //!
+//! Since the universal idle fast-forward PR the two blocks are an
+//! **A/B of the same binary**: `before` runs every scenario with
+//! `SystemConfig::disable_fast_forward` set (full per-cycle stepping),
+//! `after` with the driver's idle fast-forward enabled.  The blocks are
+//! measured interleaved (before/after alternating, `--reps` rounds,
+//! minima recorded) and the binary refuses to emit the file unless
+//! every fingerprint is bit-identical across *all* runs of *both*
+//! blocks — the fast-forward contract (`docs/fast_forward.md`),
+//! enforced at measurement time.
+//!
 //! Scenarios:
 //!
 //! * `idle` — an empty interposer network stepped for 200k cycles (the
 //!   cost floor of long measurement windows at low load);
 //! * `fig3_anchor_load` — the fig3 analysis' zero-load anchor (1e-4
-//!   packets/core/cycle, the latency baseline `find_saturation_load`
-//!   bisects against), summed over 8 seeds to average out realization
-//!   noise: the point where the counter-RNG Bernoulli fast-forward
-//!   pays — the network is genuinely idle between packets and the
-//!   driver can now skip those cycles *and* their workload draws,
-//!   leaving wall-clock at the per-packet work floor;
+//!   packets/core/cycle) summed over 8 seeds: the Bernoulli
+//!   fast-forward showcase;
 //! * `fig3_lowest_load` — the lowest *plotted* fig3 point (0.001): at
-//!   paper 4C4M scale ~11 packets are in flight on average, the
-//!   network never fully drains, and the row documents that
-//!   fast-forward neither helps nor hurts there;
-//! * `fig3_low_load` — one fig3 latency point at 0.002 packets/core/
-//!   cycle on the wireless system, paper windows;
+//!   paper 4C4M scale the network never fully drains, and the row
+//!   documents that fast-forward neither helps nor hurts there;
+//! * `fig3_low_load` / `fig3_high_load` — single fig3 latency points at
+//!   0.002 / 0.064 packets/core/cycle on the wireless system;
 //! * `fig3_sweep` — the fig3 low-to-mid-load latency curve (0.001 …
-//!   0.032) on the wireless system, paper windows, all points in
-//!   parallel (the headline number the ≥2× target applies to);
-//! * `saturated` — uniform saturation on the wireless system (upper
-//!   bound: every component active every cycle, so active-set tracking
-//!   cannot help and must not hurt);
+//!   0.032), all points in parallel;
+//! * `saturated` — uniform saturation (upper bound: every component
+//!   active every cycle, fast-forward must not hurt);
 //! * `shared_channel` — the §III.D serialized channel under the
-//!   control-packet MAC (exercises the medium path and the reused
-//!   `MediumView` buffers);
+//!   control-packet MAC at 0.002;
+//! * `mac_comparison_ff` — the paper's MAC comparison at a deep-idle
+//!   load (1e-5, ≈20% of the serialized channel's capacity): token +
+//!   control MAC back to back on the serialized channel, the scenario
+//!   the quiescence-capable MACs unlock;
+//! * `substrate_mid_load` — substrate A/B fingerprint (serial I/O +
+//!   wide I/O paths);
+//! * `app_blackscholes` — one application workload with memory
+//!   read/reply traffic through the stacks;
+//! * `app_workload_ff` — the app-traffic fast-forward row: blackscholes
+//!   over 4 seeds, compute-phase idle skipped in O(events) by the
+//!   event-indexed `AppWorkload` schedules;
 //! * `sweep_grid_pool` — an 18-point ScenarioGrid (3 architectures × 6
-//!   loads, paper windows) on the work-stealing pool; the binary
-//!   asserts the combined fingerprint is identical across pool shapes
-//!   (1×1, 2×3 and all-cores×1 threads×chunk) before recording it.
+//!   loads) on the work-stealing pool; pool-shape invariance of the
+//!   combined fingerprint is asserted before recording it.
 //!
-//! Each traffic scenario also records a *determinism fingerprint*
-//! (packets, flits, latency and energy with exact bit patterns); two
-//! builds of the engine are behavior-equivalent exactly when their
-//! fingerprints match for every scenario.
+//! Each traffic scenario records a *determinism fingerprint* (packets,
+//! flits, latency and energy with exact bit patterns); two engines are
+//! behavior-equivalent exactly when their fingerprints match for every
+//! scenario.
 //!
 //! Usage: `cargo run --release -p wimnet-bench --bin bench_engine --
-//! [--label NAME] [--out PATH]` (defaults: label `engine`, path
-//! `BENCH_engine.json` in the workspace root).
+//! [--label NAME] [--out PATH] [--reps N]` (defaults: label `engine`,
+//! path `BENCH_engine.json` in the workspace root, 5 interleaved reps).
 
 use std::time::Instant;
 
@@ -52,19 +64,45 @@ use wimnet_routing::{Routes, RoutingPolicy};
 use wimnet_topology::{Architecture, MultichipConfig, MultichipLayout};
 use wimnet_traffic::{InjectionProcess, UniformRandom};
 
-struct Scenario {
-    name: &'static str,
-    wall_ms: f64,
-    cycles: u64,
-    fingerprint: Option<Fingerprint>,
-}
-
+#[derive(Clone, Default)]
 struct Fingerprint {
     packets: u64,
     flits: u64,
     latency_bits: u64,
     energy_pj_bits: u64,
     energy_pj: f64,
+}
+
+impl Fingerprint {
+    /// The exact-comparison key (energy_pj is display-only).
+    fn key(&self) -> (u64, u64, u64, u64) {
+        (self.packets, self.flits, self.latency_bits, self.energy_pj_bits)
+    }
+
+    /// Folds another run in (multi-seed / multi-config scenarios).
+    fn fold(&mut self, other: &Fingerprint) {
+        self.packets += other.packets;
+        self.flits += other.flits;
+        self.latency_bits ^= other.latency_bits;
+        self.energy_pj_bits ^= other.energy_pj_bits;
+        self.energy_pj += other.energy_pj;
+    }
+}
+
+struct Measured {
+    wall_ms: f64,
+    cycles: u64,
+    fingerprint: Option<Fingerprint>,
+}
+
+/// One recorded row: per-block minimum wall clock over the reps plus
+/// the (rep- and block-invariant) fingerprint.
+struct Row {
+    name: &'static str,
+    cycles: u64,
+    wall_before_ms: f64,
+    wall_after_ms: f64,
+    fingerprint: Option<Fingerprint>,
 }
 
 fn fingerprint_of(sys: &MultichipSystem, latency: Option<f64>) -> Fingerprint {
@@ -96,10 +134,46 @@ fn run_system(config: &SystemConfig, load: InjectionProcess) -> (f64, u64, Finge
     (wall, cycles, fp)
 }
 
+fn uniform_scenario(load: f64, arch: Architecture, no_ff: bool) -> Measured {
+    let mut config = SystemConfig::xcym(4, 4, arch);
+    config.disable_fast_forward = no_ff;
+    let (wall_ms, cycles, fp) =
+        run_system(&config, InjectionProcess::Bernoulli { rate: load });
+    Measured { wall_ms, cycles, fingerprint: Some(fp) }
+}
+
+fn app_run(seed: u64, wireless: WirelessModel, no_ff: bool) -> (f64, u64, Fingerprint) {
+    let mut config = SystemConfig::xcym(4, 4, Architecture::Wireless);
+    config.seed = seed;
+    config.wireless = wireless;
+    config.disable_fast_forward = no_ff;
+    let mut sys = MultichipSystem::build(&config).expect("system builds");
+    let mut workload = wimnet_traffic::AppWorkload::new(
+        wimnet_traffic::profiles::blackscholes(),
+        config.multichip.num_chips,
+        config.multichip.cores_per_chip,
+        config.multichip.num_stacks,
+        config.seed,
+    );
+    let start = Instant::now();
+    let outcome = sys.run(&mut workload).expect("run completes");
+    let wall = start.elapsed().as_secs_f64() * 1e3;
+    let cycles = config.warmup_cycles + config.measure_cycles;
+    (wall, cycles, fingerprint_of(&sys, outcome.avg_latency_cycles))
+}
+
+fn mac_run(mac: MacKind, load: f64, no_ff: bool) -> (f64, u64, Fingerprint) {
+    let mut config = SystemConfig::xcym(4, 4, Architecture::Wireless);
+    config.wireless = WirelessModel::SharedChannel { mac };
+    config.disable_fast_forward = no_ff;
+    run_system(&config, InjectionProcess::Bernoulli { rate: load })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut label = String::from("engine");
     let mut out_path: Option<String> = None;
+    let mut reps = 5usize;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -109,6 +183,15 @@ fn main() {
             }
             "--out" => {
                 out_path = Some(args.get(i + 1).expect("--out PATH").clone());
+                i += 2;
+            }
+            "--reps" => {
+                reps = args
+                    .get(i + 1)
+                    .expect("--reps N")
+                    .parse()
+                    .expect("reps is a positive integer");
+                assert!(reps > 0, "--reps must be positive");
                 i += 2;
             }
             other => panic!("unknown argument {other}"),
@@ -121,254 +204,309 @@ fn main() {
             .unwrap_or_else(|| "BENCH_engine.json".to_string())
     });
 
-    let mut scenarios: Vec<Scenario> = Vec::new();
-
-    // --- idle: empty network, 200k cycles.
-    {
-        let layout =
-            MultichipLayout::build(&MultichipConfig::xcym(4, 4, Architecture::Interposer))
-                .expect("layout");
-        let routes = Routes::build(layout.graph(), RoutingPolicy::default()).expect("routes");
-        let mut net = Network::new(&layout, routes, NocConfig::paper()).expect("network");
-        let cycles = 200_000u64;
-        let start = Instant::now();
-        net.run_for(cycles);
-        let wall = start.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(net.now(), cycles);
-        scenarios.push(Scenario { name: "idle", wall_ms: wall, cycles, fingerprint: None });
-    }
-
-    // --- fig3 zero-load anchor: the Bernoulli fast-forward showcase.
-    // Eight seeds, wall-clock summed: single realizations at this load
-    // carry ±20% packet-count noise that would drown the signal.
-    {
-        let mut wall = 0.0;
-        let mut cycles = 0;
-        let mut fp = Fingerprint {
-            packets: 0,
-            flits: 0,
-            latency_bits: 0,
-            energy_pj_bits: 0,
-            energy_pj: 0.0,
-        };
-        for seed in 1..=8u64 {
-            let mut config = SystemConfig::xcym(4, 4, Architecture::Wireless);
-            config.seed = seed;
-            let (w, c, f) =
-                run_system(&config, InjectionProcess::Bernoulli { rate: 0.0001 });
-            wall += w;
-            cycles += c;
-            fp.packets += f.packets;
-            fp.flits += f.flits;
-            fp.latency_bits ^= f.latency_bits;
-            fp.energy_pj_bits ^= f.energy_pj_bits;
-            fp.energy_pj += f.energy_pj;
-        }
-        scenarios.push(Scenario {
-            name: "fig3_anchor_load",
-            wall_ms: wall,
-            cycles,
-            fingerprint: Some(fp),
-        });
-    }
-
-    // --- fig3 lowest plotted point (never fully idle at 4C4M scale).
-    {
-        let config = SystemConfig::xcym(4, 4, Architecture::Wireless);
-        let (wall, cycles, fp) =
-            run_system(&config, InjectionProcess::Bernoulli { rate: 0.001 });
-        scenarios.push(Scenario {
-            name: "fig3_lowest_load",
-            wall_ms: wall,
-            cycles,
-            fingerprint: Some(fp),
-        });
-    }
-
-    // --- fig3 single low-load point, wireless, paper windows.
-    {
-        let config = SystemConfig::xcym(4, 4, Architecture::Wireless);
-        let (wall, cycles, fp) =
-            run_system(&config, InjectionProcess::Bernoulli { rate: 0.002 });
-        scenarios.push(Scenario {
-            name: "fig3_low_load",
-            wall_ms: wall,
-            cycles,
-            fingerprint: Some(fp),
-        });
-    }
-
-    // --- fig3 low-to-mid-load sweep (the ≥2× target).
-    {
-        let config = SystemConfig::xcym(4, 4, Architecture::Wireless);
-        let loads = [0.001, 0.002, 0.004, 0.008, 0.016, 0.032];
-        let start = Instant::now();
-        let curve = latency_curve(&config, &loads).expect("sweep completes");
-        let wall = start.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(curve.len(), loads.len());
-        let cycles =
-            (config.warmup_cycles + config.measure_cycles) * loads.len() as u64;
-        scenarios.push(Scenario {
-            name: "fig3_sweep",
-            wall_ms: wall,
-            cycles,
-            fingerprint: None,
-        });
-    }
-
-    // --- fig3 high-injection point (0.064, above the plotted sweep's
-    // top): the saturated-load regime where wall-clock is pure per-flit
-    // work — arbitration plus the energy meter — and the slab/SoA switch
-    // datapath is the lever.  Tracked separately from `saturated`
-    // (open-loop Saturation) because fig3's energy/latency numbers are
-    // measured on Bernoulli offered loads.
-    {
-        let config = SystemConfig::xcym(4, 4, Architecture::Wireless);
-        let (wall, cycles, fp) =
-            run_system(&config, InjectionProcess::Bernoulli { rate: 0.064 });
-        scenarios.push(Scenario {
-            name: "fig3_high_load",
-            wall_ms: wall,
-            cycles,
-            fingerprint: Some(fp),
-        });
-    }
-
-    // --- saturation: every component busy (active sets cannot help).
-    {
-        let config = SystemConfig::xcym(4, 4, Architecture::Wireless);
-        let (wall, cycles, fp) = run_system(&config, InjectionProcess::Saturation);
-        scenarios.push(Scenario {
-            name: "saturated",
-            wall_ms: wall,
-            cycles,
-            fingerprint: Some(fp),
-        });
-    }
-
-    // --- serialized shared channel under the control-packet MAC.
-    {
-        let mut config = SystemConfig::xcym(4, 4, Architecture::Wireless);
-        config.wireless = WirelessModel::SharedChannel { mac: MacKind::ControlPacket };
-        let (wall, cycles, fp) =
-            run_system(&config, InjectionProcess::Bernoulli { rate: 0.002 });
-        scenarios.push(Scenario {
-            name: "shared_channel",
-            wall_ms: wall,
-            cycles,
-            fingerprint: Some(fp),
-        });
-    }
-
-    // --- substrate A/B fingerprint (serial I/O + wide I/O paths).
-    {
-        let config = SystemConfig::xcym(4, 4, Architecture::Substrate);
-        let (wall, cycles, fp) =
-            run_system(&config, InjectionProcess::Bernoulli { rate: 0.004 });
-        scenarios.push(Scenario {
-            name: "substrate_mid_load",
-            wall_ms: wall,
-            cycles,
-            fingerprint: Some(fp),
-        });
-    }
-
-    // --- app workload with memory read/reply traffic through the stacks.
-    {
-        let config = SystemConfig::xcym(4, 4, Architecture::Wireless);
-        let profile = wimnet_traffic::profiles::blackscholes();
-        let mut sys = MultichipSystem::build(&config).expect("system builds");
-        let mut workload = wimnet_traffic::AppWorkload::new(
-            profile,
-            config.multichip.num_chips,
-            config.multichip.cores_per_chip,
-            config.multichip.num_stacks,
-            config.seed,
-        );
-        let start = Instant::now();
-        let outcome = sys.run(&mut workload).expect("run completes");
-        let wall = start.elapsed().as_secs_f64() * 1e3;
-        scenarios.push(Scenario {
-            name: "app_blackscholes",
-            wall_ms: wall,
-            cycles: config.warmup_cycles + config.measure_cycles,
-            fingerprint: Some(fingerprint_of(&sys, outcome.avg_latency_cycles)),
-        });
-    }
-
-    // --- scenario grid on the work-stealing pool: 3 architectures × 6
-    // loads, paper windows.  The same grid must produce bit-identical
-    // outcomes for every pool shape; the recorded fingerprint folds all
-    // 18 points together.
-    {
-        let grid = ScenarioGrid::new("bench-grid")
-            .architectures(&Architecture::ALL)
-            .loads(&[0.001, 0.002, 0.004, 0.008, 0.016, 0.032]);
-        let experiments = grid.experiments();
-        let fold = |outcomes: &[wimnet_core::RunOutcome]| -> Fingerprint {
-            let mut packets = 0u64;
-            let mut flits = 0u64;
-            let mut latency_bits = 0u64;
-            let mut energy_bits = 0u64;
-            let mut energy_pj = 0.0f64;
-            for (e, o) in experiments.iter().zip(outcomes) {
-                packets += o.packets_delivered();
-                // Uniform-random packets are all `packet_flits` long.
-                flits += o.packets_delivered() * u64::from(e.config().packet_flits);
-                latency_bits ^= o.avg_latency_cycles.unwrap_or(f64::NAN).to_bits();
-                energy_bits ^= o.total_energy_nj().to_bits();
-                energy_pj += o.total_energy_nj() * 1e3;
+    type Runner = Box<dyn Fn(bool) -> Measured>;
+    let scenarios: Vec<(&'static str, Runner)> = vec![
+        ("idle", Box::new(|no_ff| {
+            let layout = MultichipLayout::build(&MultichipConfig::xcym(
+                4,
+                4,
+                Architecture::Interposer,
+            ))
+            .expect("layout");
+            let routes =
+                Routes::build(layout.graph(), RoutingPolicy::default()).expect("routes");
+            let mut net = Network::new(&layout, routes, NocConfig::paper()).expect("network");
+            let cycles = 200_000u64;
+            let start = Instant::now();
+            if no_ff {
+                for _ in 0..cycles {
+                    net.step();
+                }
+            } else {
+                net.run_for(cycles);
             }
-            Fingerprint { packets, flits, latency_bits, energy_pj_bits: energy_bits, energy_pj }
-        };
-        let start = Instant::now();
-        let pooled = run_pool(&experiments, wimnet_core::sweeps::default_threads(), 1)
-            .expect("grid runs");
-        let wall = start.elapsed().as_secs_f64() * 1e3;
-        let fp = fold(&pooled);
-        // Pool-shape invariance is part of the benchmark's contract:
-        // refuse to record a fingerprint that depends on the scheduler.
-        for (threads, chunk) in [(1usize, 1usize), (2, 3)] {
-            let again = fold(&run_pool(&experiments, threads, chunk).expect("grid reruns"));
-            assert_eq!(
-                (again.packets, again.flits, again.latency_bits, again.energy_pj_bits),
-                (fp.packets, fp.flits, fp.latency_bits, fp.energy_pj_bits),
-                "pool shape ({threads}×{chunk}) changed the grid fingerprint"
-            );
+            let wall = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(net.now(), cycles);
+            Measured { wall_ms: wall, cycles, fingerprint: None }
+        })),
+        ("fig3_anchor_load", Box::new(|no_ff| {
+            // Eight seeds, wall-clock summed: single realizations at
+            // this load carry ±20% packet-count noise.
+            let mut wall = 0.0;
+            let mut cycles = 0;
+            let mut fp = Fingerprint::default();
+            for seed in 1..=8u64 {
+                let mut config = SystemConfig::xcym(4, 4, Architecture::Wireless);
+                config.seed = seed;
+                config.disable_fast_forward = no_ff;
+                let (w, c, f) =
+                    run_system(&config, InjectionProcess::Bernoulli { rate: 0.0001 });
+                wall += w;
+                cycles += c;
+                fp.fold(&f);
+            }
+            Measured { wall_ms: wall, cycles, fingerprint: Some(fp) }
+        })),
+        ("fig3_lowest_load", Box::new(|no_ff| {
+            uniform_scenario(0.001, Architecture::Wireless, no_ff)
+        })),
+        ("fig3_low_load", Box::new(|no_ff| {
+            uniform_scenario(0.002, Architecture::Wireless, no_ff)
+        })),
+        ("fig3_sweep", Box::new(|no_ff| {
+            let mut config = SystemConfig::xcym(4, 4, Architecture::Wireless);
+            config.disable_fast_forward = no_ff;
+            let loads = [0.001, 0.002, 0.004, 0.008, 0.016, 0.032];
+            let start = Instant::now();
+            let curve = latency_curve(&config, &loads).expect("sweep completes");
+            let wall = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(curve.len(), loads.len());
+            let cycles =
+                (config.warmup_cycles + config.measure_cycles) * loads.len() as u64;
+            Measured { wall_ms: wall, cycles, fingerprint: None }
+        })),
+        ("fig3_high_load", Box::new(|no_ff| {
+            uniform_scenario(0.064, Architecture::Wireless, no_ff)
+        })),
+        ("saturated", Box::new(|no_ff| {
+            let mut config = SystemConfig::xcym(4, 4, Architecture::Wireless);
+            config.disable_fast_forward = no_ff;
+            let (wall_ms, cycles, fp) = run_system(&config, InjectionProcess::Saturation);
+            Measured { wall_ms, cycles, fingerprint: Some(fp) }
+        })),
+        ("shared_channel", Box::new(|no_ff| {
+            let (wall_ms, cycles, fp) = mac_run(MacKind::ControlPacket, 0.002, no_ff);
+            Measured { wall_ms, cycles, fingerprint: Some(fp) }
+        })),
+        ("mac_comparison_ff", Box::new(|no_ff| {
+            // The §III.D MAC ablation at a deep-idle load (1e-5
+            // packets/core/cycle ≈ 20% of the serialized channel's
+            // capacity): both MACs drain between packets, so the
+            // quiescence-capable token and control machines carry the
+            // whole row.
+            let mut wall = 0.0;
+            let mut cycles = 0;
+            let mut fp = Fingerprint::default();
+            for mac in [MacKind::Token, MacKind::ControlPacket] {
+                let (w, c, f) = mac_run(mac, 0.00001, no_ff);
+                wall += w;
+                cycles += c;
+                fp.fold(&f);
+            }
+            Measured { wall_ms: wall, cycles, fingerprint: Some(fp) }
+        })),
+        ("substrate_mid_load", Box::new(|no_ff| {
+            uniform_scenario(0.004, Architecture::Substrate, no_ff)
+        })),
+        ("app_blackscholes", Box::new(|no_ff| {
+            let (wall_ms, cycles, fp) =
+                app_run(0x5177, WirelessModel::default(), no_ff);
+            Measured { wall_ms, cycles, fingerprint: Some(fp) }
+        })),
+        ("app_workload_ff", Box::new(|no_ff| {
+            // Four seeds summed, on the parallel-links medium (the
+            // §IV-adjacent wireless model, where every idle cycle
+            // otherwise pays view refresh + MAC stepping): the
+            // event-indexed AppWorkload schedule makes quiet compute
+            // phases skip in O(events).
+            let mut wall = 0.0;
+            let mut cycles = 0;
+            let mut fp = Fingerprint::default();
+            for seed in 1..=4u64 {
+                let (w, c, f) = app_run(
+                    seed,
+                    WirelessModel::ParallelLinks { flits_per_cycle: 1.0 },
+                    no_ff,
+                );
+                wall += w;
+                cycles += c;
+                fp.fold(&f);
+            }
+            Measured { wall_ms: wall, cycles, fingerprint: Some(fp) }
+        })),
+        ("sweep_grid_pool", Box::new(|no_ff| {
+            let grid = ScenarioGrid::new("bench-grid")
+                .architectures(&Architecture::ALL)
+                .loads(&[0.001, 0.002, 0.004, 0.008, 0.016, 0.032]);
+            let mut experiments = grid.experiments();
+            for e in experiments.iter_mut() {
+                e.config_mut().disable_fast_forward = no_ff;
+            }
+            let fold = |outcomes: &[wimnet_core::RunOutcome]| -> Fingerprint {
+                let mut fp = Fingerprint::default();
+                for (e, o) in experiments.iter().zip(outcomes) {
+                    fp.fold(&Fingerprint {
+                        packets: o.packets_delivered(),
+                        // Uniform-random packets are all `packet_flits`
+                        // long.
+                        flits: o.packets_delivered()
+                            * u64::from(e.config().packet_flits),
+                        latency_bits: o
+                            .avg_latency_cycles
+                            .unwrap_or(f64::NAN)
+                            .to_bits(),
+                        energy_pj_bits: o.total_energy_nj().to_bits(),
+                        energy_pj: o.total_energy_nj() * 1e3,
+                    });
+                }
+                fp
+            };
+            let start = Instant::now();
+            let pooled = run_pool(&experiments, wimnet_core::sweeps::default_threads(), 1)
+                .expect("grid runs");
+            let wall = start.elapsed().as_secs_f64() * 1e3;
+            let fp = fold(&pooled);
+            // Pool-shape invariance is part of the benchmark's
+            // contract: refuse to record a scheduler-dependent
+            // fingerprint.  Checked once per process (first
+            // fast-forward run) to keep rep cost sane.
+            static POOL_CHECKED: std::sync::atomic::AtomicBool =
+                std::sync::atomic::AtomicBool::new(false);
+            if !no_ff && !POOL_CHECKED.swap(true, std::sync::atomic::Ordering::Relaxed) {
+                for (threads, chunk) in [(1usize, 1usize), (2, 3)] {
+                    let again =
+                        fold(&run_pool(&experiments, threads, chunk).expect("grid reruns"));
+                    assert_eq!(
+                        again.key(),
+                        fp.key(),
+                        "pool shape ({threads}×{chunk}) changed the grid fingerprint"
+                    );
+                }
+            }
+            let cycles = experiments
+                .iter()
+                .map(|e| e.config().warmup_cycles + e.config().measure_cycles)
+                .sum();
+            Measured { wall_ms: wall, cycles, fingerprint: Some(fp) }
+        })),
+    ];
+
+    // Interleaved measurement: before (full stepping) and after
+    // (fast-forward) alternate within each rep; minima are recorded and
+    // fingerprints must agree across every run of both blocks.
+    let mut rows: Vec<Row> = Vec::new();
+    for rep in 0..reps {
+        eprintln!("rep {}/{reps}", rep + 1);
+        for (si, (name, run)) in scenarios.iter().enumerate() {
+            let before = run(true);
+            let after = run(false);
+            if let (Some(b), Some(a)) = (&before.fingerprint, &after.fingerprint) {
+                assert_eq!(
+                    b.key(),
+                    a.key(),
+                    "{name}: fast-forward changed the outcome — contract violation"
+                );
+            }
+            assert_eq!(before.cycles, after.cycles, "{name}: cycle counts diverged");
+            if rep == 0 {
+                rows.push(Row {
+                    name,
+                    cycles: after.cycles,
+                    wall_before_ms: before.wall_ms,
+                    wall_after_ms: after.wall_ms,
+                    fingerprint: after.fingerprint,
+                });
+            } else {
+                let row = &mut rows[si];
+                row.wall_before_ms = row.wall_before_ms.min(before.wall_ms);
+                row.wall_after_ms = row.wall_after_ms.min(after.wall_ms);
+                if let (Some(prev), Some(new)) = (&row.fingerprint, &after.fingerprint) {
+                    assert_eq!(prev.key(), new.key(), "{name}: fingerprint drifted across reps");
+                }
+            }
         }
-        let cycles = experiments
-            .iter()
-            .map(|e| e.config().warmup_cycles + e.config().measure_cycles)
-            .sum();
-        scenarios.push(Scenario {
-            name: "sweep_grid_pool",
-            wall_ms: wall,
-            cycles,
-            fingerprint: Some(fp),
-        });
     }
 
     // Render JSON by hand: the report shape is fixed and tiny, and the
     // serde shim's derive output would bloat the field names.
+    let emit_block = |json: &mut String, which: &str, block_label: &str, wall_of: &dyn Fn(&Row) -> f64| {
+        json.push_str(&format!("  \"{which}\": {{\n"));
+        json.push_str(&format!("    \"label\": \"{block_label}\",\n"));
+        json.push_str("    \"scenarios\": {\n");
+        for (i, r) in rows.iter().enumerate() {
+            let wall = wall_of(r);
+            let cps = r.cycles as f64 / (wall / 1e3);
+            json.push_str(&format!(
+                "      \"{}\": {{\"wall_ms\": {:.3}, \"cycles\": {}, \"cycles_per_sec\": {:.0}",
+                r.name, wall, r.cycles, cps
+            ));
+            if let Some(fp) = &r.fingerprint {
+                json.push_str(&format!(
+                    ", \"fingerprint\": {{\"packets\": {}, \"flits\": {}, \"latency_bits\": {}, \
+                     \"energy_pj_bits\": {}, \"energy_pj\": {}}}",
+                    fp.packets, fp.flits, fp.latency_bits, fp.energy_pj_bits, fp.energy_pj
+                ));
+            }
+            json.push_str(if i + 1 < rows.len() { "},\n" } else { "}\n" });
+        }
+        json.push_str("    }\n  }");
+    };
+
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str(&format!("  \"label\": \"{label}\",\n"));
-    json.push_str("  \"scenarios\": {\n");
-    for (i, s) in scenarios.iter().enumerate() {
-        let cps = s.cycles as f64 / (s.wall_ms / 1e3);
+    json.push_str(&format!(
+        "  \"benchmark\": \"engine wall-clock, 4C4M paper windows; A/B of one binary: \
+         before = full per-cycle stepping (disable_fast_forward), after = idle \
+         fast-forward; wall_ms is the best of {reps} interleaved reps; fingerprints \
+         asserted bit-identical across every run of both blocks\",\n"
+    ));
+    json.push_str(
+        "  \"regenerate\": \"cargo run --release -p wimnet-bench --bin bench_engine\",\n",
+    );
+    emit_block(
+        &mut json,
+        "before",
+        &format!("{label}: full stepping (idle fast-forward disabled)"),
+        &|r| r.wall_before_ms,
+    );
+    json.push_str(",\n");
+    emit_block(
+        &mut json,
+        "after",
+        &format!(
+            "{label}: universal idle fast-forward (quiescence-capable control/token MACs, \
+             event-indexed AppWorkload)"
+        ),
+        &|r| r.wall_after_ms,
+    );
+    json.push_str(",\n  \"speedup\": {\n");
+    for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    \"{}\": {{\"wall_ms\": {:.3}, \"cycles\": {}, \"cycles_per_sec\": {:.0}",
-            s.name, s.wall_ms, s.cycles, cps
+            "    \"{}\": {:.2}{}\n",
+            r.name,
+            r.wall_before_ms / r.wall_after_ms,
+            if i + 1 < rows.len() { "," } else { "" }
         ));
-        if let Some(fp) = &s.fingerprint {
-            json.push_str(&format!(
-                ", \"fingerprint\": {{\"packets\": {}, \"flits\": {}, \"latency_bits\": {}, \
-                 \"energy_pj_bits\": {}, \"energy_pj\": {}}}",
-                fp.packets, fp.flits, fp.latency_bits, fp.energy_pj_bits, fp.energy_pj
-            ));
-        }
-        json.push_str(if i + 1 < scenarios.len() { "},\n" } else { "}\n" });
     }
+    json.push_str("  },\n");
+    json.push_str("  \"notes\": {\n");
+    json.push_str(
+        "    \"blocks\": \"both blocks run the same engine build; the before block \
+         steps every cycle, so speedups isolate exactly what idle fast-forward buys \
+         per scenario — bit-identity between the blocks is asserted at measurement \
+         time, not just schema-checked\",\n",
+    );
+    json.push_str(
+        "    \"mac_comparison_ff\": \"token + control-packet MACs on the serialized \
+         channel at Bernoulli 1e-5 (about 20% of channel capacity): both MACs now \
+         declare quiescence when drained (closed-form idle_advance), so the paper's \
+         MAC-comparison scenarios fast-forward through inter-packet idle\",\n",
+    );
+    json.push_str(
+        "    \"app_workload_ff\": \"blackscholes over 4 seeds on the parallel-links \
+         medium: AppWorkload's event-indexed phase/fire schedules (GeometricGaps per \
+         phase segment) give an exact next_event_at, so the ~40-50% of cycles that \
+         are compute-phase idle skip in O(events) — and each skipped cycle saves \
+         the per-cycle medium view refresh + MAC step; on the wired point-to-point \
+         path (app_blackscholes) active-set stepping already made idle cycles \
+         near-free, so the same skip is wall-clock neutral there\",\n",
+    );
+    json.push_str(
+        "    \"app_rows\": \"absolute app-row values differ from pre-PR4 files: the \
+         AppWorkload realization moved from a sequential RNG walk to counter-based \
+         event-indexed schedules (same phase/injection laws; rates re-verified \
+         statistically in crates/traffic tests)\"\n",
+    );
     json.push_str("  }\n}\n");
 
     std::fs::write(&out_path, &json).expect("write BENCH json");

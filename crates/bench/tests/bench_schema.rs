@@ -13,6 +13,20 @@ use serde::Value;
 /// sweep whose outcome is asserted inside `bench_engine` itself).
 const FINGERPRINTLESS: &[&str] = &["idle", "fig3_sweep"];
 
+/// Rows that must exist in both blocks: the fast-forward tentpole's
+/// measured scenarios (the quiescence-capable MAC comparison and the
+/// event-driven app workload) alongside the long-standing engine rows.
+const REQUIRED_ROWS: &[&str] = &[
+    "idle",
+    "fig3_anchor_load",
+    "shared_channel",
+    "mac_comparison_ff",
+    "app_workload_ff",
+    "app_blackscholes",
+    "saturated",
+    "sweep_grid_pool",
+];
+
 /// Fields every fingerprint must provide.
 const FINGERPRINT_FIELDS: &[&str] =
     &["packets", "flits", "latency_bits", "energy_pj_bits", "energy_pj"];
@@ -89,6 +103,20 @@ fn bench_engine_json_has_before_and_after_blocks_with_fingerprints() {
             for key in FINGERPRINT_FIELDS {
                 field(fp, key, name);
             }
+        }
+    }
+}
+
+#[test]
+fn required_rows_are_present_in_both_blocks() {
+    let root = load();
+    for block in ["before", "after"] {
+        let rows = scenarios(&root, block);
+        for required in REQUIRED_ROWS {
+            assert!(
+                rows.iter().any(|(k, _)| k == required),
+                "{block} block lost the `{required}` row"
+            );
         }
     }
 }

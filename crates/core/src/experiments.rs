@@ -118,6 +118,14 @@ impl Experiment {
         &self.config
     }
 
+    /// Mutable access to the configuration — for sweep drivers that
+    /// post-process grid-built experiments (e.g. `bench_engine`
+    /// toggling [`SystemConfig::disable_fast_forward`] for its
+    /// full-stepping baseline block).
+    pub fn config_mut(&mut self) -> &mut SystemConfig {
+        &mut self.config
+    }
+
     /// Core→home-stack mapping for NUMA-affine memory traffic.
     fn home_stacks(&self) -> Vec<usize> {
         wimnet_topology::MultichipLayout::build(&self.config.multichip)

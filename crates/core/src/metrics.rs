@@ -38,6 +38,11 @@ pub struct RunOutcome {
     pub max_latency_cycles: Option<u64>,
     /// Approximate 99th-percentile latency (log-histogram bucket bound).
     pub p99_latency_cycles: Option<u64>,
+    /// Cycles the engine skipped via idle fast-forward (warmup +
+    /// window) — zero on busy runs or with
+    /// [`SystemConfig::disable_fast_forward`] set.  Surfaces how much
+    /// of a run was provably idle; see `docs/fast_forward.md`.
+    pub fast_forwarded_cycles: u64,
     /// Energy by category over the window.
     pub energy: EnergyBreakdown,
 }
@@ -71,6 +76,7 @@ impl RunOutcome {
             avg_latency_cycles: stats.average_latency(),
             max_latency_cycles: stats.max_latency(),
             p99_latency_cycles: stats.latency_percentile(0.99),
+            fast_forwarded_cycles: net.fast_forwarded_cycles(),
             energy: net.meter().breakdown(),
         }
     }

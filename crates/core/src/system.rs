@@ -103,6 +103,13 @@ pub struct SystemConfig {
     pub source_queue_packets: usize,
     /// Cycles without progress before declaring a stall.
     pub stall_threshold: u64,
+    /// Disable the driver's idle fast-forward and step every cycle.
+    /// Behavior-neutral by the fast-forward contract
+    /// (`docs/fast_forward.md`): outcomes are bit-identical either way,
+    /// which the determinism suite asserts and `bench_engine` exploits
+    /// for interleaved full-stepping vs fast-forwarded A/B timing.
+    #[serde(skip, default)]
+    pub disable_fast_forward: bool,
     /// RNG seed for workloads and channel error injection.
     pub seed: u64,
     /// Technology energy constants.
@@ -129,6 +136,7 @@ impl SystemConfig {
             memory_affinity_bias: 0.7,
             source_queue_packets: 4,
             stall_threshold: 20_000,
+            disable_fast_forward: false,
             seed: 0x5177,
             energy: EnergyModel::paper_65nm(),
             stack: StackConfig::paper(),
@@ -443,16 +451,27 @@ impl MultichipSystem {
             }
             cycle += 1;
             // Idle fast-forward: when the workload promises no events
-            // before `next`, nothing is pending at the stacks and the
-            // network is provably idle, jump straight there instead of
+            // before `next` and the network is provably idle, jump
+            // straight to the earliest thing that can happen — the
+            // workload's next event or the first pending memory reply
+            // (whose injection cycle is already scheduled, so waiting
+            // for it cycle by cycle proves nothing) — instead of
             // spinning empty cycles.  The jump never crosses the
             // measurement-window boundary (begin_measurement must run at
             // exactly the warmup cycle).  `is_idle` is checked *before*
             // asking the workload: `next_event_at` may scan a counter
             // RNG (Bernoulli workloads), and that scan would be wasted
-            // every cycle the network is still draining flits.
-            if self.pending_replies.is_empty() && self.net.is_idle() {
+            // every cycle the network is still draining flits.  The
+            // full gate — driver, workload, network and medium all
+            // agreeing — is documented in docs/fast_forward.md.
+            if !self.config.disable_fast_forward && self.net.is_idle() {
                 if let Some(next) = workload.next_event_at(cycle) {
+                    // Remaining replies all have `ready_at >= cycle`:
+                    // earlier ones were drained by `step_cycle`.
+                    let reply_at = self
+                        .pending_replies
+                        .peek()
+                        .map_or(u64::MAX, |r| r.ready_at);
                     // `<=` (not `<`): at cycle == warmup_cycles the
                     // loop top has not yet run begin_measurement, so
                     // the jump must stop short and let the next
@@ -462,7 +481,7 @@ impl MultichipSystem {
                     } else {
                         total
                     };
-                    let target = next.min(bound);
+                    let target = next.min(reply_at).min(bound);
                     if target > cycle {
                         cycle += self.net.fast_forward(target - cycle);
                     }

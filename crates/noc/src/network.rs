@@ -176,6 +176,14 @@ pub struct Network {
     /// Flits generated but still queued at their sources (the O(1)
     /// mirror of summing `inj_pending` lengths).
     backlog_flits: u64,
+    /// Flits buffered in radio TX FIFOs (the O(1) mirror of summing
+    /// the per-VC FIFO lengths; a subset of `flits_in_network`).
+    /// Maintained so the [`SharedMedium::is_quiescent`] precondition —
+    /// every WI transmit buffer empty — is *checked* state, not an
+    /// inference.
+    radio_backlog_flits: u64,
+    /// Cycles skipped by [`Network::fast_forward`] since construction.
+    ff_cycles: u64,
     last_progress: u64,
     // --- Active-set tracking: only components that can make progress
     // are visited each cycle (see `active` module and docs/engine.md).
@@ -557,6 +565,8 @@ impl Network {
             wireless_idle_static,
             flits_in_network: 0,
             backlog_flits: 0,
+            radio_backlog_flits: 0,
+            ff_cycles: 0,
             last_progress: 0,
         })
     }
@@ -627,6 +637,19 @@ impl Network {
         for sw in &self.switches {
             sw.assert_invariants();
         }
+        // The fast-forward precondition counter must track the radio
+        // FIFOs exactly: a drifted counter would either pin `is_idle`
+        // false forever (silently killing fast-forward) or skip cycles
+        // with flits still buffered.
+        assert_eq!(
+            self.radio_backlog_flits,
+            self.radios
+                .iter()
+                .flat_map(|r| r.vcs.iter())
+                .map(|vc| vc.fifo.len() as u64)
+                .sum::<u64>(),
+            "radio backlog counter out of sync"
+        );
     }
 
     /// Flits generated but still waiting in source queues (O(1): the
@@ -704,18 +727,49 @@ impl Network {
     }
 
     /// `true` when stepping the network can change nothing except the
-    /// per-cycle leakage/bookkeeping: no flits in flight or queued, all
-    /// link bandwidth credits saturated, and every attached medium
-    /// quiescent.  This is the idle fast-forward precondition.
+    /// per-cycle leakage/bookkeeping: no flits in flight or queued
+    /// (including the radio TX FIFOs — the [`SharedMedium`] quiescence
+    /// precondition, tracked explicitly), all link bandwidth credits
+    /// saturated, and every attached medium quiescent.  This is the
+    /// idle fast-forward precondition; the full contract lives in
+    /// `docs/fast_forward.md`.
     pub fn is_idle(&self) -> bool {
+        debug_assert!(
+            self.flits_in_network > 0 || self.radio_backlog_flits == 0,
+            "radio FIFOs hold flits the in-flight counter lost"
+        );
         self.flits_in_network == 0
             && self.backlog_flits == 0
+            && self.radio_backlog_flits == 0
             && self
                 .active_links
                 .members()
                 .iter()
                 .all(|&li| self.links[li].is_quiescent())
             && self.media.iter().all(|m| m.is_quiescent())
+    }
+
+    /// Flits currently buffered in radio TX FIFOs (O(1): maintained on
+    /// push and MAC transmit).  Always a subset of
+    /// [`Network::flits_in_flight`]; zero is part of the medium
+    /// quiescence precondition.
+    pub fn radio_backlog(&self) -> u64 {
+        debug_assert_eq!(
+            self.radio_backlog_flits,
+            self.radios
+                .iter()
+                .flat_map(|r| r.vcs.iter())
+                .map(|vc| vc.fifo.len() as u64)
+                .sum::<u64>(),
+            "radio backlog counter out of sync"
+        );
+        self.radio_backlog_flits
+    }
+
+    /// Cycles skipped by [`Network::fast_forward`] since construction —
+    /// the per-run fast-forward statistic reports and examples surface.
+    pub fn fast_forwarded_cycles(&self) -> u64 {
+        self.ff_cycles
     }
 
     /// Fast-forwards up to `cycles` idle cycles, applying exactly the
@@ -770,6 +824,7 @@ impl Network {
         self.scratch_actions = actions;
         self.stats.on_cycles(cycles);
         self.now += cycles;
+        self.ff_cycles += cycles;
         cycles
     }
 
@@ -907,6 +962,7 @@ impl Network {
                         "radio TX overflow: credit protocol violated"
                     );
                     radio.vcs[m.out_vc].fifo.push_back((m.flit, target));
+                    self.radio_backlog_flits += 1;
                 } else {
                     let li = self.out_link[pb + m.out_port].expect("wired port has a link");
                     self.links[li].send(m.flit, m.out_vc, now);
@@ -1074,6 +1130,7 @@ impl Network {
                         .fifo
                         .pop_front()
                         .expect("MAC transmitted from an empty TX VC");
+                    self.radio_backlog_flits -= 1;
                     // Free TX slot: credit back to the hosting switch's
                     // radio output port.
                     let host = radio.node.index();

@@ -278,21 +278,36 @@ pub trait SharedMedium {
         "shared-medium"
     }
 
-    /// Idle fast-forward contract.  The engine calls this only when
-    /// every radio TX buffer is empty and nothing is in flight; `true`
-    /// promises that, under such a view, [`SharedMedium::step`] would
-    /// move no flits and that [`SharedMedium::idle_step`] reproduces its
-    /// state changes and energy charges *exactly* (bit-identical
-    /// floats).  MACs whose idle cycles depend on the full view (phase
-    /// machines, per-radio timers) must keep the conservative default.
+    /// Idle fast-forward contract (see `docs/fast_forward.md` for the
+    /// full version).  The engine consults this only when every radio
+    /// TX buffer is empty and nothing is in flight — a precondition it
+    /// tracks explicitly (`Network::radio_backlog`).  Returning `true`
+    /// promises that, under such a view, the medium's evolution is
+    /// **view-independent**: [`SharedMedium::step`] would move no flits
+    /// whatever the receive-side state shows, and
+    /// [`SharedMedium::idle_step`] reproduces its state changes and
+    /// energy charges *exactly* (bit-identical floats), composing over
+    /// any cycle count — `k` idle steps must equal `k` full steps.
+    ///
+    /// A medium may decline (the conservative default) while any
+    /// internal schedule still holds work — a transmission in flight, a
+    /// pending delivery queue — or when its idle behavior genuinely
+    /// reads the per-cycle view.  All three shipped MACs accept when
+    /// drained: their idle phase/token machines are periodic and replay
+    /// closed-form (`wimnet-wireless`'s `idle_advance` methods).
     fn is_quiescent(&self) -> bool {
         false
     }
 
     /// One idle cycle without a [`MediumView`]: replays exactly what
-    /// [`SharedMedium::step`] would have done given an all-empty view.
-    /// Only called when [`SharedMedium::is_quiescent`] returned `true`.
-    /// Implementations must only emit [`MediumAction::Energy`] actions.
+    /// [`SharedMedium::step`] would have done given an all-empty view,
+    /// in the same action order (the engine drains charges into the
+    /// meter per cycle, so emission order is part of the bit-identity
+    /// obligation).  Only called when [`SharedMedium::is_quiescent`]
+    /// returned `true`.  Implementations must only emit
+    /// [`MediumAction::Energy`] actions — a quiescent medium has
+    /// nothing to transmit by definition, and the engine treats a
+    /// `Transmit` here as a contract violation.
     fn idle_step(&mut self, now: u64, actions: &mut MediumActions) {
         let _ = (now, actions);
         unreachable!("idle_step requires an is_quiescent implementation");

@@ -113,9 +113,7 @@ impl InjectionSampler {
         assert!(cores > 0, "sampler needs at least one core");
         process.validate();
         let p_none = match process {
-            InjectionProcess::Bernoulli { rate } => {
-                (1.0 - rate).powi(i32::try_from(cores).expect("core count fits i32"))
-            }
+            InjectionProcess::Bernoulli { rate } => p_none_of(cores, rate),
             InjectionProcess::Saturation => 0.0,
         };
         InjectionSampler {
@@ -197,67 +195,18 @@ impl InjectionSampler {
         }
     }
 
-    /// Inverts the Binomial(cores, rate) CDF at `u` by walking the pmf
-    /// recurrence `pmf(k+1) = pmf(k) · (n−k)/(k+1) · p/(1−p)` from
-    /// `pmf(0) = (1−p)^n`.  O(k) — and `k` is the number of events the
-    /// caller must materialise anyway.
+    /// Inverts the Binomial(cores, rate) CDF at `u`; see
+    /// [`binomial_inverse_cdf`].
     fn binomial_inverse_cdf(&self, u: f64) -> usize {
         let InjectionProcess::Bernoulli { rate } = self.process else {
             unreachable!("only Bernoulli draws a count");
         };
-        let n = self.cores;
-        let ratio = rate / (1.0 - rate);
-        let mut pmf = self.p_none;
-        let mut cdf = pmf;
-        let mut k = 0usize;
-        while u >= cdf && k < n {
-            pmf *= (n - k) as f64 / (k + 1) as f64 * ratio;
-            cdf += pmf;
-            k += 1;
-        }
-        // Floating-point tail: if rounding kept `cdf` below `u`, every
-        // core fired.
-        k
+        binomial_inverse_cdf(self.cores, rate, self.p_none, u)
     }
 
-    /// Uniform `k`-subset of `0..cores`, sorted ascending into `out`.
-    ///
-    /// Sparse sets (`k² ≤ cores`) use Floyd's algorithm — `k` draws,
-    /// with the membership probe bounded by `k ≤ √cores`.  Dense sets
-    /// use Knuth's selection sampling (Algorithm S) — one draw per
-    /// candidate index, O(cores) total, instead of Floyd's O(k²)
-    /// linear-scan probes.  Both are exactly uniform; which one runs is
-    /// a deterministic function of `k`, so the draw stream stays a pure
-    /// function of the cycle.
+    /// Uniform `k`-subset of `0..cores`; see [`uniform_subset`].
     fn uniform_subset(&self, k: usize, rng: &mut CounterRng, out: &mut Vec<usize>) {
-        debug_assert!(k <= self.cores);
-        if k == self.cores {
-            out.extend(0..self.cores);
-            return;
-        }
-        if k.saturating_mul(k) <= self.cores {
-            for j in (self.cores - k)..self.cores {
-                let t = rng.gen_range(0..j + 1);
-                if out.contains(&t) {
-                    out.push(j);
-                } else {
-                    out.push(t);
-                }
-            }
-            out.sort_unstable();
-        } else {
-            let mut need = k;
-            for i in 0..self.cores {
-                if need == 0 {
-                    break;
-                }
-                let remaining = (self.cores - i) as f64;
-                if rng.gen::<f64>() * remaining < need as f64 {
-                    out.push(i);
-                    need -= 1;
-                }
-            }
-        }
+        uniform_subset(self.cores, k, rng, out);
     }
 
     /// The earliest cycle `>= from` at which any core fires, or a
@@ -288,6 +237,122 @@ impl InjectionSampler {
             }
         }
     }
+}
+
+/// `P(no core fires)` for `n` independent Bernoulli(`rate`) coins —
+/// `(1 − rate)^n`, with the same f64 edge regimes the sampler handles
+/// (exact `0.0` on underflow, exact `1.0` for effectively-zero rates).
+pub(crate) fn p_none_of(n: usize, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        return 1.0;
+    }
+    if rate >= 1.0 {
+        return 0.0;
+    }
+    (1.0 - rate).powi(i32::try_from(n).expect("core count fits i32"))
+}
+
+/// Inverts the Binomial(`n`, `rate`) CDF at `u` by walking the pmf
+/// recurrence `pmf(k+1) = pmf(k) · (n−k)/(k+1) · p/(1−p)` from
+/// `pmf(0) = (1−p)^n` (passed in as `p_none`).  O(k) — and `k` is the
+/// number of events the caller must materialise anyway.
+pub(crate) fn binomial_inverse_cdf(n: usize, rate: f64, p_none: f64, u: f64) -> usize {
+    let ratio = rate / (1.0 - rate);
+    let mut pmf = p_none;
+    let mut cdf = pmf;
+    let mut k = 0usize;
+    while u >= cdf && k < n {
+        pmf *= (n - k) as f64 / (k + 1) as f64 * ratio;
+        cdf += pmf;
+        k += 1;
+    }
+    // Floating-point tail: if rounding kept `cdf` below `u`, every
+    // core fired.
+    k
+}
+
+/// Uniform `k`-subset of `0..n`, sorted ascending into `out` (which is
+/// *not* cleared: callers compose).
+///
+/// Sparse sets (`k² ≤ n`) use Floyd's algorithm — `k` draws, with the
+/// membership probe bounded by `k ≤ √n`.  Dense sets use Knuth's
+/// selection sampling (Algorithm S) — one draw per candidate index,
+/// O(n) total, instead of Floyd's O(k²) linear-scan probes.  Both are
+/// exactly uniform; which one runs is a deterministic function of `k`,
+/// so the draw stream stays a pure function of the caller's index.
+pub(crate) fn uniform_subset(n: usize, k: usize, rng: &mut CounterRng, out: &mut Vec<usize>) {
+    debug_assert!(k <= n);
+    if k == n {
+        out.extend(0..n);
+        return;
+    }
+    if k.saturating_mul(k) <= n {
+        for j in (n - k)..n {
+            let t = rng.gen_range(0..j + 1);
+            if out.contains(&t) {
+                out.push(j);
+            } else {
+                out.push(t);
+            }
+        }
+        out.sort_unstable();
+    } else {
+        let mut need = k;
+        for i in 0..n {
+            if need == 0 {
+                break;
+            }
+            let remaining = (n - i) as f64;
+            if rng.gen::<f64>() * remaining < need as f64 {
+                out.push(i);
+                need -= 1;
+            }
+        }
+    }
+}
+
+/// The firing subset of `0..n` cores **conditioned on at least one
+/// fire**, sorted ascending into `out` (cleared first).
+///
+/// This is the per-fire-cycle companion of [`GeometricGaps`]: the gap
+/// process realises *when* some core fires (the `1 − (1 − rate)^n`
+/// any-fire law), and this draw realises *who*, from the Binomial
+/// count distribution truncated at `k ≥ 1` plus a uniform `k`-subset —
+/// together exactly the product-Bernoulli law conditioned on a
+/// non-empty cycle.  The truncation maps a uniform draw onto
+/// `[p_none, 1)` before inverting the CDF, so `k = 0` is unreachable.
+///
+/// In the underflow regime (`(1 − rate)^n` flushes to `0.0`) the count
+/// recurrence cannot start; the fallback flips the `n` coins directly
+/// and, in the `< 2⁻¹⁰⁰⁰` event that all miss, fires one uniform core
+/// so the "fire cycles carry events" invariant holds.
+pub(crate) fn conditional_fires(
+    n: usize,
+    rate: f64,
+    rng: &mut CounterRng,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    debug_assert!(rate > 0.0, "a fire cycle needs a positive rate");
+    if rate >= 1.0 {
+        out.extend(0..n);
+        return;
+    }
+    let p_none = p_none_of(n, rate);
+    if p_none == 0.0 {
+        for core in 0..n {
+            if rng.gen::<f64>() < rate {
+                out.push(core);
+            }
+        }
+        if out.is_empty() {
+            out.push(rng.gen_range(0..n));
+        }
+        return;
+    }
+    let u = p_none + rng.gen::<f64>() * (1.0 - p_none);
+    let k = binomial_inverse_cdf(n, rate, p_none, u).max(1);
+    uniform_subset(n, k, rng, out);
 }
 
 /// Gaps this far out are reported as "never" ([`u64::MAX`]); beyond any

@@ -101,16 +101,19 @@ pub trait Workload {
 
     /// The earliest cycle `>= now` at which [`Workload::generate`] may
     /// return events, or `None` when the workload cannot predict it
-    /// (e.g. a sequential RNG or phase machine whose state must advance
-    /// every cycle, like [`AppWorkload`]).  Returning `Some(c)` is a
-    /// promise that skipping the `generate` calls for cycles in
-    /// `[now, c)` leaves the workload's output unchanged — the idle
-    /// fast-forward contract the simulation driver relies on to jump
-    /// over dead air.  The Bernoulli workloads ([`UniformRandom`],
-    /// [`patterns::PatternWorkload`]) satisfy it with counter-based
-    /// draws: generation is a pure function of `(seed, core, cycle)`,
-    /// so the next firing cycle is computable without consuming state
-    /// (see `docs/sweeps.md`).
+    /// (e.g. a generator walking a sequential RNG whose state must
+    /// advance every cycle).  Returning `Some(c)` is a promise that
+    /// skipping the `generate` calls for cycles in `[now, c)` leaves
+    /// the workload's output unchanged — the idle fast-forward contract
+    /// the simulation driver relies on to jump over dead air (the full
+    /// contract lives in `docs/fast_forward.md`).  Every shipped
+    /// workload satisfies it with counter-based draws: the Bernoulli
+    /// generators ([`UniformRandom`], [`patterns::PatternWorkload`])
+    /// make generation a pure function of `(seed, core, cycle)` so the
+    /// next firing cycle is computable without consuming state (see
+    /// `docs/sweeps.md`), and [`AppWorkload`] precomputes event-indexed
+    /// phase/fire schedules so quiet application phases skip in
+    /// O(events) rather than O(cycles).
     fn next_event_at(&self, now: u64) -> Option<u64> {
         let _ = now;
         None

@@ -18,6 +18,23 @@
 //! achieves this with the broadcast control plane; the model reads the
 //! same information from the engine's [`MediumView`], which is exactly
 //! the state a broadcast credit scheme would distribute.
+//!
+//! # Quiescence and idle fast-forward
+//!
+//! With every WI transmit buffer empty and no scheduled data pending,
+//! the turn machine is **view-independent**: every turn announces an
+//! empty schedule (a header-only control packet — the paper's "pass"),
+//! so the evolution is periodic — one pass every
+//! `control_flits(0) × cycles_per_flit` cycles, rotating the turn
+//! holder, with all receivers listening (sleepy gating only engages
+//! during data phases, which idle turns never have).
+//! [`ControlPacketMac::idle_advance`] realises that closed form for any
+//! cycle count, bit-identically to full stepping under an all-empty
+//! view (proven by replay in `tests/idle_replay.rs`); the bit-error RNG
+//! is only consumed when data flits move, so resuming after a jump is
+//! also bit-identical.  The MAC declines quiescence exactly while
+//! `pending` transmissions exist.  See `docs/fast_forward.md` for the
+//! full contract.
 
 use std::collections::VecDeque;
 
@@ -54,7 +71,7 @@ struct ShadowVc {
 ///
 /// See the crate-level example for construction; attach with
 /// [`wimnet_noc::Network::attach_medium`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ControlPacketMac {
     cfg: ChannelConfig,
     rng: SmallRng,
@@ -122,6 +139,79 @@ impl ControlPacketMac {
                 EnergyCategory::WirelessSleep,
                 self.cfg.energy.wireless_sleep_over(1) * asleep as f64,
             );
+        }
+    }
+
+    /// Energy of one header-only (pass) control broadcast: one TX plus
+    /// `radios − 1` decodes — the `tuples = 0` case of the charge
+    /// [`ControlPacketMac::start_turn`] computes.
+    fn pass_energy(&self) -> wimnet_energy::Energy {
+        let control_bits =
+            u64::from(self.cfg.control_flits(0)) * u64::from(self.cfg.flit_bits);
+        self.cfg.energy.wireless_tx(control_bits)
+            + self.cfg.energy.wireless_rx(control_bits) * (self.cfg.radios - 1) as f64
+    }
+
+    /// Advances the idle turn machine by `cycles` cycles starting at
+    /// `now`, emitting exactly the per-cycle actions that many
+    /// [`SharedMedium::step`] calls under an all-empty view would.
+    ///
+    /// The idle evolution is closed-form: pass cycles sit at
+    /// `first + i · span` where `first` is `max(turn_end, now)` and
+    /// `span = control_flits(0) × cycles_per_flit` is the header-only
+    /// broadcast time; every idle turn has `control_until == turn_end`,
+    /// so all receivers listen and the sleepy gating never engages.
+    /// The state update (holder rotation, turn timers, participants,
+    /// stats) is applied once from the pass count; only the energy
+    /// charges — which must land per-cycle to keep the meter's f64
+    /// accumulation order, see `docs/fast_forward.md` — loop.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts [`SharedMedium::is_quiescent`]: calling this with
+    /// scheduled data pending would skip deliveries.
+    pub fn idle_advance(&mut self, now: u64, cycles: u64, actions: &mut MediumActions) {
+        let n = self.cfg.radios;
+        if n == 0 || cycles == 0 {
+            return;
+        }
+        debug_assert!(self.is_quiescent(), "idle_advance with data pending");
+        let span = u64::from(self.cfg.control_flits(0)) * self.cfg.cycles_per_flit();
+        // `.max(1)`: a degenerate zero-cycle header means `step` starts
+        // a fresh pass every cycle.
+        let period = span.max(1);
+        let first = self.turn_end.max(now);
+        let end = now + cycles;
+        let pass_energy = self.pass_energy();
+        let idle_energy = self.cfg.energy.wireless_idle_over(1) * n as f64;
+        let mut passes = 0u64;
+        for c in now..end {
+            if c >= first && (c - first).is_multiple_of(period) {
+                actions.energy(EnergyCategory::WirelessControl, pass_energy);
+                passes += 1;
+            }
+            if c < first {
+                // Tail of a pre-existing turn: replay the per-cycle
+                // power with the still-unchanged phase timers (covers a
+                // leftover data window's sleepy accounting exactly).
+                self.charge_per_cycle_power(c, actions);
+            } else {
+                // Inside idle turns control and data phases coincide
+                // (`control_until == turn_end`), so everyone listens.
+                actions.energy(EnergyCategory::WirelessIdle, idle_energy);
+            }
+        }
+        if passes > 0 {
+            self.stats.turns += passes;
+            self.stats.passes += passes;
+            self.stats.control_flits += passes * u64::from(self.cfg.control_flits(0));
+            let last = first + (passes - 1) * period;
+            self.control_until = last + span;
+            self.turn_end = last + span;
+            let last_holder = ((self.next_holder as u64 + passes - 1) % n as u64) as usize;
+            self.next_holder = ((self.next_holder as u64 + passes) % n as u64) as usize;
+            self.participants.iter_mut().for_each(|p| *p = false);
+            self.participants[last_holder] = true;
         }
     }
 
@@ -277,11 +367,17 @@ impl SharedMedium for ControlPacketMac {
     }
 
     fn is_quiescent(&self) -> bool {
-        // Declined deliberately: the control/data phase machine and the
-        // sleepy-receiver accounting depend on the per-cycle view, so an
-        // idle replay without a view cannot be proven bit-identical.
-        // The engine therefore never fast-forwards past this MAC.
-        false
+        // With no scheduled data pending and every TX buffer empty (the
+        // engine's precondition), every turn announces an empty
+        // schedule regardless of receive-side state, so the turn
+        // machine evolves view-independently and `idle_advance` replays
+        // it exactly.  Pending deliveries (and their bit-error draws)
+        // pin the MAC to full stepping.
+        self.pending.is_empty()
+    }
+
+    fn idle_step(&mut self, now: u64, actions: &mut MediumActions) {
+        self.idle_advance(now, 1, actions);
     }
 }
 

@@ -26,6 +26,22 @@
 //! All media implement [`wimnet_noc::SharedMedium`] and plug into the
 //! engine with [`wimnet_noc::Network::attach_medium`].
 //!
+//! # Idle fast-forward
+//!
+//! All three media are **quiescence-capable**: when every WI transmit
+//! buffer is empty and nothing is in flight, their idle evolution is
+//! view-independent — the token machine passes periodically, the
+//! control-packet machine broadcasts header-only passes periodically,
+//! and the parallel links merely rotate their round-robin pointer — so
+//! the engine may skip idle stretches while replaying state changes
+//! and energy charges bit-identically
+//! ([`wimnet_noc::SharedMedium::is_quiescent`] /
+//! [`wimnet_noc::SharedMedium::idle_step`]; closed-form
+//! [`ControlPacketMac::idle_advance`] / [`TokenMac::idle_advance`]).
+//! The replay obligation is proven property-based in
+//! `tests/idle_replay.rs`; the full contract lives in
+//! `docs/fast_forward.md`.
+//!
 //! # Example
 //!
 //! ```

@@ -15,6 +15,16 @@
 //! faithful serialized §III.D channel (the MAC ablation); use this
 //! medium to regenerate the paper's figures.  See `DESIGN.md` §3 and
 //! `EXPERIMENTS.md` for the full discrepancy discussion.
+//!
+//! # Quiescence and idle fast-forward
+//!
+//! With every TX buffer empty, an idle cycle only saturates the
+//! per-WI bandwidth credits, rotates the round-robin pointer and
+//! charges constant transceiver power; once the credits have hit their
+//! cap the evolution is view-independent and
+//! [`SharedMedium::idle_step`] replays it exactly.  All three media in
+//! this crate are now fast-forwardable — see `docs/fast_forward.md`
+//! for the shared contract.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

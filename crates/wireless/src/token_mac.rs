@@ -1,5 +1,7 @@
 //! The baseline token MAC (paper ref \[7\]).
 //!
+//! # Arbitration scheme (the paper's terminology)
+//!
 //! A token circulates over the WIs in sequence; only the token holder
 //! may transmit, and — to preserve wormhole integrity without the
 //! control-packet machinery — it may transmit only **whole packets**
@@ -8,7 +10,27 @@
 //! buffers at least as deep as a packet (64 flits), which is exactly the
 //! buffer/static-power overhead the paper's proposed MAC removes.
 //! Receivers are never power-gated: without a control packet announcing
-//! destinations, every WI must listen.
+//! destinations, every WI must listen.  Token-passing arbitration is the
+//! standard baseline across in-package wireless NoC proposals; the
+//! paper's §IV MAC comparison measures its channel-holding and
+//! buffering penalties against the control-packet scheme.
+//!
+//! # Quiescence and idle fast-forward
+//!
+//! With every WI transmit buffer empty (the engine's fast-forward
+//! precondition) the token machine is **view-independent**: a holder
+//! with nothing buffered always passes, so the evolution is periodic —
+//! one token pass (one broadcast control flit, one holder rotation)
+//! every [`ChannelConfig::cycles_per_flit`] cycles, plus the constant
+//! always-listening idle power each cycle.  [`TokenMac::idle_advance`]
+//! realises that closed form for any cycle count `k`, bit-identically
+//! to `k` calls of [`SharedMedium::step`] under an all-empty view
+//! (proven by replay in `tests/idle_replay.rs`); the per-flit bit-error
+//! RNG is untouched on idle cycles, so resuming after a jump is also
+//! bit-identical.  The MAC declines quiescence only mid-transmission —
+//! a state the engine's "no flits buffered anywhere" precondition makes
+//! unreachable anyway.  See `docs/fast_forward.md` for the full
+//! contract.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -35,7 +57,7 @@ enum TokenState {
 }
 
 /// The token-passing MAC baseline.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TokenMac {
     cfg: ChannelConfig,
     rng: SmallRng,
@@ -71,18 +93,72 @@ impl TokenMac {
 
     fn pass_token(&mut self, now: u64, actions: &mut MediumActions) {
         // Token = one broadcast flit.
-        let bits = u64::from(self.cfg.flit_bits);
         let n = self.cfg.radios;
-        actions.energy(
-            EnergyCategory::WirelessControl,
-            self.cfg.energy.wireless_tx(bits)
-                + self.cfg.energy.wireless_rx(bits) * (n - 1) as f64,
-        );
+        actions.energy(EnergyCategory::WirelessControl, self.pass_energy());
         self.stats.control_flits += 1;
         self.holder = (self.holder + 1) % n;
         self.state = TokenState::Passing {
             until: now + self.cfg.cycles_per_flit(),
         };
+    }
+
+    /// Energy of one token broadcast: one TX plus `radios − 1` decodes.
+    fn pass_energy(&self) -> wimnet_energy::Energy {
+        let bits = u64::from(self.cfg.flit_bits);
+        self.cfg.energy.wireless_tx(bits)
+            + self.cfg.energy.wireless_rx(bits) * (self.cfg.radios - 1) as f64
+    }
+
+    /// Advances the idle token machine by `cycles` cycles starting at
+    /// `now`, emitting exactly the per-cycle actions that many
+    /// [`SharedMedium::step`] calls under an all-empty view would.
+    ///
+    /// The idle evolution is closed-form: pass cycles sit at
+    /// `first + i · cpf` where `first` is `now` (token at a deciding
+    /// holder) or the pending arrival cycle, and `cpf` is the token's
+    /// one-flit serialisation time.  The state update (holder rotation
+    /// modulo `radios`, next arrival cycle, stats) is applied once from
+    /// the pass count; only the energy charges — which must land
+    /// per-cycle to keep the meter's f64 accumulation order, see
+    /// `docs/fast_forward.md` — loop.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts [`SharedMedium::is_quiescent`]: calling this
+    /// mid-transmission would skip data flits.
+    pub fn idle_advance(&mut self, now: u64, cycles: u64, actions: &mut MediumActions) {
+        let n = self.cfg.radios;
+        if n == 0 || cycles == 0 {
+            return;
+        }
+        debug_assert!(self.is_quiescent(), "idle_advance during a transmission");
+        // `.max(1)`: a degenerate zero-cycle flit time means `step`
+        // passes the token every cycle.
+        let cpf = self.cfg.cycles_per_flit().max(1);
+        let first = match self.state {
+            TokenState::Deciding => now,
+            TokenState::Passing { until } => until.max(now),
+            TokenState::Transmitting { .. } => unreachable!("quiescence asserted"),
+        };
+        let end = now + cycles;
+        let pass_energy = self.pass_energy();
+        let idle_energy = self.cfg.energy.wireless_idle_over(1) * n as f64;
+        let mut passes = 0u64;
+        for c in now..end {
+            if c >= first && (c - first).is_multiple_of(cpf) {
+                actions.energy(EnergyCategory::WirelessControl, pass_energy);
+                passes += 1;
+            }
+            actions.energy(EnergyCategory::WirelessIdle, idle_energy);
+        }
+        if passes > 0 {
+            self.stats.turns += passes;
+            self.stats.passes += passes;
+            self.stats.control_flits += passes;
+            self.holder = ((self.holder as u64 + passes) % n as u64) as usize;
+            let last = first + (passes - 1) * cpf;
+            self.state = TokenState::Passing { until: last + self.cfg.cycles_per_flit() };
+        }
     }
 }
 
@@ -199,11 +275,18 @@ impl SharedMedium for TokenMac {
     }
 
     fn is_quiescent(&self) -> bool {
-        // Declined deliberately: token hand-off decisions read the view
-        // (a holder with nothing buffered passes the token), so an idle
-        // replay without a view cannot be proven bit-identical.  The
-        // engine therefore never fast-forwards past this MAC.
-        false
+        // Passing and Deciding evolve view-independently when every TX
+        // buffer is empty (the engine's precondition): a deciding holder
+        // with nothing buffered always passes, so the machine is
+        // periodic in the token's flit time and `idle_advance` replays
+        // it exactly.  Only a transmission in flight pins the MAC to
+        // full stepping — and the precondition makes that unreachable,
+        // since a scheduled packet is still buffered at the WI.
+        !matches!(self.state, TokenState::Transmitting { .. })
+    }
+
+    fn idle_step(&mut self, now: u64, actions: &mut MediumActions) {
+        self.idle_advance(now, 1, actions);
     }
 }
 

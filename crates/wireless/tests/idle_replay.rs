@@ -1,0 +1,331 @@
+//! The idle fast-forward replay obligation, property-based: for both
+//! serialized-channel MACs, `idle_advance(k)` (and `k` × `idle_step`)
+//! starting from a random TX-drain state must be **bit-identical** to
+//! `k` full [`SharedMedium::step`] calls under an all-empty view — same
+//! action stream (energy values compared exactly, f64 bit for bit),
+//! same stats, same internal state — and resuming with live traffic
+//! afterwards must behave identically too.  This is the contract that
+//! lets the engine skip idle cycles on the MAC-comparison scenarios
+//! (see `docs/fast_forward.md`).
+
+use proptest::prelude::*;
+
+use wimnet_noc::radio::{MediumAction, MediumActions, MediumView, RadioId, SharedMedium};
+use wimnet_noc::{Flit, FlitKind, PacketId};
+use wimnet_topology::NodeId;
+use wimnet_wireless::{ChannelConfig, ControlPacketMac, TokenMac};
+
+/// A draining transmit world: radio 0 holds one `total`-flit packet for
+/// radio 1; MAC `Transmit` actions pop it flit by flit.  Rebuilding the
+/// view each cycle mirrors what the engine's radio FIFOs would show.
+#[derive(Debug, Clone)]
+struct World {
+    radios: usize,
+    vcs: usize,
+    packet: u64,
+    total: u32,
+    remaining: u32,
+    /// Radio 1's receive VCs: `(owner, buffered)` per VC — the state
+    /// the hosting switch's radio input port would expose.
+    rx: Vec<(Option<PacketId>, usize)>,
+}
+
+impl World {
+    fn new(radios: usize, vcs: usize, packet: u64, total: u32) -> Self {
+        World { radios, vcs, packet, total, remaining: total, rx: vec![(None, 0); vcs] }
+    }
+
+    fn front_kind(&self) -> FlitKind {
+        if self.remaining == self.total {
+            if self.total == 1 { FlitKind::HeadTail } else { FlitKind::Head }
+        } else if self.remaining == 1 {
+            FlitKind::Tail
+        } else {
+            FlitKind::Body
+        }
+    }
+
+    fn view(&self) -> MediumView {
+        let mut radios: Vec<_> = (0..self.radios)
+            .map(|i| empty_radio(i, self.vcs))
+            .collect();
+        if self.remaining > 0 {
+            radios[0].tx[0] = wimnet_noc::radio::TxVcView {
+                front: Some((
+                    Flit {
+                        packet: PacketId(self.packet),
+                        kind: self.front_kind(),
+                        seq: self.total - self.remaining,
+                        src: NodeId(0),
+                        dest: NodeId(1),
+                        created_at: 0,
+                    },
+                    RadioId(1),
+                )),
+                len: self.remaining as usize,
+                front_run_len: self.remaining as usize,
+                front_run_has_tail: true,
+            };
+        }
+        for (vc, &(owner, len)) in self.rx.iter().enumerate() {
+            radios[1].rx[vc].owner = owner;
+            radios[1].rx[vc].len = len;
+        }
+        MediumView::new(radios)
+    }
+
+    fn apply(&mut self, actions: &MediumActions) {
+        for a in actions.actions() {
+            if let MediumAction::Transmit { from, tx_vc, rx_vc } = a {
+                assert_eq!((*from, *tx_vc), (RadioId(0), 0), "unexpected transmit source");
+                assert!(self.remaining > 0, "MAC transmitted from an empty TX FIFO");
+                let is_tail = matches!(self.front_kind(), FlitKind::Tail | FlitKind::HeadTail);
+                self.remaining -= 1;
+                let slot = &mut self.rx[*rx_vc];
+                slot.0 = if is_tail { None } else { Some(PacketId(self.packet)) };
+                slot.1 += 1;
+            }
+        }
+    }
+
+    fn drained(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+fn empty_radio(id: usize, vcs: usize) -> wimnet_noc::radio::RadioView {
+    wimnet_noc::radio::RadioView {
+        id: RadioId(id),
+        node: NodeId(id),
+        tx: vec![
+            wimnet_noc::radio::TxVcView {
+                front: None,
+                len: 0,
+                front_run_len: 0,
+                front_run_has_tail: false,
+            };
+            vcs
+        ],
+        rx: vec![
+            wimnet_noc::radio::RxVcView { owner: None, len: 0, capacity: 16 };
+            vcs
+        ],
+    }
+}
+
+/// Drives `mac` through the draining world until the TX FIFO is empty
+/// *and* the MAC reports quiescence; returns the cycle to resume from.
+fn drain_to_quiescence(mac: &mut dyn SharedMedium, world: &mut World, start: u64) -> u64 {
+    let mut now = start;
+    // Generous bound: worst case is the token MAC circling many empty
+    // holders between packets plus per-flit serialisation.
+    let deadline = start + 20_000;
+    loop {
+        if world.drained() && mac.is_quiescent() {
+            return now;
+        }
+        assert!(now < deadline, "drain did not reach quiescence");
+        let view = world.view();
+        let mut actions = MediumActions::new();
+        mac.step(now, &view, &mut actions);
+        world.apply(&actions);
+        now += 1;
+    }
+}
+
+/// The replay check proper, shared by both MACs: from the current
+/// (quiescent, TX-drained) state, `k` full steps under an empty view,
+/// `k` `idle_step`s, and one `idle_advance(k)` must all produce the
+/// bit-identical action stream and leave bit-identical MAC state — and
+/// a subsequent live-traffic resume must not diverge either.
+#[allow(clippy::too_many_arguments)]
+fn assert_idle_replay<M, S, A>(
+    mac: M,
+    radios: usize,
+    vcs: usize,
+    now: u64,
+    k: u64,
+    step: S,
+    idle_advance: A,
+) where
+    M: SharedMedium + Clone + std::fmt::Debug,
+    S: Fn(&mut M, u64, &MediumView, &mut MediumActions),
+    A: Fn(&mut M, u64, u64, &mut MediumActions),
+{
+    let empty = World::new(radios, vcs, 999, 0).view();
+
+    // Reference walk: k full steps under the all-empty view.
+    let mut full = mac.clone();
+    let mut full_actions = MediumActions::new();
+    for c in now..now + k {
+        let mut cycle = MediumActions::new();
+        step(&mut full, c, &empty, &mut cycle);
+        for a in cycle.actions() {
+            assert!(
+                matches!(a, MediumAction::Energy { .. }),
+                "an idle step must not move flits"
+            );
+        }
+        full_actions.list_extend(cycle);
+    }
+
+    // k × idle_step.
+    let mut stepped = mac.clone();
+    let mut stepped_actions = MediumActions::new();
+    for c in now..now + k {
+        let mut cycle = MediumActions::new();
+        stepped.idle_step(c, &mut cycle);
+        stepped_actions.list_extend(cycle);
+    }
+
+    // One closed-form jump.
+    let mut jumped = mac.clone();
+    let mut jumped_actions = MediumActions::new();
+    idle_advance(&mut jumped, now, k, &mut jumped_actions);
+
+    assert_eq!(full_actions, stepped_actions, "idle_step diverged from step");
+    assert_eq!(full_actions, jumped_actions, "idle_advance diverged from step");
+    assert_eq!(
+        format!("{full:?}"),
+        format!("{stepped:?}"),
+        "idle_step left different state"
+    );
+    assert_eq!(
+        format!("{full:?}"),
+        format!("{jumped:?}"),
+        "idle_advance left different state"
+    );
+
+    // Resume with live traffic: the three replicas must keep agreeing.
+    let resume = now + k;
+    let mut w_full = World::new(radios, vcs, 1000, 4);
+    let mut w_jump = w_full.clone();
+    let mut c = resume;
+    while !(w_full.drained() && full.is_quiescent()) {
+        assert!(c < resume + 20_000, "resume drain stalled");
+        let mut a_full = MediumActions::new();
+        step(&mut full, c, &w_full.view(), &mut a_full);
+        let mut a_jump = MediumActions::new();
+        step(&mut jumped, c, &w_jump.view(), &mut a_jump);
+        assert_eq!(a_full, a_jump, "resume diverged at cycle {c}");
+        w_full.apply(&a_full);
+        w_jump.apply(&a_jump);
+        c += 1;
+    }
+    assert_eq!(format!("{full:?}"), format!("{jumped:?}"), "post-resume state diverged");
+}
+
+/// Test-local extension: append another action list (the engine applies
+/// actions strictly in emission order, so concatenation is the faithful
+/// composition).
+trait ActionListExt {
+    fn list_extend(&mut self, other: MediumActions);
+}
+
+impl ActionListExt for MediumActions {
+    fn list_extend(&mut self, other: MediumActions) {
+        for a in other.actions() {
+            match *a {
+                MediumAction::Energy { category, energy } => self.energy(category, energy),
+                MediumAction::Transmit { from, tx_vc, rx_vc } => {
+                    self.transmit(from, tx_vc, rx_vc)
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Token MAC: random drain states (packet length, warm-up offset,
+    /// radio count, sleepy flag) all replay bit-identically.
+    #[test]
+    fn token_mac_idle_replay_is_bit_identical(
+        radios in 2usize..6,
+        vcs in 1usize..4,
+        packet_len in 2u32..9,
+        seed in 0u64..1_000,
+        sleepy in proptest::prelude::any::<bool>(),
+        k in 0u64..160,
+    ) {
+        let mut cfg = ChannelConfig::paper(radios);
+        cfg.seed = seed;
+        cfg.sleepy_receivers = sleepy;
+        let mut mac = TokenMac::new(cfg);
+        let mut world = World::new(radios, vcs, 7, packet_len);
+        let now = drain_to_quiescence(&mut mac, &mut world, 0);
+        assert_idle_replay(
+            mac,
+            radios,
+            vcs,
+            now,
+            k,
+            |m, c, v, a| m.step(c, v, a),
+            |m, c, n, a| m.idle_advance(c, n, a),
+        );
+    }
+
+    /// Control-packet MAC: same property, including leftover turn-timer
+    /// states right after a data turn drains.
+    #[test]
+    fn control_mac_idle_replay_is_bit_identical(
+        radios in 2usize..6,
+        vcs in 1usize..4,
+        packet_len in 1u32..9,
+        seed in 0u64..1_000,
+        sleepy in proptest::prelude::any::<bool>(),
+        k in 0u64..160,
+    ) {
+        let mut cfg = ChannelConfig::paper(radios);
+        cfg.seed = seed;
+        cfg.sleepy_receivers = sleepy;
+        let mut mac = ControlPacketMac::new(cfg);
+        let mut world = World::new(radios, vcs, 7, packet_len);
+        let now = drain_to_quiescence(&mut mac, &mut world, 0);
+        assert_idle_replay(
+            mac,
+            radios,
+            vcs,
+            now,
+            k,
+            |m, c, v, a| m.step(c, v, a),
+            |m, c, n, a| m.idle_advance(c, n, a),
+        );
+    }
+}
+
+/// The token MAC declines quiescence mid-transmission: a scheduled
+/// packet pins it to full stepping.
+#[test]
+fn token_mac_declines_quiescence_mid_transmission() {
+    let mut mac = TokenMac::new(ChannelConfig::paper(2));
+    let world = World::new(2, 2, 3, 4);
+    assert!(mac.is_quiescent(), "fresh MAC is quiescent");
+    // Step until the whole-packet transmission begins.
+    for now in 0..40u64 {
+        let mut actions = MediumActions::new();
+        mac.step(now, &world.view(), &mut actions);
+        if !mac.is_quiescent() {
+            return; // entered Transmitting, as required
+        }
+    }
+    panic!("MAC never started transmitting a whole buffered packet");
+}
+
+/// The control MAC declines quiescence while scheduled deliveries are
+/// pending.
+#[test]
+fn control_mac_declines_quiescence_with_pending_data() {
+    let mut mac = ControlPacketMac::new(ChannelConfig::paper(2));
+    let world = World::new(2, 2, 3, 4);
+    assert!(mac.is_quiescent(), "fresh MAC is quiescent");
+    for now in 0..40u64 {
+        let mut actions = MediumActions::new();
+        mac.step(now, &world.view(), &mut actions);
+        if !mac.is_quiescent() {
+            return; // schedule announced, deliveries pending
+        }
+    }
+    panic!("MAC never scheduled the buffered packet");
+}

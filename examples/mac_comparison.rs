@@ -1,6 +1,8 @@
 //! The §III.D argument, measured: compare the paper's control-packet
 //! MAC against the token MAC baseline on the faithful serialized
-//! channel, including the sleepy-receiver energy effect.
+//! channel, including the sleepy-receiver energy effect — and, since
+//! both MACs became quiescence-capable, the idle fast-forward each
+//! enables on low-load runs (see `docs/fast_forward.md`).
 //!
 //! ```sh
 //! cargo run --release --example mac_comparison
@@ -40,6 +42,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          each WI (deeper buffers, more static power) and holds the \
          channel longer; the control-packet MAC ships partial packets \
          and power-gates unaddressed receivers."
+    );
+
+    // The fast-forward fast path: at a deep-idle load (≈20% of channel
+    // capacity) both MACs drain between packets, declare quiescence,
+    // and the driver skips the inter-packet idle — bit-identically to
+    // stepping every cycle (tests/determinism.rs).
+    let idle_load = 0.00001;
+    println!(
+        "\n{:<34} {:>13} {:>17} {:>11}",
+        "idle fast-forward (paper windows)", "delivered", "skipped cycles", "skipped %"
+    );
+    for (name, mac) in [
+        ("control-packet MAC", MacKind::ControlPacket),
+        ("token MAC", MacKind::Token),
+    ] {
+        let mut cfg = SystemConfig::xcym(4, 4, Architecture::Wireless);
+        cfg.wireless = WirelessModel::SharedChannel { mac };
+        let total = cfg.warmup_cycles + cfg.measure_cycles;
+        match Experiment::uniform_random(&cfg, idle_load).run() {
+            Ok(o) => println!(
+                "{:<34} {:>13} {:>11} / {:<4} {:>10.1}%",
+                name,
+                o.packets_delivered(),
+                o.fast_forwarded_cycles,
+                total,
+                100.0 * o.fast_forwarded_cycles as f64 / total as f64,
+            ),
+            Err(e) => println!("{name:<34} failed: {e}"),
+        }
+    }
+    println!(
+        "\nboth serialized MACs now satisfy the quiescence contract \
+         (docs/fast_forward.md): idle token rotation and header-only \
+         control passes replay closed-form, so low-load MAC-comparison \
+         sweeps run at the per-packet work floor."
     );
     Ok(())
 }

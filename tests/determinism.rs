@@ -230,6 +230,111 @@ fn bernoulli_fast_forward_is_bit_identical_to_full_stepping() {
     }
 }
 
+/// Full-fingerprint comparison of a fast-forwarded and a full-stepped
+/// run of the same system + workload pair: stats, latency bits and
+/// every energy category must match to the last bit.  `make_sys`
+/// rebuilds the system, `make_workload` the workload, per run.
+fn assert_ff_bit_identical(
+    what: &str,
+    cfg: &SystemConfig,
+    make_workload: &dyn Fn() -> Box<dyn Workload>,
+) {
+    let run = |disable_ff: bool| {
+        let mut cfg = cfg.clone();
+        cfg.disable_fast_forward = disable_ff;
+        let mut sys = MultichipSystem::build(&cfg).expect("system builds");
+        let mut w = make_workload();
+        sys.run(w.as_mut()).expect("run completes");
+        sys
+    };
+    let fast = run(false);
+    let full = run(true);
+    assert!(
+        full.network().fast_forwarded_cycles() == 0,
+        "{what}: the full-stepping baseline must not skip"
+    );
+    assert!(
+        fast.network().fast_forwarded_cycles() > 0,
+        "{what}: fast-forward never engaged — the scenario no longer exercises it"
+    );
+    assert_eq!(
+        fast.network().stats().packets_delivered(),
+        full.network().stats().packets_delivered(),
+        "{what}: delivered packets diverged"
+    );
+    assert_eq!(
+        fast.network().stats().window_flits_delivered(),
+        full.network().stats().window_flits_delivered(),
+        "{what}: window flits diverged"
+    );
+    assert_eq!(
+        fast.network().meter().total().picojoules().to_bits(),
+        full.network().meter().total().picojoules().to_bits(),
+        "{what}: energy totals must match to the last bit"
+    );
+    let breakdown = |sys: &MultichipSystem| -> Vec<u64> {
+        sys.network()
+            .meter()
+            .breakdown()
+            .entries
+            .iter()
+            .map(|(_, e)| e.picojoules().to_bits())
+            .collect()
+    };
+    assert_eq!(breakdown(&fast), breakdown(&full), "{what}: breakdown diverged");
+}
+
+/// The tentpole contract for application traffic: `AppWorkload`'s
+/// event-indexed phase/fire schedules make `next_event_at` exact, so a
+/// fast-forwarded app run (quiet compute phases skipped in O(events))
+/// is bit-identical to stepping every cycle — including the memory
+/// read/reply traffic through the stacks.
+#[test]
+fn app_workload_fast_forward_is_bit_identical_to_full_stepping() {
+    use wimnet::traffic::AppWorkload;
+    for arch in [Architecture::Wireless, Architecture::Interposer] {
+        let cfg = quick(arch);
+        assert_ff_bit_identical(
+            &format!("app/{arch}"),
+            &cfg,
+            &|| {
+                Box::new(AppWorkload::new(
+                    wimnet::traffic::profiles::blackscholes(),
+                    cfg.multichip.num_chips,
+                    cfg.multichip.cores_per_chip,
+                    cfg.multichip.num_stacks,
+                    cfg.seed,
+                ))
+            },
+        );
+    }
+}
+
+/// The tentpole contract for the serialized-channel MACs: both the
+/// token and control-packet MACs now declare quiescence once drained,
+/// and their `idle_step` replay keeps fast-forwarded shared-channel
+/// runs bit-identical to full stepping — the paper's MAC-comparison
+/// scenarios no longer pin the engine to per-cycle work.
+#[test]
+fn shared_channel_mac_fast_forward_is_bit_identical_to_full_stepping() {
+    use wimnet::core::{MacKind, WirelessModel};
+    for mac in [MacKind::Token, MacKind::ControlPacket] {
+        let mut cfg = quick(Architecture::Wireless);
+        cfg.wireless = WirelessModel::SharedChannel { mac };
+        // Low enough that the serialized channel fully drains between
+        // packets and idle stretches dominate.
+        let load = InjectionProcess::Bernoulli { rate: 0.0002 };
+        let cores = cfg.multichip.total_cores();
+        let stacks = cfg.multichip.num_stacks;
+        let (flits, seed) = (cfg.packet_flits, cfg.seed);
+        assert_ff_bit_identical(
+            &format!("shared-channel/{mac:?}"),
+            &cfg,
+            &|| Box::new(UniformRandom::new(cores, stacks, 0.20, load, flits, seed)),
+        );
+    }
+}
+
 /// The work-stealing pool decides only *where* an experiment runs,
 /// never *what* it computes: every (threads, chunk) shape must produce
 /// bit-identical outcomes in the same order.

@@ -1,0 +1,96 @@
+//! Intra-repo documentation link check: every relative markdown link in
+//! `README.md` and `docs/*.md` must resolve to a file that exists.  A
+//! renamed doc or a typo'd cross-link fails here (and in the CI "Docs
+//! link check" step) instead of rotting silently.
+
+use std::path::{Path, PathBuf};
+
+/// Markdown `[text](target)` targets in `text`, in order.  A tiny
+/// hand-rolled scan (no regex dependency): find `](`, take to the
+/// matching `)`.  Fenced code blocks are skipped so example snippets
+/// can show link syntax without being checked.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(i) = rest.find("](") {
+            rest = &rest[i + 2..];
+            let Some(j) = rest.find(')') else { break };
+            out.push(rest[..j].to_string());
+            rest = &rest[j + 1..];
+        }
+    }
+    out
+}
+
+/// `true` for targets this check is responsible for: relative paths
+/// into the repo (external URLs and pure anchors are out of scope).
+fn is_intra_repo(target: &str) -> bool {
+    !(target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+        || target.is_empty())
+}
+
+fn check_file(repo: &Path, doc: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(doc)
+        .unwrap_or_else(|e| panic!("{} must be readable: {e}", doc.display()));
+    let base = doc.parent().expect("doc files live in a directory");
+    let mut broken = Vec::new();
+    for target in link_targets(&text) {
+        if !is_intra_repo(&target) {
+            continue;
+        }
+        // Strip any `#anchor` suffix; the file part must exist.
+        let file_part = target.split('#').next().expect("split yields at least one");
+        if file_part.is_empty() {
+            continue; // same-file anchor
+        }
+        let resolved = base.join(file_part);
+        if !resolved.exists() {
+            broken.push(format!(
+                "{}: link `{}` -> missing {}",
+                doc.strip_prefix(repo).unwrap_or(doc).display(),
+                target,
+                resolved.display()
+            ));
+        }
+    }
+    broken
+}
+
+#[test]
+fn readme_and_docs_links_resolve() {
+    let repo = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut docs = vec![repo.join("README.md")];
+    let docs_dir = repo.join("docs");
+    for entry in std::fs::read_dir(&docs_dir).expect("docs/ exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            docs.push(path);
+        }
+    }
+    assert!(docs.len() >= 4, "README + at least three docs expected, got {docs:?}");
+    let broken: Vec<String> =
+        docs.iter().flat_map(|d| check_file(&repo, d)).collect();
+    assert!(broken.is_empty(), "broken intra-repo links:\n{}", broken.join("\n"));
+}
+
+#[test]
+fn link_scanner_sees_targets_and_skips_fences() {
+    let text = "see [engine](docs/engine.md) and [web](https://x.y)\n```\n[no](skip.md)\n```\n[anchor](#top)";
+    let targets = link_targets(text);
+    assert_eq!(targets, vec!["docs/engine.md", "https://x.y", "#top"]);
+    assert!(is_intra_repo("docs/engine.md"));
+    assert!(!is_intra_repo("https://x.y"));
+    assert!(!is_intra_repo("#top"));
+}
