@@ -23,6 +23,7 @@ const REQUIRED_ROWS: &[&str] = &[
     "mac_comparison_ff",
     "app_workload_ff",
     "app_blackscholes",
+    "memory_bound_ff",
     "saturated",
     "sweep_grid_pool",
 ];

@@ -46,11 +46,17 @@ pub enum WorkloadSpec {
         load: f64,
         /// Memory-access share of generated packets.
         memory_fraction: f64,
+        /// Share of the memory packets that are read *requests*
+        /// (closed-loop traffic through the stack controllers; 0 keeps
+        /// the paper's fire-and-forget stores).
+        read_share: f64,
     },
     /// Uniform random at maximum load (Figs 2, 4, 5).
     Saturation {
         /// Memory-access share of generated packets.
         memory_fraction: f64,
+        /// Share of the memory packets that are read requests.
+        read_share: f64,
     },
     /// A SynFull-substitute application model (Fig 6).
     App {
@@ -87,13 +93,26 @@ impl Experiment {
     pub fn uniform_random(config: &SystemConfig, load: f64) -> Self {
         Experiment::new(
             config.clone(),
-            WorkloadSpec::UniformRandom { load, memory_fraction: 0.20 },
+            WorkloadSpec::UniformRandom { load, memory_fraction: 0.20, read_share: 0.0 },
+        )
+    }
+
+    /// Memory-bound closed-loop traffic: uniform random at `load` with
+    /// `memory_fraction` memory packets, all of them read requests that
+    /// exercise the stack controllers and pull data replies back.
+    pub fn memory_reads(config: &SystemConfig, load: f64, memory_fraction: f64) -> Self {
+        Experiment::new(
+            config.clone(),
+            WorkloadSpec::UniformRandom { load, memory_fraction, read_share: 1.0 },
         )
     }
 
     /// Saturation (maximum load) with `memory_fraction` memory traffic.
     pub fn saturation(config: &SystemConfig, memory_fraction: f64) -> Self {
-        Experiment::new(config.clone(), WorkloadSpec::Saturation { memory_fraction })
+        Experiment::new(
+            config.clone(),
+            WorkloadSpec::Saturation { memory_fraction, read_share: 0.0 },
+        )
     }
 
     /// An application workload.
@@ -143,25 +162,42 @@ impl Experiment {
                 w
             }
         };
+        // Read requests carry the address, not the data: an eighth of
+        // a data packet (8 flits at the paper's 64-flit packets), with
+        // the full-size reply injected by the stack on completion.
+        let request_flits = (self.config.packet_flits / 8).max(1);
+        let reads = |w: UniformRandom, share: f64| -> UniformRandom {
+            if share > 0.0 {
+                w.with_memory_reads(share, request_flits)
+            } else {
+                w
+            }
+        };
         match &self.spec {
-            WorkloadSpec::UniformRandom { load, memory_fraction } => {
-                Box::new(affine(UniformRandom::new(
+            WorkloadSpec::UniformRandom { load, memory_fraction, read_share } => {
+                Box::new(reads(
+                    affine(UniformRandom::new(
+                        cores,
+                        stacks,
+                        *memory_fraction,
+                        InjectionProcess::Bernoulli { rate: *load },
+                        self.config.packet_flits,
+                        self.config.seed,
+                    )),
+                    *read_share,
+                ))
+            }
+            WorkloadSpec::Saturation { memory_fraction, read_share } => Box::new(reads(
+                affine(UniformRandom::new(
                     cores,
                     stacks,
                     *memory_fraction,
-                    InjectionProcess::Bernoulli { rate: *load },
+                    InjectionProcess::Saturation,
                     self.config.packet_flits,
                     self.config.seed,
-                )))
-            }
-            WorkloadSpec::Saturation { memory_fraction } => Box::new(affine(UniformRandom::new(
-                cores,
-                stacks,
-                *memory_fraction,
-                InjectionProcess::Saturation,
-                self.config.packet_flits,
-                self.config.seed,
-            ))),
+                )),
+                *read_share,
+            )),
             WorkloadSpec::App { profile } => Box::new(AppWorkload::new(
                 profile.clone(),
                 self.config.multichip.num_chips,

@@ -7,6 +7,7 @@
 use serde::{Deserialize, Serialize};
 
 use wimnet_energy::EnergyBreakdown;
+use wimnet_memory::MemoryStackStats;
 use wimnet_noc::Network;
 
 use crate::system::SystemConfig;
@@ -45,6 +46,11 @@ pub struct RunOutcome {
     pub fast_forwarded_cycles: u64,
     /// Energy by category over the window.
     pub energy: EnergyBreakdown,
+    /// Per-stack memory-controller statistics (queue occupancy,
+    /// bank-level parallelism, page hit/empty/miss breakdown) since
+    /// simulation start — see `docs/memory.md` and
+    /// [`crate::report::format_memory_table`].
+    pub memory: Vec<MemoryStackStats>,
 }
 
 impl RunOutcome {
@@ -54,6 +60,7 @@ impl RunOutcome {
         workload: &str,
         net: &Network,
         cores: usize,
+        memory: Vec<MemoryStackStats>,
     ) -> Self {
         let stats = net.stats();
         let flits_per_cycle_per_core =
@@ -78,6 +85,7 @@ impl RunOutcome {
             p99_latency_cycles: stats.latency_percentile(0.99),
             fast_forwarded_cycles: net.fast_forwarded_cycles(),
             energy: net.meter().breakdown(),
+            memory,
         }
     }
 

@@ -99,6 +99,39 @@ pub fn fmt_opt(value: Option<f64>, digits: usize) -> String {
     }
 }
 
+/// Formats the per-stack memory-controller statistics of a run
+/// (`RunOutcome::memory`) as an aligned table: accesses, page
+/// hit/empty/miss shares, queue occupancy and bank-level parallelism.
+pub fn format_memory_table(stats: &[wimnet_memory::MemoryStackStats]) -> String {
+    let pct = |n: u64, d: u64| {
+        if d == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * n as f64 / d as f64)
+        }
+    };
+    let rows: Vec<Vec<String>> = stats
+        .iter()
+        .map(|s| {
+            vec![
+                s.stack.to_string(),
+                s.accesses.to_string(),
+                pct(s.page_hits, s.accesses),
+                pct(s.page_empties, s.accesses),
+                pct(s.page_misses, s.accesses),
+                format!("{:.2}", s.avg_queue_depth),
+                s.max_queue_depth.to_string(),
+                format!("{:.2}", s.avg_bank_parallelism),
+                format!("{:.1}%", 100.0 * s.busy_fraction),
+            ]
+        })
+        .collect();
+    format_table(
+        &["stack", "accesses", "hit", "empty", "miss", "avg q", "max q", "blp", "busy"],
+        &rows,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +171,27 @@ mod tests {
     fn fmt_opt_renders_none_as_dash() {
         assert_eq!(fmt_opt(Some(1.23456), 2), "1.23");
         assert_eq!(fmt_opt(None, 2), "-");
+    }
+
+    #[test]
+    fn memory_table_renders_shares_and_occupancy() {
+        let stats = vec![wimnet_memory::MemoryStackStats {
+            stack: 0,
+            accesses: 100,
+            reads: 100,
+            writes: 0,
+            page_hits: 60,
+            page_empties: 10,
+            page_misses: 30,
+            admit_stall_cycles: 0,
+            max_queue_depth: 5,
+            avg_queue_depth: 1.25,
+            avg_bank_parallelism: 2.0,
+            busy_fraction: 0.5,
+        }];
+        let t = format_memory_table(&stats);
+        assert!(t.contains("60.0%"), "{t}");
+        assert!(t.contains("1.25"), "{t}");
+        assert!(t.contains("blp"), "{t}");
     }
 }

@@ -22,13 +22,14 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+use wimnet_memory::SchedulerPolicy;
 use wimnet_topology::Architecture;
 
 use crate::error::CoreError;
 use crate::experiments::{Experiment, Scale, WorkloadSpec};
 use crate::metrics::RunOutcome;
 use crate::system::{SystemConfig, WirelessModel};
-use wimnet_traffic::InjectionProcess;
+use wimnet_traffic::{AddressStreamSpec, InjectionProcess};
 
 /// Default work chunk: one experiment per steal.  Simulations are
 /// coarse (milliseconds to seconds), so per-steal overhead is already
@@ -106,6 +107,11 @@ pub struct ScenarioPoint {
     pub wireless: WirelessModel,
     /// Memory-fraction axis value.
     pub memory_fraction: f64,
+    /// Address-stream axis value (which walk read requests drive
+    /// through the stack controllers).
+    pub address_stream: AddressStreamSpec,
+    /// Memory-scheduler axis value (FR-FCFS vs FCFS).
+    pub scheduler: SchedulerPolicy,
     /// Injection axis value.
     pub injection: InjectionProcess,
     /// Seed axis value.
@@ -133,8 +139,8 @@ pub struct ScenarioPoint {
 /// ```
 ///
 /// Axis order is fixed (architecture → chips → stacks → wireless model
-/// → memory fraction → injection → seed, last fastest), so point
-/// indices are stable across runs and machines.
+/// → memory fraction → address stream → scheduler → injection → seed,
+/// last fastest), so point indices are stable across runs and machines.
 #[derive(Debug, Clone)]
 pub struct ScenarioGrid {
     name: String,
@@ -144,8 +150,13 @@ pub struct ScenarioGrid {
     stacks: Vec<usize>,
     wireless: Vec<WirelessModel>,
     memory_fractions: Vec<f64>,
+    address_streams: Vec<AddressStreamSpec>,
+    schedulers: Vec<SchedulerPolicy>,
     injections: Vec<InjectionProcess>,
     seeds: Vec<u64>,
+    /// Read-request share of memory packets (a grid-wide setting, not
+    /// an axis: 0 keeps the paper's fire-and-forget stores).
+    read_share: f64,
 }
 
 impl ScenarioGrid {
@@ -161,8 +172,11 @@ impl ScenarioGrid {
             stacks: vec![4],
             wireless: vec![WirelessModel::default()],
             memory_fractions: vec![0.20],
+            address_streams: vec![AddressStreamSpec::Sequential],
+            schedulers: vec![SchedulerPolicy::FrFcfs],
             injections: vec![InjectionProcess::Saturation],
             seeds: vec![0x5177],
+            read_share: 0.0,
         }
     }
 
@@ -220,6 +234,38 @@ impl ScenarioGrid {
         self
     }
 
+    /// Sweeps the address-stream axis (sequential / strided / uniform /
+    /// hot-row walks through the stack controllers; only observable
+    /// with a positive [`ScenarioGrid::read_share`] or a read-issuing
+    /// workload).
+    #[must_use]
+    pub fn address_streams(mut self, streams: &[AddressStreamSpec]) -> Self {
+        assert!(!streams.is_empty(), "address-stream axis must be non-empty");
+        self.address_streams = streams.to_vec();
+        self
+    }
+
+    /// Sweeps the memory-scheduler axis (FR-FCFS vs FCFS).
+    #[must_use]
+    pub fn schedulers(mut self, schedulers: &[SchedulerPolicy]) -> Self {
+        assert!(!schedulers.is_empty(), "scheduler axis must be non-empty");
+        self.schedulers = schedulers.to_vec();
+        self
+    }
+
+    /// Sets the read-request share of memory packets for every point
+    /// (closed-loop traffic through the controllers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `share` is outside `[0, 1]`.
+    #[must_use]
+    pub fn read_share(mut self, share: f64) -> Self {
+        assert!((0.0..=1.0).contains(&share), "read share {share} outside [0, 1]");
+        self.read_share = share;
+        self
+    }
+
     /// Sweeps the injection axis over Bernoulli loads
     /// (packets/core/cycle).
     #[must_use]
@@ -257,6 +303,8 @@ impl ScenarioGrid {
             ("stacks", self.stacks.len()),
             ("wireless", self.wireless.len()),
             ("memory_fraction", self.memory_fractions.len()),
+            ("address_stream", self.address_streams.len()),
+            ("scheduler", self.schedulers.len()),
             ("injection", self.injections.len()),
             ("seed", self.seeds.len()),
         ]
@@ -274,38 +322,64 @@ impl ScenarioGrid {
 
     /// Materialises every grid point in row-major order.
     pub fn points(&self) -> Vec<ScenarioPoint> {
+        // The label names the memory axes only when the grid actually
+        // engages them, so classic network-side sweeps keep their
+        // short labels.
+        let memory_axes_engaged = self.address_streams
+            != [AddressStreamSpec::Sequential]
+            || self.schedulers != [SchedulerPolicy::FrFcfs]
+            || self.read_share > 0.0;
         let mut points = Vec::with_capacity(self.len());
         for &architecture in &self.architectures {
             for &chips in &self.chips {
                 for &stacks in &self.stacks {
                     for &wireless in &self.wireless {
                         for &memory_fraction in &self.memory_fractions {
-                            for &injection in &self.injections {
-                                for &seed in &self.seeds {
-                                    let index = points.len();
-                                    let load = match injection {
-                                        InjectionProcess::Bernoulli { rate } => {
-                                            format!("load={rate}")
+                            for &address_stream in &self.address_streams {
+                                for &scheduler in &self.schedulers {
+                                    for &injection in &self.injections {
+                                        for &seed in &self.seeds {
+                                            let index = points.len();
+                                            let load = match injection {
+                                                InjectionProcess::Bernoulli { rate } => {
+                                                    format!("load={rate}")
+                                                }
+                                                InjectionProcess::Saturation => {
+                                                    "saturation".to_string()
+                                                }
+                                            };
+                                            let memory = if memory_axes_engaged {
+                                                format!(
+                                                    " stream={} sched={}",
+                                                    address_stream.label(),
+                                                    match scheduler {
+                                                        SchedulerPolicy::FrFcfs => "frfcfs",
+                                                        SchedulerPolicy::Fcfs => "fcfs",
+                                                    }
+                                                )
+                                            } else {
+                                                String::new()
+                                            };
+                                            points.push(ScenarioPoint {
+                                                index,
+                                                label: format!(
+                                                    "{chips}C{stacks}M ({architecture}) \
+                                                     mem={:.0}%{memory} {load} \
+                                                     seed={seed:#x}",
+                                                    memory_fraction * 100.0
+                                                ),
+                                                architecture,
+                                                chips,
+                                                stacks,
+                                                wireless,
+                                                memory_fraction,
+                                                address_stream,
+                                                scheduler,
+                                                injection,
+                                                seed,
+                                            });
                                         }
-                                        InjectionProcess::Saturation => {
-                                            "saturation".to_string()
-                                        }
-                                    };
-                                    points.push(ScenarioPoint {
-                                        index,
-                                        label: format!(
-                                            "{chips}C{stacks}M ({architecture}) \
-                                             mem={:.0}% {load} seed={seed:#x}",
-                                            memory_fraction * 100.0
-                                        ),
-                                        architecture,
-                                        chips,
-                                        stacks,
-                                        wireless,
-                                        memory_fraction,
-                                        injection,
-                                        seed,
-                                    });
+                                    }
                                 }
                             }
                         }
@@ -323,13 +397,17 @@ impl ScenarioGrid {
             .apply(SystemConfig::xcym(point.chips, point.stacks, point.architecture));
         config.wireless = point.wireless;
         config.seed = point.seed;
+        config.address_stream = point.address_stream;
+        config.mem_controller.scheduler = point.scheduler;
         let spec = match point.injection {
             InjectionProcess::Bernoulli { rate } => WorkloadSpec::UniformRandom {
                 load: rate,
                 memory_fraction: point.memory_fraction,
+                read_share: self.read_share,
             },
             InjectionProcess::Saturation => WorkloadSpec::Saturation {
                 memory_fraction: point.memory_fraction,
+                read_share: self.read_share,
             },
         };
         Experiment::new(config, spec)
@@ -419,8 +497,73 @@ mod tests {
         let grid = ScenarioGrid::new("t").loads(&[0.1, 0.2]).seeds(&[1, 2, 3]);
         let axes = grid.axes();
         assert_eq!(axes[0], ("architecture", 1));
-        assert_eq!(axes[5], ("injection", 2));
-        assert_eq!(axes[6], ("seed", 3));
+        assert_eq!(axes[5], ("address_stream", 1));
+        assert_eq!(axes[6], ("scheduler", 1));
+        assert_eq!(axes[7], ("injection", 2));
+        assert_eq!(axes[8], ("seed", 3));
+    }
+
+    #[test]
+    fn memory_axes_multiply_points_and_name_labels() {
+        let grid = ScenarioGrid::new("mem")
+            .address_streams(&[
+                AddressStreamSpec::Sequential,
+                AddressStreamSpec::Uniform { region_blocks: 1 << 16 },
+            ])
+            .schedulers(&[SchedulerPolicy::FrFcfs, SchedulerPolicy::Fcfs])
+            .read_share(1.0)
+            .loads(&[0.001]);
+        assert_eq!(grid.len(), 4);
+        let points = grid.points();
+        assert!(points[0].label.contains("stream=seq"));
+        assert!(points[0].label.contains("sched=frfcfs"));
+        assert!(points[1].label.contains("sched=fcfs"));
+        assert!(points[2].label.contains("stream=uniform"));
+        // The compiled experiments carry the axis values into the
+        // system configuration.
+        let exp = grid.experiment(&points[3]);
+        assert_eq!(
+            exp.config().address_stream,
+            AddressStreamSpec::Uniform { region_blocks: 1 << 16 }
+        );
+        assert_eq!(exp.config().mem_controller.scheduler, SchedulerPolicy::Fcfs);
+    }
+
+    #[test]
+    fn default_memory_axes_keep_the_short_labels() {
+        let grid = ScenarioGrid::new("t").loads(&[0.002]);
+        assert!(!grid.points()[0].label.contains("stream="));
+    }
+
+    #[test]
+    fn scheduler_policy_changes_memory_bound_outcomes() {
+        // Same seed and load, FR-FCFS vs FCFS on a hot-row stream:
+        // the scheduler axis must be observable in the per-stack
+        // statistics of a read-heavy run.
+        let grid = ScenarioGrid::new("sched")
+            .scale(Scale::Quick)
+            .architectures(&[Architecture::Wireless])
+            .address_streams(&[AddressStreamSpec::HotRow {
+                region_blocks: 1 << 18,
+                hot_blocks: 16,
+                hot_fraction: 0.6,
+            }])
+            .schedulers(&[SchedulerPolicy::FrFcfs, SchedulerPolicy::Fcfs])
+            .read_share(1.0)
+            .memory_fractions(&[0.9])
+            .loads(&[0.02]);
+        let outcomes = grid.run().unwrap();
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            let accesses: u64 = o.memory.iter().map(|m| m.accesses).sum();
+            assert!(accesses > 0, "read-heavy run must access the stacks");
+        }
+        // The axis is observable: same seed and traffic, different
+        // service order — the per-stack statistics must diverge.
+        assert_ne!(
+            outcomes[0].memory, outcomes[1].memory,
+            "FR-FCFS and FCFS produced identical memory statistics"
+        );
     }
 
     #[test]

@@ -1,16 +1,21 @@
 //! System assembly: configuration and the runnable multichip system.
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
 use wimnet_energy::{EnergyCategory, EnergyModel};
-use wimnet_memory::{AccessKind, AddressMap, MemoryStack, StackConfig};
+use wimnet_memory::{
+    AccessKind, AddressMap, Completion, ControllerConfig, MemRequest, MemoryController,
+    MemoryStackStats, StackConfig,
+};
 use wimnet_noc::{Network, NocConfig, PacketDesc, PacketId, WirelessMode};
 use wimnet_routing::{Routes, RoutingPolicy};
 use wimnet_topology::{Architecture, MultichipConfig, MultichipLayout, NodeId};
-use wimnet_traffic::{Endpoint, MessageKind, TrafficEvent, Workload};
+use wimnet_traffic::{
+    AddressStream, AddressStreamSpec, Endpoint, MessageKind, TrafficEvent, Workload,
+};
 use wimnet_wireless::{ChannelConfig, ControlPacketMac, ParallelMac, TokenMac};
 
 use crate::error::CoreError;
@@ -116,6 +121,11 @@ pub struct SystemConfig {
     pub energy: EnergyModel,
     /// Memory stack timing.
     pub stack: StackConfig,
+    /// Per-stack memory-controller parameters (queue depth, scheduler).
+    pub mem_controller: ControllerConfig,
+    /// The address stream each stack's read requests walk (see
+    /// `wimnet_traffic::address_stream` and `docs/memory.md`).
+    pub address_stream: AddressStreamSpec,
 }
 
 impl SystemConfig {
@@ -140,6 +150,8 @@ impl SystemConfig {
             seed: 0x5177,
             energy: EnergyModel::paper_65nm(),
             stack: StackConfig::paper(),
+            mem_controller: ControllerConfig::paper(),
+            address_stream: AddressStreamSpec::Sequential,
         }
     }
 
@@ -179,6 +191,16 @@ impl SystemConfig {
                 what: "source_queue_packets must be positive".into(),
             });
         }
+        if self.mem_controller.queue_capacity == 0 {
+            return Err(CoreError::InvalidParameter {
+                what: "mem_controller.queue_capacity must be positive".into(),
+            });
+        }
+        if let Err(e) = self.address_stream.check() {
+            return Err(CoreError::InvalidParameter {
+                what: format!("address_stream: {e}"),
+            });
+        }
         Ok(())
     }
 }
@@ -214,14 +236,26 @@ pub struct MultichipSystem {
     config: SystemConfig,
     layout: MultichipLayout,
     net: Network,
-    stacks: Vec<MemoryStack>,
+    /// One cycle-accurate controller per stack (queues, bank state
+    /// machines, FR-FCFS scheduling — see `docs/memory.md`).
+    controllers: Vec<MemoryController>,
+    /// Per-stack address streams: the i-th read serviced by a stack
+    /// walks the configured stream at ordinal i.
+    streams: Vec<AddressStream>,
+    /// Per-stack request ordinals (the address-stream cursor).
+    stream_ordinals: Vec<u64>,
+    /// Requests accepted off the network but bounced by a full
+    /// controller queue; re-offered every cycle (closed-loop
+    /// backpressure).
+    staged: Vec<VecDeque<MemRequest>>,
     addr_map: AddressMap,
-    stack_access_counter: Vec<u64>,
     /// Outstanding read requests by packet id — looked up once per
     /// delivered packet, so the Fx hash map keeps the reply path O(1).
     read_requests: FxHashMap<PacketId, (usize, NodeId)>,
     pending_replies: BinaryHeap<PendingReply>,
     replies_injected: u64,
+    /// Scratch for controller completions (no per-cycle allocation).
+    completions_scratch: Vec<Completion>,
 }
 
 impl std::fmt::Debug for MultichipSystem {
@@ -297,11 +331,15 @@ impl MultichipSystem {
             }
         }
 
-        let stacks = (0..config.multichip.num_stacks)
-            .map(|i| MemoryStack::new(i, config.stack.clone()))
+        let num_stacks = config.multichip.num_stacks;
+        let controllers = (0..num_stacks)
+            .map(|i| MemoryController::new(i, config.stack.clone(), config.mem_controller))
+            .collect();
+        let streams = (0..num_stacks)
+            .map(|i| AddressStream::new(config.address_stream, config.seed, i as u64))
             .collect();
         let addr_map = AddressMap::new(
-            config.multichip.num_stacks,
+            num_stacks,
             config.stack.channels,
             config.stack.banks,
             config.stack.layers,
@@ -310,15 +348,18 @@ impl MultichipSystem {
             16_384,
         );
         Ok(MultichipSystem {
-            stack_access_counter: vec![0; config.multichip.num_stacks],
+            stream_ordinals: vec![0; num_stacks],
+            staged: (0..num_stacks).map(|_| VecDeque::new()).collect(),
             config: config.clone(),
             layout,
             net,
-            stacks,
+            controllers,
+            streams,
             addr_map,
             read_requests: FxHashMap::default(),
             pending_replies: BinaryHeap::new(),
             replies_injected: 0,
+            completions_scratch: Vec::new(),
         })
     }
 
@@ -377,8 +418,8 @@ impl MultichipSystem {
         true
     }
 
-    /// One simulation cycle: inject due replies, step the engine, and
-    /// service memory arrivals.
+    /// One simulation cycle: inject due replies, step the engine, stage
+    /// memory arrivals into the controllers, and step every controller.
     fn step_cycle(&mut self) {
         let now = self.net.now();
         // Replies whose stack access completed become network packets.
@@ -393,32 +434,107 @@ impl MultichipSystem {
             self.replies_injected += 1;
         }
         self.net.step();
-        // Service arrivals at memory endpoints.
+        let t = self.net.now();
+        // Arrived read requests draw their address from the stack's
+        // stream (pure function of the per-stack request ordinal, so
+        // the walk is independent of arrival timing) and queue for
+        // admission.
         for p in self.net.drain_arrivals() {
             if let Some((stack, requester)) = self.read_requests.remove(&p.id) {
-                let counter = self.stack_access_counter[stack];
-                self.stack_access_counter[stack] += 1;
-                // Synthesise an address that decodes to this stack and
-                // walks channels/banks/rows.
+                let ordinal = self.stream_ordinals[stack];
+                self.stream_ordinals[stack] += 1;
+                let block = self.streams[stack].block(ordinal);
+                // Map the stack-local block onto the package interleave
+                // so the address decodes back to this stack.
                 let addr =
-                    (counter * self.stacks.len() as u64 + stack as u64) * 64;
+                    (block * self.controllers.len() as u64 + stack as u64) * 64;
                 let bytes = self.config.packet_flits * self.config.flit_bits / 8;
-                let result = self.stacks[stack].access(
-                    self.net.now(),
+                self.staged[stack].push_back(MemRequest {
                     addr,
                     bytes,
-                    AccessKind::Read,
-                    &self.addr_map,
-                );
-                self.net.charge(EnergyCategory::Tsv, result.energy);
+                    kind: AccessKind::Read,
+                    tag: requester.0 as u64,
+                });
+            }
+        }
+        // Admit staged requests while their channel queues have room
+        // (FIFO admission port per stack: a full channel blocks the
+        // head), then advance every controller one cycle.  Completions
+        // charge their stack energy and schedule the data reply.
+        let mut completions = std::mem::take(&mut self.completions_scratch);
+        for stack in 0..self.controllers.len() {
+            while let Some(&req) = self.staged[stack].front() {
+                if self.controllers[stack].enqueue(req, &self.addr_map).is_ok() {
+                    self.staged[stack].pop_front();
+                } else {
+                    break;
+                }
+            }
+            completions.clear();
+            self.controllers[stack].step(t, &mut completions);
+            for c in &completions {
+                self.net.charge(EnergyCategory::Tsv, c.energy);
                 self.pending_replies.push(PendingReply {
-                    ready_at: result.complete_at,
+                    ready_at: c.at,
                     stack,
-                    requester,
+                    requester: NodeId(c.tag as usize),
                     flits: self.config.packet_flits,
                 });
             }
         }
+        self.completions_scratch = completions;
+    }
+
+    /// `true` when the whole memory subsystem is drained: no staged or
+    /// queued requests, nothing in service, no reply waiting.
+    fn memory_idle(&self) -> bool {
+        self.pending_replies.is_empty()
+            && self.staged.iter().all(VecDeque::is_empty)
+            && self.controllers.iter().all(MemoryController::is_quiescent)
+    }
+
+    /// The earliest driver cycle at which the memory subsystem needs a
+    /// real step again, given the driver currently sits at `cycle` (and
+    /// the controllers were last stepped at `cycle`): one iteration
+    /// before the controllers' earliest completion/issue, because the
+    /// iteration at `c` steps the controllers at `c + 1`.  `cycle`
+    /// itself when staged requests are retrying admission; `u64::MAX`
+    /// when the memory side is fully drained.
+    fn memory_resume_at(&self, cycle: u64) -> u64 {
+        if self.staged.iter().any(|s| !s.is_empty()) {
+            return cycle;
+        }
+        let mut event = u64::MAX;
+        for c in &self.controllers {
+            event = event.min(c.next_event_at(cycle));
+        }
+        if event == u64::MAX {
+            u64::MAX
+        } else {
+            event - 1
+        }
+    }
+
+    /// Fast-forwards up to `want` network cycles and replays the same
+    /// skip on every controller (their occupancy integrals accrue in
+    /// closed form — `MemoryController::idle_advance`).  The skipped
+    /// controller steps are the ones the skipped driver iterations
+    /// would have run, i.e. cycles `now + 1 ..= now + skipped`.
+    fn fast_forward_cycles(&mut self, want: u64) -> u64 {
+        let from = self.net.now();
+        let skipped = self.net.fast_forward(want);
+        if skipped > 0 {
+            for c in &mut self.controllers {
+                c.idle_advance(from + 1, skipped);
+            }
+        }
+        skipped
+    }
+
+    /// Per-stack controller statistics (queue occupancy, bank-level
+    /// parallelism, page hit/empty/miss breakdown — `docs/memory.md`).
+    pub fn memory_stats(&self) -> Vec<MemoryStackStats> {
+        self.controllers.iter().map(MemoryController::stats).collect()
     }
 
     /// Runs `workload` through the configured warmup + measurement
@@ -453,17 +569,21 @@ impl MultichipSystem {
             // Idle fast-forward: when the workload promises no events
             // before `next` and the network is provably idle, jump
             // straight to the earliest thing that can happen — the
-            // workload's next event or the first pending memory reply
+            // workload's next event, the first pending memory reply
             // (whose injection cycle is already scheduled, so waiting
-            // for it cycle by cycle proves nothing) — instead of
-            // spinning empty cycles.  The jump never crosses the
+            // for it cycle by cycle proves nothing), or the memory
+            // controllers' next completion/issue (their completion
+            // times are fixed at issue, so the wait inside a DRAM
+            // service gap proves nothing either) — instead of spinning
+            // empty cycles.  The jump never crosses the
             // measurement-window boundary (begin_measurement must run at
             // exactly the warmup cycle).  `is_idle` is checked *before*
             // asking the workload: `next_event_at` may scan a counter
             // RNG (Bernoulli workloads), and that scan would be wasted
             // every cycle the network is still draining flits.  The
-            // full gate — driver, workload, network and medium all
-            // agreeing — is documented in docs/fast_forward.md.
+            // full gate — driver, workload, network, medium and memory
+            // controllers all agreeing — is documented in
+            // docs/fast_forward.md and docs/memory.md.
             if !self.config.disable_fast_forward && self.net.is_idle() {
                 if let Some(next) = workload.next_event_at(cycle) {
                     // Remaining replies all have `ready_at >= cycle`:
@@ -472,6 +592,7 @@ impl MultichipSystem {
                         .pending_replies
                         .peek()
                         .map_or(u64::MAX, |r| r.ready_at);
+                    let memory_at = self.memory_resume_at(cycle);
                     // `<=` (not `<`): at cycle == warmup_cycles the
                     // loop top has not yet run begin_measurement, so
                     // the jump must stop short and let the next
@@ -481,9 +602,9 @@ impl MultichipSystem {
                     } else {
                         total
                     };
-                    let target = next.min(reply_at).min(bound);
+                    let target = next.min(reply_at).min(memory_at).min(bound);
                     if target > cycle {
-                        cycle += self.net.fast_forward(target - cycle);
+                        cycle += self.fast_forward_cycles(target - cycle);
                     }
                 }
             }
@@ -493,17 +614,18 @@ impl MultichipSystem {
             workload.name(),
             &self.net,
             self.layout.total_cores(),
+            self.memory_stats(),
         ))
     }
 
     /// Runs with no traffic for `cycles` (useful for leakage baselines).
-    /// Idle stretches fast-forward once any pending memory replies have
-    /// drained.
+    /// Idle stretches fast-forward once the memory subsystem has
+    /// drained (queues, in-service requests and pending replies).
     pub fn idle(&mut self, cycles: u64) {
         let mut left = cycles;
         while left > 0 {
-            if self.pending_replies.is_empty() {
-                left -= self.net.fast_forward(left);
+            if self.memory_idle() {
+                left -= self.fast_forward_cycles(left);
                 if left == 0 {
                     return;
                 }
@@ -613,6 +735,82 @@ mod tests {
         assert!(sys.replies_injected() > 0, "reads must produce replies");
         // Replies are full data packets flowing back to core 0.
         assert!(outcome.packets_delivered() > sys.replies_injected() / 2);
+        // The controller serviced every reply-producing request and its
+        // statistics surface in the outcome.
+        let mem = &outcome.memory;
+        assert_eq!(mem.len(), cfg.multichip.num_stacks);
+        assert_eq!(mem[0].accesses, sys.replies_injected());
+        assert_eq!(mem[0].reads, mem[0].accesses);
+        assert_eq!(
+            mem[0].page_hits + mem[0].page_empties + mem[0].page_misses,
+            mem[0].accesses
+        );
+        assert!(
+            mem[0].busy_fraction > 0.0 && mem[0].busy_fraction <= 1.0,
+            "{:?}",
+            mem[0]
+        );
+    }
+
+    #[test]
+    fn read_heavy_traffic_fast_forwards_through_dram_service_gaps() {
+        // A sparse read stream leaves the network idle while requests
+        // sit in the stack controllers; the driver must jump those
+        // service gaps (bounded by the controllers' next_event_at) and
+        // land back exactly on the completion cycle.
+        let mut cfg = quick(Architecture::Wireless);
+        cfg.memory_affinity_bias = 0.0;
+        let mut sys = MultichipSystem::build(&cfg).unwrap();
+        let mut w = UniformRandom::new(
+            cfg.multichip.total_cores(),
+            cfg.multichip.num_stacks,
+            0.9,
+            InjectionProcess::Bernoulli { rate: 0.0003 },
+            cfg.packet_flits,
+            cfg.seed,
+        )
+        .with_memory_reads(1.0, 8);
+        let outcome = sys.run(&mut w).unwrap();
+        assert!(sys.replies_injected() > 0, "reads must flow");
+        assert!(
+            outcome.fast_forwarded_cycles > 0,
+            "memory-bound idle gaps must fast-forward"
+        );
+        let accesses: u64 = outcome.memory.iter().map(|m| m.accesses).sum();
+        assert_eq!(accesses, sys.replies_injected());
+    }
+
+    #[test]
+    fn address_streams_shape_the_page_behaviour() {
+        // Sequential walks mostly hit the open row; uniform random over
+        // a large region mostly does not.
+        let run = |stream: wimnet_traffic::AddressStreamSpec| {
+            let mut cfg = quick(Architecture::Substrate);
+            cfg.address_stream = stream;
+            let mut sys = MultichipSystem::build(&cfg).unwrap();
+            let mut w = UniformRandom::new(
+                cfg.multichip.total_cores(),
+                cfg.multichip.num_stacks,
+                0.9,
+                InjectionProcess::Bernoulli { rate: 0.02 },
+                cfg.packet_flits,
+                cfg.seed,
+            )
+            .with_memory_reads(1.0, 8);
+            let outcome = sys.run(&mut w).unwrap();
+            let hits: u64 = outcome.memory.iter().map(|m| m.page_hits).sum();
+            let total: u64 = outcome.memory.iter().map(|m| m.accesses).sum();
+            assert!(total > 20, "need enough accesses to compare ({total})");
+            hits as f64 / total as f64
+        };
+        let seq = run(wimnet_traffic::AddressStreamSpec::Sequential);
+        let uniform = run(wimnet_traffic::AddressStreamSpec::Uniform {
+            region_blocks: 1 << 22,
+        });
+        assert!(
+            seq > uniform + 0.2,
+            "sequential must out-hit uniform: {seq} vs {uniform}"
+        );
     }
 
     #[test]

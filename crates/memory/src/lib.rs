@@ -16,8 +16,16 @@
 //!   (stack, channel, bank, row).
 //! * [`tsv`] — the through-silicon-via bundle: per-bit energy and layer
 //!   crossing latency.
-//! * [`stack`] — per-channel service queues with open-page row-buffer
-//!   semantics (row hits beat row misses) over the four DRAM layers.
+//! * [`stack`] — the closed-form service model: one access per channel
+//!   behind a `busy_until` scalar, open-page row-buffer semantics with
+//!   hit / empty / miss distinguished, read/write-differentiated CAS
+//!   and array energy.
+//! * [`controller`] — the cycle-accurate queued controller the engine
+//!   drives: bounded per-channel request queues, per-bank state
+//!   machines, FR-FCFS / FCFS scheduling, per-stack statistics, and
+//!   the idle fast-forward contract (`docs/memory.md`).  Reduces to
+//!   the closed-form model for a single outstanding request
+//!   (proptest-proven in `tests/controller_equivalence.rs`).
 //! * [`wideio`] — the HBM-style 128-bit 1 GHz wide I/O interface used by
 //!   the substrate architecture (128 Gbps, 6.5 pJ/bit, paper ref \[19\]).
 
@@ -25,11 +33,16 @@
 #![warn(missing_docs)]
 
 pub mod address;
+pub mod controller;
 pub mod stack;
 pub mod tsv;
 pub mod wideio;
 
 pub use address::AddressMap;
-pub use stack::{AccessKind, AccessResult, MemoryStack, StackConfig};
+pub use controller::{
+    BankState, Completion, ControllerConfig, MemRequest, MemoryController, MemoryStackStats,
+    SchedulerPolicy,
+};
+pub use stack::{AccessKind, AccessResult, MemoryStack, PageOutcome, StackConfig};
 pub use tsv::TsvBundle;
 pub use wideio::WideIoSpec;

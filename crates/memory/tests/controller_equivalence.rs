@@ -1,0 +1,215 @@
+//! The two contracts of the cycle-accurate controller, property-based:
+//!
+//! 1. **Closed-form equivalence** — with a single outstanding request
+//!    (the next one arrives only after the previous completed), the
+//!    queued controller's completion times, page outcomes and energies
+//!    are identical to the (page-empty-fixed) closed-form
+//!    `MemoryStack::access` model, for random address/kind/gap
+//!    sequences and both scheduler policies.
+//! 2. **Idle replay** — `idle_advance(first, k)` over any window
+//!    sanctioned by `next_event_at` leaves the controller in exactly
+//!    the state `k` individual `step`s would, with no completions in
+//!    between, and the resumed walk stays bit-identical — the
+//!    `idle_step(k) ≡ k×step` obligation of `docs/fast_forward.md`.
+
+use proptest::prelude::*;
+
+use wimnet_memory::{
+    AccessKind, AddressMap, ControllerConfig, MemRequest, MemoryController, MemoryStack,
+    SchedulerPolicy, StackConfig,
+};
+
+fn kind_of(bit: bool) -> AccessKind {
+    if bit {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    }
+}
+
+fn policy_of(bit: bool) -> SchedulerPolicy {
+    if bit {
+        SchedulerPolicy::Fcfs
+    } else {
+        SchedulerPolicy::FrFcfs
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Contention-free single-outstanding-request equivalence: issue →
+    /// drain → gap → issue, comparing every completion against the
+    /// closed-form model access-by-access.
+    #[test]
+    fn contention_free_controller_matches_closed_form(
+        seq in prop::collection::vec((0u64..4_096, any::<bool>(), 0u64..50), 1..40),
+        policy_bit in any::<bool>(),
+        write_energy in 0.0f64..4.0,
+    ) {
+        let mut cfg = StackConfig::paper();
+        // Exercise the read/write energy split too.
+        cfg.array_read_pj_per_bit = 1.0;
+        cfg.array_write_pj_per_bit = write_energy;
+        let map = AddressMap::paper(1);
+        let ctrl = ControllerConfig { queue_capacity: 8, scheduler: policy_of(policy_bit) };
+        let mut mc = MemoryController::new(0, cfg.clone(), ctrl);
+        let mut reference = MemoryStack::new(0, cfg);
+
+        let mut now = 0u64;
+        let mut out = Vec::new();
+        for (i, &(block, write_bit, gap)) in seq.iter().enumerate() {
+            let kind = kind_of(write_bit);
+            let addr = block * 64;
+            let expect = reference.access(now, addr, 64, kind, &map);
+            mc.enqueue(MemRequest { addr, bytes: 64, kind, tag: i as u64 }, &map)
+                .expect("an empty controller always has room");
+            out.clear();
+            mc.step(now, &mut out); // issues at `now`
+            prop_assert!(out.is_empty(), "service takes at least one cycle");
+            while out.is_empty() {
+                now += 1;
+                prop_assert!(now < 1 << 20, "controller failed to drain");
+                mc.step(now, &mut out);
+            }
+            prop_assert_eq!(out.len(), 1);
+            let got = &out[0];
+            prop_assert_eq!(got.tag, i as u64);
+            prop_assert_eq!(
+                got.at, expect.complete_at,
+                "completion time diverged at access {} (addr {})", i, addr
+            );
+            prop_assert_eq!(got.outcome, expect.outcome, "page outcome diverged");
+            prop_assert_eq!(
+                got.energy.picojoules().to_bits(),
+                expect.energy.picojoules().to_bits(),
+                "energy diverged"
+            );
+            prop_assert_eq!(got.location, expect.location);
+            prop_assert!(mc.is_quiescent());
+            now = got.at + gap;
+        }
+        prop_assert_eq!(mc.stats().accesses, seq.len() as u64);
+    }
+
+    /// Idle replay: from a random mid-service state, a sanctioned skip
+    /// window replayed with `idle_advance` is bit-identical (full
+    /// `PartialEq` on the controller, statistics included) to stepping
+    /// every cycle — and the resumed live walk stays identical.
+    #[test]
+    fn idle_window_replay_is_bit_identical_to_stepping(
+        batch in prop::collection::vec((0u64..512, any::<bool>()), 1..12),
+        policy_bit in any::<bool>(),
+        warm_steps in 0u64..20,
+        window in 1u64..200,
+    ) {
+        let map = AddressMap::paper(1);
+        let ctrl = ControllerConfig { queue_capacity: 16, scheduler: policy_of(policy_bit) };
+        let mut mc = MemoryController::new(0, StackConfig::paper(), ctrl);
+        let mut sink = Vec::new();
+        for (i, &(block, write_bit)) in batch.iter().enumerate() {
+            mc.enqueue(
+                MemRequest { addr: block * 64, bytes: 64, kind: kind_of(write_bit), tag: i as u64 },
+                &map,
+            )
+            .expect("queue deep enough for the batch");
+        }
+        // Step into the middle of service so banks/bus/inflight are in
+        // a nontrivial state.
+        let mut now = 0u64;
+        mc.step(now, &mut sink);
+        for _ in 0..warm_steps {
+            now += 1;
+            mc.step(now, &mut sink);
+        }
+        // The sanctioned window: strictly before the next event.
+        let event = mc.next_event_at(now);
+        let gap = if event == u64::MAX { window } else { (event - now).saturating_sub(1) };
+        let k = gap.min(window);
+        if k == 0 {
+            return Ok(()); // an event is due next cycle: nothing to skip
+        }
+
+        let mut stepped = mc.clone();
+        let mut completions = Vec::new();
+        for t in (now + 1)..=(now + k) {
+            stepped.step(t, &mut completions);
+        }
+        prop_assert!(
+            completions.is_empty(),
+            "the sanctioned window must contain no completions"
+        );
+        let mut jumped = mc.clone();
+        jumped.idle_advance(now + 1, k);
+        prop_assert_eq!(
+            &stepped, &jumped,
+            "idle_advance({}, {}) diverged from {} steps", now + 1, k, k
+        );
+
+        // Resume both live until drained: identical completion streams.
+        let mut a_out = Vec::new();
+        let mut b_out = Vec::new();
+        let mut t = now + k;
+        while !(stepped.is_quiescent() && jumped.is_quiescent()) {
+            t += 1;
+            prop_assert!(t < 1 << 20, "resumed controllers failed to drain");
+            stepped.step(t, &mut a_out);
+            jumped.step(t, &mut b_out);
+        }
+        prop_assert_eq!(a_out, b_out, "resumed walks diverged");
+        prop_assert_eq!(stepped.stats(), jumped.stats());
+    }
+
+    /// `next_event_at` is sound and tight on random workloads: nothing
+    /// completes or issues strictly before the promised cycle, and (on
+    /// a non-quiescent controller) *something* observable happens at
+    /// it.
+    #[test]
+    fn next_event_at_is_sound_and_tight(
+        batch in prop::collection::vec((0u64..256, any::<bool>()), 1..10),
+        policy_bit in any::<bool>(),
+        warm_steps in 0u64..40,
+    ) {
+        let map = AddressMap::paper(1);
+        let ctrl = ControllerConfig { queue_capacity: 16, scheduler: policy_of(policy_bit) };
+        let mut mc = MemoryController::new(0, StackConfig::paper(), ctrl);
+        let mut sink = Vec::new();
+        for (i, &(block, write_bit)) in batch.iter().enumerate() {
+            mc.enqueue(
+                MemRequest { addr: block * 64, bytes: 64, kind: kind_of(write_bit), tag: i as u64 },
+                &map,
+            )
+            .expect("queue deep enough");
+        }
+        let mut now = 0u64;
+        mc.step(now, &mut sink);
+        for _ in 0..warm_steps {
+            now += 1;
+            mc.step(now, &mut sink);
+        }
+        if mc.is_quiescent() {
+            prop_assert_eq!(mc.next_event_at(now), u64::MAX);
+            return Ok(());
+        }
+        let event = mc.next_event_at(now);
+        prop_assert!(event > now);
+        let mut probe = mc.clone();
+        let mut out = Vec::new();
+        let before = (probe.queued_requests(), probe.inflight_requests());
+        for t in (now + 1)..event {
+            probe.step(t, &mut out);
+            prop_assert!(out.is_empty(), "completion before the promise");
+            prop_assert_eq!(
+                (probe.queued_requests(), probe.inflight_requests()),
+                before,
+                "issue before the promise"
+            );
+        }
+        probe.step(event, &mut out);
+        let after = (probe.queued_requests(), probe.inflight_requests());
+        prop_assert!(
+            !out.is_empty() || after != before,
+            "nothing happened at the promised cycle {}", event
+        );
+    }
+}

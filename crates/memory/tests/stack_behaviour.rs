@@ -20,7 +20,10 @@ fn bank_conflicts_serialise_row_misses() {
     let c = s.access(0, 0, 64, AccessKind::Read, &map);
     assert_ne!(a.location.row, b.location.row);
     assert_eq!(a.location.bank, b.location.bank);
-    assert!(!a.row_hit && !b.row_hit && !c.row_hit, "ping-pong rows never hit");
+    assert!(
+        !a.row_hit() && !b.row_hit() && !c.row_hit(),
+        "ping-pong rows never hit"
+    );
     assert!(b.complete_at > a.complete_at);
     assert!(c.complete_at > b.complete_at);
 }
@@ -36,7 +39,7 @@ fn streaming_same_row_hits_after_the_first_access() {
     for i in 0..32u64 {
         let r = s.access(now, i * stride, 64, AccessKind::Read, &map);
         now = r.complete_at;
-        hits += u64::from(r.row_hit);
+        hits += u64::from(r.row_hit());
     }
     // The first access opens the row; banks rotate every 4 channel
     // wheels, so hits dominate.
@@ -85,7 +88,7 @@ fn service_time_bounds_hold_under_random_load() {
         now += rng.gen_range(0..20);
         let addr = rng.gen_range(0..1u64 << 24) & !63;
         let r = s.access(now, addr, 64, AccessKind::Read, &map);
-        let min_service = cfg.row_hit_cycles + cfg.burst_cycles;
+        let min_service = cfg.read_cas_cycles + cfg.burst_cycles;
         assert!(
             r.complete_at >= now + min_service,
             "completion below the row-hit floor"

@@ -20,11 +20,16 @@
 //!
 //! All generators are deterministic given a seed and produce
 //! [`TrafficEvent`]s that the `wimnet-core` driver maps onto network
-//! endpoints.
+//! endpoints.  Memory-side *addresses* come from [`address_stream`]:
+//! per-stack generators (sequential, strided, uniform, hot-row) that
+//! are pure functions of a counter-RNG stream key and the request
+//! ordinal, feeding the cycle-accurate controllers in `wimnet-memory`
+//! (see `docs/memory.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod address_stream;
 pub mod app;
 pub mod injection;
 pub mod patterns;
@@ -32,6 +37,7 @@ pub mod profiles;
 pub mod trace;
 pub mod uniform;
 
+pub use address_stream::{AddressStream, AddressStreamSpec};
 pub use app::{AppPhase, AppProfile, AppWorkload};
 pub use injection::{GeometricGapStepper, GeometricGaps, InjectionProcess, InjectionSampler};
 pub use patterns::TrafficPattern;

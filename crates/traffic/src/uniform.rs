@@ -33,6 +33,13 @@ pub struct UniformRandom {
     local_memory_bias: f64,
     /// Home stack per core (required when `local_memory_bias > 0`).
     home_stack: Option<Vec<usize>>,
+    /// Share of memory-destined packets that are read *requests*
+    /// (`MessageKind::MemoryRead`, expecting a data reply from the
+    /// stack); the rest stay fire-and-forget `Oneway` data.
+    read_share: f64,
+    /// Length of a read-request packet in flits (an address/header
+    /// packet, much shorter than the data reply).
+    read_request_flits: u32,
     /// Per-core destination stream keys (the `(seed, core)` hash
     /// prefix, precomputed).
     keys: Vec<StreamKey>,
@@ -74,6 +81,8 @@ impl UniformRandom {
             packet_flits,
             local_memory_bias: 0.0,
             home_stack: None,
+            read_share: 0.0,
+            read_request_flits: packet_flits,
             keys: (0..cores as u64).map(|c| StreamKey::new(seed, c)).collect(),
             fired: Vec::with_capacity(cores),
             name: format!(
@@ -100,6 +109,29 @@ impl UniformRandom {
         self
     }
 
+    /// Turns `share` of the memory-destined packets into read
+    /// *requests* (`MessageKind::MemoryRead`) of `request_flits` flits:
+    /// the stack services each through its cycle-accurate controller
+    /// and answers with a full data packet — closed-loop memory
+    /// traffic instead of fire-and-forget stores.  `share == 0`
+    /// (the default) leaves the draw stream untouched, so existing
+    /// workload realizations are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `share` is outside `[0, 1]` or `request_flits` is
+    /// zero.
+    pub fn with_memory_reads(mut self, share: f64, request_flits: u32) -> Self {
+        assert!((0.0..=1.0).contains(&share), "read share {share} outside [0, 1]");
+        assert!(request_flits > 0, "read requests need at least one flit");
+        self.read_share = share;
+        self.read_request_flits = request_flits;
+        if share > 0.0 {
+            self.name = format!("{} ({:.0}% reads)", self.name, share * 100.0);
+        }
+        self
+    }
+
     /// The paper's default: 20 % memory accesses, 64-flit packets.
     pub fn paper(cores: usize, stacks: usize, injection: InjectionProcess, seed: u64) -> Self {
         UniformRandom::new(cores, stacks, 0.20, injection, 64, seed)
@@ -118,7 +150,14 @@ impl UniformRandom {
                 Some(home) if rng.gen::<f64>() < self.local_memory_bias => home[src],
                 _ => rng.gen_range(0..self.stacks),
             };
-            (Endpoint::Memory(stack), MessageKind::Oneway)
+            // The read draw is gated so zero-share workloads keep their
+            // historical draw streams bit-identically.
+            let kind = if self.read_share > 0.0 && rng.gen::<f64>() < self.read_share {
+                MessageKind::MemoryRead
+            } else {
+                MessageKind::Oneway
+            };
+            (Endpoint::Memory(stack), kind)
         } else {
             // Uniform over all *other* cores.
             let mut dest = rng.gen_range(0..self.cores - 1);
@@ -141,11 +180,16 @@ impl Workload for UniformRandom {
         for &core in &fired {
             let mut rng = self.keys[core].rng(now);
             let (dest, kind) = self.destination(core, &mut rng);
+            let flits = if kind == MessageKind::MemoryRead {
+                self.read_request_flits
+            } else {
+                self.packet_flits
+            };
             events.push(TrafficEvent {
                 cycle: now,
                 src: Endpoint::Core(core),
                 dest,
-                flits: self.packet_flits,
+                flits,
                 kind,
             });
         }
@@ -295,6 +339,39 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s), "uniform must reach every core");
+    }
+
+    #[test]
+    fn read_share_converts_memory_packets_and_shortens_requests() {
+        let mut w = workload(0.5, 1.0).with_memory_reads(1.0, 8);
+        let mut reads = 0usize;
+        let mut memory = 0usize;
+        for now in 0..100 {
+            for e in w.generate(now) {
+                if e.dest.is_memory() {
+                    memory += 1;
+                    assert_eq!(e.kind, MessageKind::MemoryRead);
+                    assert_eq!(e.flits, 8, "read requests are short");
+                    reads += 1;
+                } else {
+                    assert_eq!(e.kind, MessageKind::Oneway);
+                    assert_eq!(e.flits, 64);
+                }
+            }
+        }
+        assert!(memory > 0 && reads == memory, "full read share converts everything");
+        assert!(w.name().contains("reads"));
+    }
+
+    #[test]
+    fn zero_read_share_leaves_the_stream_bit_identical() {
+        // The read draw is gated behind `share > 0`, so the historical
+        // destination realizations must be untouched.
+        let mut plain = workload(0.3, 0.2);
+        let mut gated = workload(0.3, 0.2).with_memory_reads(0.0, 8);
+        for now in 0..300 {
+            assert_eq!(plain.generate(now), gated.generate(now));
+        }
     }
 
     #[test]

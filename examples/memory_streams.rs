@@ -1,0 +1,89 @@
+//! The cycle-accurate memory controllers under the four address
+//! streams: drive read-heavy closed-loop traffic into the stacks and
+//! compare per-stack page behaviour (hit / empty / miss), queue
+//! occupancy and bank-level parallelism — the statistics the legacy
+//! closed-form stack model could not produce (see `docs/memory.md`).
+//!
+//! ```sh
+//! cargo run --release --example memory_streams
+//! ```
+
+use wimnet::core::report::format_memory_table;
+use wimnet::core::{Experiment, SystemConfig};
+use wimnet::memory::SchedulerPolicy;
+use wimnet::topology::Architecture;
+use wimnet::traffic::AddressStreamSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let streams = [
+        ("sequential (legacy counter walk)", AddressStreamSpec::Sequential),
+        (
+            "strided x96 blocks (row-buffer hostile)",
+            AddressStreamSpec::Strided { stride_blocks: 96 },
+        ),
+        (
+            "uniform over 256 MiB",
+            AddressStreamSpec::Uniform { region_blocks: 1 << 22 },
+        ),
+        (
+            "hot-row (70% in 16 blocks)",
+            AddressStreamSpec::HotRow {
+                region_blocks: 1 << 20,
+                hot_blocks: 16,
+                hot_fraction: 0.7,
+            },
+        ),
+    ];
+    // Read-heavy closed-loop traffic: 90% of packets target memory and
+    // every one is a read request pulled back as a full data reply.
+    let (load, memory_fraction) = (0.02, 0.9);
+    for (name, stream) in streams {
+        let mut cfg =
+            SystemConfig::xcym(4, 4, Architecture::Wireless).quick_test_profile();
+        cfg.address_stream = stream;
+        let outcome = Experiment::memory_reads(&cfg, load, memory_fraction).run()?;
+        println!("== {name} ==");
+        print!("{}", format_memory_table(&outcome.memory));
+        let accesses: u64 = outcome.memory.iter().map(|m| m.accesses).sum();
+        let hits: u64 = outcome.memory.iter().map(|m| m.page_hits).sum();
+        println!(
+            "total: {accesses} accesses, {:.1}% row hits, {} packets delivered\n",
+            if accesses == 0 { 0.0 } else { 100.0 * hits as f64 / accesses as f64 },
+            outcome.packets_delivered(),
+        );
+    }
+
+    // The scheduler axis, isolated on the hot-row stream: FR-FCFS
+    // reorders toward open rows, FCFS pays the arrival order.
+    println!("== scheduler policy on the hot-row stream ==");
+    for (name, scheduler) in [
+        ("FR-FCFS (row hits first)", SchedulerPolicy::FrFcfs),
+        ("FCFS (strict arrival order)", SchedulerPolicy::Fcfs),
+    ] {
+        let mut cfg =
+            SystemConfig::xcym(4, 4, Architecture::Wireless).quick_test_profile();
+        cfg.address_stream = AddressStreamSpec::HotRow {
+            region_blocks: 1 << 20,
+            hot_blocks: 16,
+            hot_fraction: 0.7,
+        };
+        cfg.mem_controller.scheduler = scheduler;
+        let outcome = Experiment::memory_reads(&cfg, load, memory_fraction).run()?;
+        let accesses: u64 = outcome.memory.iter().map(|m| m.accesses).sum();
+        let hits: u64 = outcome.memory.iter().map(|m| m.page_hits).sum();
+        let avg_q: f64 = outcome.memory.iter().map(|m| m.avg_queue_depth).sum::<f64>()
+            / outcome.memory.len() as f64;
+        println!(
+            "{name:<28} {:.1}% hits  avg queue {avg_q:.2}  latency {:.1} cyc",
+            if accesses == 0 { 0.0 } else { 100.0 * hits as f64 / accesses as f64 },
+            outcome.avg_latency_cycles.unwrap_or(f64::NAN),
+        );
+    }
+    println!(
+        "\nreading: sequential streams keep rows open (hits dominate), large \
+         uniform regions force activations, and the hot-row mix sits between — \
+         with FR-FCFS converting hot-row reuse into extra row hits that plain \
+         FCFS leaves on the table."
+    );
+    Ok(())
+}

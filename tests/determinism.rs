@@ -282,6 +282,16 @@ fn assert_ff_bit_identical(
             .collect()
     };
     assert_eq!(breakdown(&fast), breakdown(&full), "{what}: breakdown diverged");
+    // The per-stack controller statistics are part of the contract too:
+    // skipped cycles replay their occupancy integrals in closed form
+    // (MemoryController::idle_advance), so queue-depth and
+    // bank-parallelism figures must not depend on whether the driver
+    // stepped or jumped.
+    assert_eq!(
+        fast.memory_stats(),
+        full.memory_stats(),
+        "{what}: memory-controller statistics diverged"
+    );
 }
 
 /// The tentpole contract for application traffic: `AppWorkload`'s
@@ -331,6 +341,60 @@ fn shared_channel_mac_fast_forward_is_bit_identical_to_full_stepping() {
             &format!("shared-channel/{mac:?}"),
             &cfg,
             &|| Box::new(UniformRandom::new(cores, stacks, 0.20, load, flits, seed)),
+        );
+    }
+}
+
+/// The memory-controller contract: on a read-heavy workload the
+/// network drains while requests sit in the stack controllers' queues
+/// and banks, and the driver jumps those DRAM service gaps (bounded by
+/// `MemoryController::next_event_at`, replayed by `idle_advance`).  A
+/// fast-forwarded run must be bit-identical to full stepping — stats,
+/// latency bits, every energy category, and the per-stack controller
+/// statistics — with fast-forward provably engaged.
+#[test]
+fn memory_read_fast_forward_is_bit_identical_to_full_stepping() {
+    use wimnet::memory::SchedulerPolicy;
+    use wimnet::traffic::AddressStreamSpec;
+    for (arch, stream, scheduler) in [
+        (
+            Architecture::Wireless,
+            AddressStreamSpec::Sequential,
+            SchedulerPolicy::FrFcfs,
+        ),
+        (
+            Architecture::Substrate,
+            AddressStreamSpec::Uniform { region_blocks: 1 << 22 },
+            SchedulerPolicy::Fcfs,
+        ),
+        (
+            Architecture::Interposer,
+            AddressStreamSpec::HotRow {
+                region_blocks: 1 << 20,
+                hot_blocks: 16,
+                hot_fraction: 0.7,
+            },
+            SchedulerPolicy::FrFcfs,
+        ),
+    ] {
+        let mut cfg = quick(arch);
+        cfg.address_stream = stream;
+        cfg.mem_controller.scheduler = scheduler;
+        // Sparse enough that the network drains between reads, so the
+        // memory-side gap (not the workload gap) is what gets skipped.
+        let load = InjectionProcess::Bernoulli { rate: 0.0004 };
+        let cores = cfg.multichip.total_cores();
+        let stacks = cfg.multichip.num_stacks;
+        let (flits, seed) = (cfg.packet_flits, cfg.seed);
+        assert_ff_bit_identical(
+            &format!("memory-read/{arch}"),
+            &cfg,
+            &|| {
+                Box::new(
+                    UniformRandom::new(cores, stacks, 0.9, load, flits, seed)
+                        .with_memory_reads(1.0, 8),
+                )
+            },
         );
     }
 }
