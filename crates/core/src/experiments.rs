@@ -152,7 +152,7 @@ impl Experiment {
             .unwrap_or_default()
     }
 
-    fn build_workload(&self) -> Box<dyn Workload + Send> {
+    pub(crate) fn build_workload(&self) -> Box<dyn Workload + Send> {
         let cores = self.config.multichip.total_cores();
         let stacks = self.config.multichip.num_stacks;
         let affine = |w: UniformRandom| -> UniformRandom {

@@ -15,8 +15,12 @@
 //! * [`experiments`] — one function per figure (`fig2` … `fig6`) plus
 //!   the [`Experiment`] runner they share.
 //! * [`sweeps`] — declarative [`ScenarioGrid`] cartesian products and
-//!   the work-stealing pool (`run_pool`) that executes grids larger
-//!   than the core count (see `docs/sweeps.md`).
+//!   the work-stealing pool (`run_pool` / `run_pool_batched`) that
+//!   executes grids larger than the core count (see `docs/sweeps.md`).
+//! * [`replica`] — [`ReplicaBatch`]: N independent scenario points
+//!   advanced in lockstep by one driver loop over the engine's masked
+//!   fast stepper, bit-identical to N sequential runs (see
+//!   `docs/engine.md`, "Replica batching").
 //! * [`report`] — plain-text tables and CSV output for the harness.
 //!
 //! # Quickstart
@@ -39,6 +43,7 @@ pub mod driver;
 pub mod error;
 pub mod experiments;
 pub mod metrics;
+pub mod replica;
 pub mod report;
 pub mod sweeps;
 pub mod system;
@@ -47,5 +52,6 @@ pub use driver::{compare_on_shared_trace, find_saturation_load, latency_curve};
 pub use error::CoreError;
 pub use experiments::{Experiment, Scale, WorkloadSpec};
 pub use metrics::{percentage_gain, RunOutcome};
-pub use sweeps::{run_pool, ScenarioGrid, ScenarioPoint};
+pub use replica::ReplicaBatch;
+pub use sweeps::{run_pool, run_pool_batched, ScenarioGrid, ScenarioPoint};
 pub use system::{MacKind, MultichipSystem, SystemConfig, WirelessModel};

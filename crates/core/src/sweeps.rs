@@ -44,6 +44,13 @@ const DEFAULT_CHUNK: usize = 1;
 /// seed-deterministic, single-threaded simulation, and the pool only
 /// decides *which thread* runs it, never *what* it computes.
 ///
+/// The worker count is clamped to `threads.clamp(1, n.div_ceil(chunk))`
+/// — the number of chunks the list actually splits into — so an
+/// oversized `chunk` (e.g. `chunk > n`) degrades gracefully to a single
+/// worker draining one steal instead of spawning threads that would
+/// find the queue already empty.  The clamp is shape-only and therefore
+/// invisible in the results (pinned by `tests/determinism.rs`).
+///
 /// # Errors
 ///
 /// Returns the error of the lowest-indexed failing experiment (also
@@ -52,6 +59,56 @@ pub fn run_pool(
     experiments: &[Experiment],
     threads: usize,
     chunk: usize,
+) -> Result<Vec<RunOutcome>, CoreError> {
+    run_pool_with(experiments, threads, chunk, |slots, start, end| {
+        for i in start..end {
+            let filled = slots[i].set(experiments[i].run()).is_ok();
+            debug_assert!(filled, "each index is stolen exactly once");
+        }
+    })
+}
+
+/// Runs `experiments` like [`run_pool`], but each steal executes its
+/// whole chunk as **one [`crate::replica::ReplicaBatch`]**: the worker advances the
+/// chunk's simulations in lockstep through the engine's masked fast
+/// stepper instead of running them to completion one after another.
+///
+/// The contract is unchanged: per-lane results are exactly what each
+/// `experiments[i].run()` returns (bit-identical outcomes, per-lane
+/// errors), outcomes keep input order, and every `(threads, chunk)`
+/// shape — including `chunk > n`, which clamps to one worker with one
+/// batch — produces identical results (pinned by
+/// `tests/determinism.rs`).  `chunk` doubles as the batch width, so
+/// chunk boundaries decide batch membership; with a [`ScenarioGrid`],
+/// architecture is the outermost axis, which makes same-sized chunks
+/// along the fastest axes naturally same-architecture.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing experiment (also
+/// independent of the pool shape).
+pub fn run_pool_batched(
+    experiments: &[Experiment],
+    threads: usize,
+    chunk: usize,
+) -> Result<Vec<RunOutcome>, CoreError> {
+    run_pool_with(experiments, threads, chunk, |slots, start, end| {
+        let results = crate::replica::ReplicaBatch::build(&experiments[start..end]).run();
+        for (i, result) in results.into_iter().enumerate() {
+            let filled = slots[start + i].set(result).is_ok();
+            debug_assert!(filled, "each index is stolen exactly once");
+        }
+    })
+}
+
+/// The shared pool skeleton: an atomic chunk queue drained by scoped
+/// workers, per-index result slots, input-order collection.  `run_chunk`
+/// fills `slots[start..end]` for one stolen chunk.
+fn run_pool_with(
+    experiments: &[Experiment],
+    threads: usize,
+    chunk: usize,
+    run_chunk: impl Fn(&[OnceLock<Result<RunOutcome, CoreError>>], usize, usize) + Sync,
 ) -> Result<Vec<RunOutcome>, CoreError> {
     let n = experiments.len();
     if n == 0 {
@@ -69,10 +126,7 @@ pub fn run_pool(
                 if start >= n {
                     break;
                 }
-                for i in start..(start + chunk).min(n) {
-                    let filled = slots[i].set(experiments[i].run()).is_ok();
-                    debug_assert!(filled, "each index is stolen exactly once");
-                }
+                run_chunk(&slots, start, (start + chunk).min(n));
             });
         }
     });
@@ -440,6 +494,22 @@ impl ScenarioGrid {
         chunk: usize,
     ) -> Result<Vec<RunOutcome>, CoreError> {
         run_pool(&self.experiments(), threads, chunk)
+    }
+
+    /// Runs the grid on the replica-batched pool: each steal advances a
+    /// `chunk`-wide [`crate::replica::ReplicaBatch`] in lockstep over
+    /// the engine's fast stepper.  Outcomes are bit-identical to
+    /// [`ScenarioGrid::run_with`] at every pool shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed failing point's error.
+    pub fn run_batched(
+        &self,
+        threads: usize,
+        chunk: usize,
+    ) -> Result<Vec<RunOutcome>, CoreError> {
+        run_pool_batched(&self.experiments(), threads, chunk)
     }
 
     /// Runs the grid and pairs each outcome with its point.

@@ -418,9 +418,21 @@ impl MultichipSystem {
         true
     }
 
+    /// `true` when the engine's masked fast-stepping path
+    /// ([`Network::step_fast`]) covers this system's switches (every
+    /// switch fits the 128-bit VC masks).  All paper-scale
+    /// configurations qualify; [`crate::replica::ReplicaBatch`] falls
+    /// back to the reference stepper when this is `false`.
+    pub fn supports_fast_step(&self) -> bool {
+        self.net.supports_fast_step()
+    }
+
     /// One simulation cycle: inject due replies, step the engine, stage
     /// memory arrivals into the controllers, and step every controller.
-    fn step_cycle(&mut self) {
+    /// `fast` selects [`Network::step_fast`] — decision-identical to
+    /// [`Network::step`] (pinned by the `fast_step` differential suite),
+    /// so the flag changes wall-clock only, never the outcome.
+    fn step_cycle(&mut self, fast: bool) {
         let now = self.net.now();
         // Replies whose stack access completed become network packets.
         while let Some(&r) = self.pending_replies.peek() {
@@ -433,7 +445,11 @@ impl MultichipSystem {
                 .inject(PacketDesc::new(src, r.requester, r.flits, now));
             self.replies_injected += 1;
         }
-        self.net.step();
+        if fast {
+            self.net.step_fast();
+        } else {
+            self.net.step();
+        }
         let t = self.net.now();
         // Arrived read requests draw their address from the stack's
         // stream (pure function of the per-stack request ordinal, so
@@ -544,78 +560,109 @@ impl MultichipSystem {
     ///
     /// [`CoreError::Stalled`] when the watchdog detects a deadlock.
     pub fn run(&mut self, workload: &mut dyn Workload) -> Result<RunOutcome, CoreError> {
-        let total = self.config.warmup_cycles + self.config.measure_cycles;
+        let total = self.run_total_cycles();
         let mut cycle = 0;
         while cycle < total {
-            if cycle == self.config.warmup_cycles {
-                self.net.begin_measurement();
-            }
-            for e in workload.generate(cycle) {
-                self.inject_event(&e);
-            }
-            self.step_cycle();
-            if self.net.is_stalled(self.config.stall_threshold) {
-                return Err(CoreError::Stalled { cycle });
-            }
-            // Debug builds periodically sweep the switches' slab
-            // bookkeeping invariants (buffered counter and busy sets vs
-            // slab occupancy) so a drifting counter fails the nearest
-            // test instead of corrupting a long run silently.
-            #[cfg(debug_assertions)]
-            if cycle % 1024 == 0 {
-                self.net.assert_switch_invariants();
-            }
-            cycle += 1;
-            // Idle fast-forward: when the workload promises no events
-            // before `next` and the network is provably idle, jump
-            // straight to the earliest thing that can happen — the
-            // workload's next event, the first pending memory reply
-            // (whose injection cycle is already scheduled, so waiting
-            // for it cycle by cycle proves nothing), or the memory
-            // controllers' next completion/issue (their completion
-            // times are fixed at issue, so the wait inside a DRAM
-            // service gap proves nothing either) — instead of spinning
-            // empty cycles.  The jump never crosses the
-            // measurement-window boundary (begin_measurement must run at
-            // exactly the warmup cycle).  `is_idle` is checked *before*
-            // asking the workload: `next_event_at` may scan a counter
-            // RNG (Bernoulli workloads), and that scan would be wasted
-            // every cycle the network is still draining flits.  The
-            // full gate — driver, workload, network, medium and memory
-            // controllers all agreeing — is documented in
-            // docs/fast_forward.md and docs/memory.md.
-            if !self.config.disable_fast_forward && self.net.is_idle() {
-                if let Some(next) = workload.next_event_at(cycle) {
-                    // Remaining replies all have `ready_at >= cycle`:
-                    // earlier ones were drained by `step_cycle`.
-                    let reply_at = self
-                        .pending_replies
-                        .peek()
-                        .map_or(u64::MAX, |r| r.ready_at);
-                    let memory_at = self.memory_resume_at(cycle);
-                    // `<=` (not `<`): at cycle == warmup_cycles the
-                    // loop top has not yet run begin_measurement, so
-                    // the jump must stop short and let the next
-                    // iteration open the window.
-                    let bound = if cycle <= self.config.warmup_cycles {
-                        self.config.warmup_cycles
-                    } else {
-                        total
-                    };
-                    let target = next.min(reply_at).min(memory_at).min(bound);
-                    if target > cycle {
-                        cycle += self.fast_forward_cycles(target - cycle);
-                    }
+            cycle = self.run_iteration(workload, cycle, false)?;
+        }
+        Ok(self.collect_outcome(workload.name()))
+    }
+
+    /// The driver's end cycle: warmup plus measurement window.
+    pub(crate) fn run_total_cycles(&self) -> u64 {
+        self.config.warmup_cycles + self.config.measure_cycles
+    }
+
+    /// One iteration of the [`MultichipSystem::run`] loop at `cycle`,
+    /// returning the next cycle (past `cycle + 1` when idle
+    /// fast-forward jumped).  This is the *entire* per-cycle protocol —
+    /// window opening, generation, stepping, stall watchdog, invariant
+    /// sweeps and the fast-forward gate — factored out so
+    /// [`crate::replica::ReplicaBatch`] can interleave many independent
+    /// runs while each lane observes exactly the solo `run` schedule.
+    ///
+    /// `fast` forwards to [`Network::step_fast`]; see
+    /// [`MultichipSystem::supports_fast_step`].
+    pub(crate) fn run_iteration(
+        &mut self,
+        workload: &mut dyn Workload,
+        mut cycle: u64,
+        fast: bool,
+    ) -> Result<u64, CoreError> {
+        let total = self.run_total_cycles();
+        if cycle == self.config.warmup_cycles {
+            self.net.begin_measurement();
+        }
+        for e in workload.generate(cycle) {
+            self.inject_event(&e);
+        }
+        self.step_cycle(fast);
+        if self.net.is_stalled(self.config.stall_threshold) {
+            return Err(CoreError::Stalled { cycle });
+        }
+        // Debug builds periodically sweep the switches' slab
+        // bookkeeping invariants (buffered counter and busy sets vs
+        // slab occupancy) so a drifting counter fails the nearest
+        // test instead of corrupting a long run silently.
+        #[cfg(debug_assertions)]
+        if cycle % 1024 == 0 {
+            self.net.assert_switch_invariants();
+        }
+        cycle += 1;
+        // Idle fast-forward: when the workload promises no events
+        // before `next` and the network is provably idle, jump
+        // straight to the earliest thing that can happen — the
+        // workload's next event, the first pending memory reply
+        // (whose injection cycle is already scheduled, so waiting
+        // for it cycle by cycle proves nothing), or the memory
+        // controllers' next completion/issue (their completion
+        // times are fixed at issue, so the wait inside a DRAM
+        // service gap proves nothing either) — instead of spinning
+        // empty cycles.  The jump never crosses the
+        // measurement-window boundary (begin_measurement must run at
+        // exactly the warmup cycle).  `is_idle` is checked *before*
+        // asking the workload: `next_event_at` may scan a counter
+        // RNG (Bernoulli workloads), and that scan would be wasted
+        // every cycle the network is still draining flits.  The
+        // full gate — driver, workload, network, medium and memory
+        // controllers all agreeing — is documented in
+        // docs/fast_forward.md and docs/memory.md.
+        if !self.config.disable_fast_forward && self.net.is_idle() {
+            if let Some(next) = workload.next_event_at(cycle) {
+                // Remaining replies all have `ready_at >= cycle`:
+                // earlier ones were drained by `step_cycle`.
+                let reply_at = self
+                    .pending_replies
+                    .peek()
+                    .map_or(u64::MAX, |r| r.ready_at);
+                let memory_at = self.memory_resume_at(cycle);
+                // `<=` (not `<`): at cycle == warmup_cycles the
+                // loop top has not yet run begin_measurement, so
+                // the jump must stop short and let the next
+                // iteration open the window.
+                let bound = if cycle <= self.config.warmup_cycles {
+                    self.config.warmup_cycles
+                } else {
+                    total
+                };
+                let target = next.min(reply_at).min(memory_at).min(bound);
+                if target > cycle {
+                    cycle += self.fast_forward_cycles(target - cycle);
                 }
             }
         }
-        Ok(RunOutcome::collect(
+        Ok(cycle)
+    }
+
+    /// Collects the [`RunOutcome`] of a finished run.
+    pub(crate) fn collect_outcome(&self, workload_name: &str) -> RunOutcome {
+        RunOutcome::collect(
             &self.config,
-            workload.name(),
+            workload_name,
             &self.net,
             self.layout.total_cores(),
             self.memory_stats(),
-        ))
+        )
     }
 
     /// Runs with no traffic for `cycles` (useful for leakage baselines).
@@ -630,7 +677,7 @@ impl MultichipSystem {
                     return;
                 }
             }
-            self.step_cycle();
+            self.step_cycle(false);
             left -= 1;
         }
     }

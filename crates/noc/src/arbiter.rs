@@ -77,6 +77,40 @@ impl RoundRobin {
         None
     }
 
+    /// Like [`RoundRobin::grant_among`], but the candidate set is a bit
+    /// mask (bit `i` = requester `i` is a candidate) and `requesting` is
+    /// the residual predicate for candidates in the mask.  Equivalent to
+    /// `grant` whenever the predicate would be `false` for every index
+    /// outside the mask — same rotation, same winner, same pointer
+    /// updates, bit for bit; only the scan is bit-parallel.  The batch
+    /// engine's fused switch pre-passes build these masks (see
+    /// `docs/engine.md`, "Replica batching").
+    ///
+    /// Requires `n <= 128`.
+    pub fn grant_masked(
+        &mut self,
+        mask: u128,
+        mut requesting: impl FnMut(usize) -> bool,
+    ) -> Option<usize> {
+        debug_assert!(self.n <= 128, "masked arbitration needs n <= 128");
+        // Candidates at or after the rotation pointer first (ascending),
+        // then the wrapped-around prefix — exactly `grant_among`'s
+        // partition-point split.
+        let hi = if self.next < 128 { mask & (!0u128 << self.next) } else { 0 };
+        let lo = mask & !hi;
+        for mut part in [hi, lo] {
+            while part != 0 {
+                let c = part.trailing_zeros() as usize;
+                part &= part - 1;
+                if requesting(c) {
+                    self.next = (c + 1) % self.n;
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+
     /// Peeks the winner without advancing the pointer.
     pub fn peek(&self, mut requesting: impl FnMut(usize) -> bool) -> Option<usize> {
         for off in 0..self.n {
@@ -135,6 +169,42 @@ mod tests {
         let mut a = RoundRobin::new(0);
         assert!(a.is_empty());
         assert_eq!(a.grant(|_| true), None);
+    }
+
+    #[test]
+    fn grant_masked_matches_grant_among_decision_for_decision() {
+        // Drive both arbiters through the same pseudo-random request
+        // sequences (candidate masks + a residual predicate) and demand
+        // identical winners and pointer evolution at every step.
+        let n = 11usize;
+        let mut a = RoundRobin::new(n);
+        let mut b = RoundRobin::new(n);
+        let mut state = 0x5eed_1234_u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2000 {
+            let mask_bits = rng() & ((1 << n) - 1);
+            let pred_bits = rng() & ((1 << n) - 1);
+            let candidates: Vec<usize> =
+                (0..n).filter(|i| mask_bits >> i & 1 == 1).collect();
+            let wa = a.grant_among(&candidates, |i| pred_bits >> i & 1 == 1);
+            let wb = b.grant_masked(u128::from(mask_bits), |i| pred_bits >> i & 1 == 1);
+            assert_eq!(wa, wb);
+            assert_eq!(a, b, "pointer state diverged");
+        }
+    }
+
+    #[test]
+    fn grant_masked_failed_arbitration_leaves_pointer() {
+        let mut a = RoundRobin::new(8);
+        assert_eq!(a.grant_masked(0b1010, |_| false), None);
+        assert_eq!(a.grant_masked(0b1010, |_| true), Some(1));
+        // Pointer now 2: wrap-around picks 3 before 1.
+        assert_eq!(a.grant_masked(0b1010, |i| i == 1), Some(1));
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod link;
 pub mod network;
 pub mod packet;
 pub mod radio;
+pub mod ring;
 pub mod stats;
 pub mod switch;
 pub mod vc;
@@ -69,5 +70,6 @@ pub use link::Link;
 pub use network::{Network, NocConfig, WirelessMode};
 pub use packet::{ArrivedPacket, PacketDesc};
 pub use radio::{MediumActions, MediumView, RadioId, SharedMedium};
+pub use ring::RingSlab;
 pub use stats::NetworkStats;
 pub use vc::{VcFabric, VcStage};

@@ -12,12 +12,17 @@
 //! Fractional rates use an accumulator: a 0.1875-rate link earns 0.1875
 //! flit-credits per cycle and ships a flit whenever a whole credit is
 //! available, which reproduces serialisation delay without event queues.
-
-use std::collections::VecDeque;
+//!
+//! A `Link` owns only its credit state; the flits actually on the wire
+//! live in a network-owned [`RingSlab`] with one lane per link (see
+//! `docs/engine.md`, "Ring slabs") so every in-flight pipeline in the
+//! system shares one contiguous allocation.  [`Link::send`] and the
+//! arrival drains take the slab and the link's lane explicitly.
 
 use wimnet_topology::{EdgeId, EdgeKind};
 
 use crate::flit::Flit;
+use crate::ring::RingSlab;
 
 /// A flit due to arrive at the downstream switch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,7 +44,6 @@ pub struct Link {
     rate: f64,
     latency: u64,
     credit: f64,
-    in_flight: VecDeque<LinkDelivery>,
 }
 
 impl Link {
@@ -50,15 +54,7 @@ impl Link {
     /// Panics unless `0 < rate` and `rate` is finite.
     pub fn new(edge: EdgeId, kind: EdgeKind, length_mm: f64, rate: f64, latency: u64) -> Self {
         assert!(rate > 0.0 && rate.is_finite(), "link rate must be positive");
-        Link {
-            edge,
-            kind,
-            length_mm,
-            rate,
-            latency,
-            credit: 0.0,
-            in_flight: VecDeque::new(),
-        }
+        Link { edge, kind, length_mm, rate, latency, credit: 0.0 }
     }
 
     /// The paper's per-kind rate (flits per 2.5 GHz cycle of a 32-bit
@@ -110,9 +106,14 @@ impl Link {
         self.latency
     }
 
-    /// Flits currently on the wire.
-    pub fn in_flight(&self) -> usize {
-        self.in_flight.len()
+    /// Steady-state bound on flits simultaneously on the wire — the ring
+    /// lane capacity the owning network sizes for this link.  A flit
+    /// stays in flight at most `latency + 1` cycles and at most
+    /// `ceil(rate)` are admitted per cycle; the slack covers the
+    /// admission-before-drain cycle.  Lanes grow if ever exceeded, so
+    /// this is a sizing hint, not a correctness bound.
+    pub fn flight_capacity(&self) -> usize {
+        ((self.latency as usize + 2) * (self.rate.ceil() as usize).max(1)).max(4)
     }
 
     /// Called once per cycle *before* any admission: accrues bandwidth
@@ -128,14 +129,15 @@ impl Link {
         self.rate.max(1.0) + self.rate
     }
 
-    /// `true` when per-cycle processing is a no-op: nothing in flight and
-    /// the bandwidth credit has saturated at its cap.  The active-set
-    /// engine skips quiescent links entirely; because `begin_cycle`
-    /// clamps credit at exactly the cap, skipping it on a saturated link
-    /// leaves bit-identical state.
+    /// `true` when per-cycle processing is a no-op: nothing in flight
+    /// (`in_flight_empty`, from the owning slab's lane) and the bandwidth
+    /// credit has saturated at its cap.  The active-set engine skips
+    /// quiescent links entirely; because `begin_cycle` clamps credit at
+    /// exactly the cap, skipping it on a saturated link leaves
+    /// bit-identical state.
     #[inline]
-    pub fn is_quiescent(&self) -> bool {
-        self.in_flight.is_empty() && self.credit >= self.credit_cap()
+    pub fn is_quiescent(&self, in_flight_empty: bool) -> bool {
+        in_flight_empty && self.credit >= self.credit_cap()
     }
 
     /// `true` if the link can accept one more flit this cycle.
@@ -150,43 +152,59 @@ impl Link {
         self.credit.max(0.0) as u32
     }
 
-    /// Admits a flit onto the wire.
+    /// Admits a flit onto the wire: consumes one bandwidth credit and
+    /// appends the delivery to this link's lane of the in-flight slab.
     ///
     /// # Panics
     ///
     /// Panics if called while [`Link::can_accept`] is false.
     #[inline]
-    pub fn send(&mut self, flit: Flit, vc: usize, now: u64) {
+    pub fn send(
+        &mut self,
+        flight: &mut RingSlab<LinkDelivery>,
+        lane: usize,
+        flit: Flit,
+        vc: usize,
+        now: u64,
+    ) {
         assert!(self.can_accept(), "link admission without bandwidth credit");
         self.credit -= 1.0;
-        self.in_flight.push_back(LinkDelivery {
-            flit,
-            vc,
-            arrives_at: now + self.latency,
-        });
+        flight.push_back_growing(
+            lane,
+            LinkDelivery { flit, vc, arrives_at: now + self.latency },
+        );
     }
 
-    /// Removes all flits that have arrived by `now`, appending them to
-    /// `out` in admission order (which preserves per-packet flit order —
-    /// same path, same link).  The caller owns `out` so the per-cycle
-    /// hot path never allocates.
+    /// Removes all flits of `lane` that have arrived by `now`, appending
+    /// them to `out` in admission order (which preserves per-packet flit
+    /// order — same path, same link).  The caller owns `out` so the
+    /// per-cycle hot path never allocates.
     #[inline]
-    pub fn take_arrivals_into(&mut self, now: u64, out: &mut Vec<LinkDelivery>) {
-        while let Some(d) = self.in_flight.front() {
+    pub fn take_arrivals_into(
+        flight: &mut RingSlab<LinkDelivery>,
+        lane: usize,
+        now: u64,
+        out: &mut Vec<LinkDelivery>,
+    ) {
+        while let Some(d) = flight.front(lane) {
             if d.arrives_at <= now {
-                out.push(self.in_flight.pop_front().expect("front exists"));
+                out.push(flight.pop_front(lane).expect("front exists"));
             } else {
                 break;
             }
         }
     }
 
-    /// Removes and returns all flits that have arrived by `now`.
-    ///
-    /// Allocating convenience wrapper over [`Link::take_arrivals_into`].
-    pub fn take_arrivals(&mut self, now: u64) -> Vec<LinkDelivery> {
+    /// Removes and returns all flits of `lane` that have arrived by
+    /// `now`.  Allocating convenience wrapper over
+    /// [`Link::take_arrivals_into`].
+    pub fn take_arrivals(
+        flight: &mut RingSlab<LinkDelivery>,
+        lane: usize,
+        now: u64,
+    ) -> Vec<LinkDelivery> {
         let mut out = Vec::new();
-        self.take_arrivals_into(now, &mut out);
+        Self::take_arrivals_into(flight, lane, now, &mut out);
         out
     }
 }
@@ -208,19 +226,34 @@ mod tests {
         }
     }
 
-    fn mesh_link() -> Link {
-        Link::new(EdgeId(0), EdgeKind::Mesh, 2.5, 1.0, 1)
+    const FILL: LinkDelivery = LinkDelivery {
+        flit: Flit {
+            packet: PacketId(0),
+            kind: FlitKind::Body,
+            seq: 0,
+            src: NodeId(0),
+            dest: NodeId(0),
+            created_at: 0,
+        },
+        vc: 0,
+        arrives_at: 0,
+    };
+
+    fn mesh_link() -> (Link, RingSlab<LinkDelivery>) {
+        let l = Link::new(EdgeId(0), EdgeKind::Mesh, 2.5, 1.0, 1);
+        let ring = RingSlab::uniform(1, l.flight_capacity(), FILL);
+        (l, ring)
     }
 
     #[test]
     fn unit_rate_link_moves_one_flit_per_cycle() {
-        let mut l = mesh_link();
+        let (mut l, mut ring) = mesh_link();
         for now in 0..5u64 {
             l.begin_cycle();
             assert!(l.can_accept());
-            l.send(flit(now as u32), 0, now);
+            l.send(&mut ring, 0, flit(now as u32), 0, now);
             assert!(!l.can_accept(), "only one flit per cycle at rate 1");
-            let arrivals = l.take_arrivals(now + 1);
+            let arrivals = Link::take_arrivals(&mut ring, 0, now + 1);
             assert_eq!(arrivals.len(), 1);
             assert_eq!(arrivals[0].arrives_at, now + 1);
         }
@@ -230,11 +263,13 @@ mod tests {
     fn serial_rate_paces_roughly_five_cycles_per_flit() {
         // 15/80 flits per cycle = one flit every 5.33 cycles.
         let mut l = Link::new(EdgeId(0), EdgeKind::SerialIo, 12.0, 15.0 / 80.0, 2);
+        let mut ring = RingSlab::uniform(1, l.flight_capacity(), FILL);
         let mut sent = 0u32;
         for now in 0..80u64 {
             l.begin_cycle();
+            Link::take_arrivals(&mut ring, 0, now); // drain so the lane stays small
             if l.can_accept() {
-                l.send(flit(sent), 0, now);
+                l.send(&mut ring, 0, flit(sent), 0, now);
                 sent += 1;
             }
         }
@@ -245,11 +280,13 @@ mod tests {
     #[test]
     fn wide_io_exceeds_one_flit_per_cycle() {
         let mut l = Link::new(EdgeId(0), EdgeKind::WideIo, 5.0, 1.6, 1);
+        let mut ring = RingSlab::uniform(1, l.flight_capacity(), FILL);
         let mut sent = 0u32;
         for now in 0..10u64 {
             l.begin_cycle();
+            Link::take_arrivals(&mut ring, 0, now);
             while l.can_accept() {
-                l.send(flit(sent), 0, now);
+                l.send(&mut ring, 0, flit(sent), 0, now);
                 sent += 1;
             }
         }
@@ -260,27 +297,30 @@ mod tests {
     #[test]
     fn latency_delays_delivery_in_order() {
         let mut l = Link::new(EdgeId(0), EdgeKind::Interposer, 4.0, 1.0, 3);
+        let mut ring = RingSlab::uniform(1, l.flight_capacity(), FILL);
         l.begin_cycle();
-        l.send(flit(0), 2, 10);
-        assert!(l.take_arrivals(12).is_empty());
-        let a = l.take_arrivals(13);
+        l.send(&mut ring, 0, flit(0), 2, 10);
+        assert!(Link::take_arrivals(&mut ring, 0, 12).is_empty());
+        let a = Link::take_arrivals(&mut ring, 0, 13);
         assert_eq!(a.len(), 1);
         assert_eq!(a[0].vc, 2);
-        assert_eq!(l.in_flight(), 0);
+        assert!(ring.is_empty(0));
     }
 
     #[test]
     fn idle_links_do_not_bank_unbounded_credit() {
-        let mut l = mesh_link();
+        let (mut l, mut ring) = mesh_link();
         for _ in 0..100 {
             l.begin_cycle();
         }
+        assert!(l.is_quiescent(ring.is_empty(0)), "saturated idle link is quiescent");
         let mut burst = 0;
         while l.can_accept() {
-            l.send(flit(burst), 0, 100);
+            l.send(&mut ring, 0, flit(burst), 0, 100);
             burst += 1;
         }
         assert!(burst <= 2, "burst of {burst} after long idle");
+        assert!(!l.is_quiescent(ring.is_empty(0)));
     }
 
     #[test]
@@ -298,9 +338,9 @@ mod tests {
     #[test]
     #[should_panic]
     fn sending_without_credit_panics() {
-        let mut l = mesh_link();
+        let (mut l, mut ring) = mesh_link();
         l.begin_cycle();
-        l.send(flit(0), 0, 0);
-        l.send(flit(1), 0, 0);
+        l.send(&mut ring, 0, flit(0), 0, 0);
+        l.send(&mut ring, 0, flit(1), 0, 0);
     }
 }

@@ -1,6 +1,14 @@
 //! The network: switches + links + radios stepped one cycle at a time.
-
-use std::collections::VecDeque;
+//!
+//! Two stepping paths advance the same state machine:
+//!
+//! * [`Network::step`] — the reference engine: active-set sweeps + sorts
+//!   per cycle, the switches' three-pass phases.
+//! * [`Network::step_fast`] — the batch engine's inner step: word-bitset
+//!   active sets (ascending bit iteration is sorted for free), fused
+//!   mask-driven switch phases, lazy link-bandwidth queries.  Decision-
+//!   identical to `step` — same grants, same moves, same meter order,
+//!   bit for bit (pinned by `tests/fast_step.rs`).
 
 use wimnet_energy::{ChargeBatch, Energy, EnergyCategory, EnergyMeter, EnergyModel, Power};
 use wimnet_routing::Routes;
@@ -9,15 +17,33 @@ use wimnet_topology::{EdgeKind, MultichipLayout};
 use crate::active::ActiveSet;
 use crate::arbiter::RoundRobin;
 use crate::error::NocError;
-use crate::flit::{Flit, PacketId};
+use crate::flit::{Flit, FlitKind, PacketId};
 use crate::link::{Link, LinkDelivery};
 use crate::packet::{ArrivedPacket, PacketDesc, Reassembler};
 use crate::radio::{
     MediumAction, MediumActions, MediumView, RadioId, RadioTx, RadioView, RxVcView,
     SharedMedium, TxVcView,
 };
+use crate::ring::RingSlab;
 use crate::stats::NetworkStats;
 use crate::switch::{OutPortSpec, RouteEntry, StMove, Switch, VaGrant};
+
+/// Sets bit `i` of a word bitset.
+#[inline]
+fn set_bit(words: &mut [u64], i: usize) {
+    words[i >> 6] |= 1u64 << (i & 63);
+}
+
+/// Clears bit `i` of a word bitset.
+#[inline]
+fn clear_bit(words: &mut [u64], i: usize) {
+    words[i >> 6] &= !(1u64 << (i & 63));
+}
+
+/// Words needed for an `n`-bit bitset.
+fn words_for(n: usize) -> usize {
+    n.div_ceil(64)
+}
 
 /// How wireless edges of the topology are realised by the engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -161,7 +187,13 @@ pub struct Network {
     radio_of_switch: Vec<Option<(RadioId, usize)>>,
     radio_by_node: Vec<Option<RadioId>>,
     media: Vec<Box<dyn SharedMedium>>,
-    inj_pending: Vec<VecDeque<Flit>>,
+    /// Flits on the wire, slabbed: lane `li` is link `li`'s in-flight
+    /// pipeline (the links themselves keep only credit state).
+    flight: RingSlab<LinkDelivery>,
+    /// Source queues, slabbed: lane `ni` holds endpoint `ni`'s generated
+    /// flits awaiting injection (grows on demand — source queues are
+    /// workload-bounded, not credit-bounded).
+    inj_pending: RingSlab<Flit>,
     inj_active_vc: Vec<Option<usize>>,
     inj_rr: Vec<RoundRobin>,
     next_packet: u64,
@@ -190,6 +222,15 @@ pub struct Network {
     active_links: ActiveSet,
     active_switches: ActiveSet,
     active_injectors: ActiveSet,
+    // --- Word-bitset mirrors of the active sets, used by `step_fast`:
+    // ascending bit iteration replaces the per-cycle sweep + sort.
+    // Every insert site sets both representations; only the fast path
+    // clears bits (exact sweep at visit time), so under legacy stepping
+    // the bitsets remain conservative supersets — the invariant the
+    // fast sweep needs — and the paths can be mixed freely.
+    links_mask: Vec<u64>,
+    switch_mask: Vec<u64>,
+    inj_mask: Vec<u64>,
     // --- Preallocated per-cycle scratch: the steady-state step() makes
     // no heap allocations.
     scratch_order: Vec<usize>,
@@ -520,8 +561,27 @@ impl Network {
         };
 
         let max_ports = switches.iter().map(Switch::port_count).max().unwrap_or(0);
+        // Ring-slab fill values: the payload types have no meaningful
+        // default, so unoccupied slots hold an explicit zeroed flit.
+        let fill_flit = Flit {
+            packet: PacketId(0),
+            kind: FlitKind::Body,
+            seq: 0,
+            src: wimnet_topology::NodeId(0),
+            dest: wimnet_topology::NodeId(0),
+            created_at: 0,
+        };
+        let fill_delivery = LinkDelivery { flit: fill_flit, vc: 0, arrives_at: 0 };
+        let flight_caps: Vec<usize> = links.iter().map(Link::flight_capacity).collect();
+        // Links start active (bitset full) so their bandwidth credit
+        // warms up exactly as the full-scan engine did.
+        let mut links_mask = vec![0u64; words_for(links.len())];
+        for li in 0..links.len() {
+            set_bit(&mut links_mask, li);
+        }
         Ok(Network {
-            inj_pending: vec![VecDeque::new(); n],
+            inj_pending: RingSlab::uniform(n, 16, fill_flit),
+            flight: RingSlab::with_capacities(&flight_caps, fill_delivery),
             inj_active_vc: vec![None; n],
             inj_rr: (0..n).map(|_| RoundRobin::new(cfg.vcs)).collect(),
             cfg,
@@ -532,6 +592,9 @@ impl Network {
             active_links: ActiveSet::full(links.len()),
             active_switches: ActiveSet::new(n),
             active_injectors: ActiveSet::new(n),
+            links_mask,
+            switch_mask: vec![0u64; words_for(n)],
+            inj_mask: vec![0u64; words_for(n)],
             scratch_order: Vec::with_capacity(n.max(links.len())),
             scratch_arrivals: Vec::new(),
             scratch_grants: Vec::new(),
@@ -643,11 +706,7 @@ impl Network {
         // with flits still buffered.
         assert_eq!(
             self.radio_backlog_flits,
-            self.radios
-                .iter()
-                .flat_map(|r| r.vcs.iter())
-                .map(|vc| vc.fifo.len() as u64)
-                .sum::<u64>(),
+            self.radios.iter().map(RadioTx::backlog).sum::<u64>(),
             "radio backlog counter out of sync"
         );
     }
@@ -657,7 +716,9 @@ impl Network {
     pub fn source_backlog(&self) -> u64 {
         debug_assert_eq!(
             self.backlog_flits,
-            self.inj_pending.iter().map(|q| q.len() as u64).sum::<u64>(),
+            (0..self.inj_pending.lanes())
+                .map(|ni| self.inj_pending.len(ni) as u64)
+                .sum::<u64>(),
             "source backlog counter out of sync"
         );
         self.backlog_flits
@@ -665,7 +726,7 @@ impl Network {
 
     /// Flits waiting in one endpoint's source queue.
     pub fn source_backlog_at(&self, node: wimnet_topology::NodeId) -> u64 {
-        self.inj_pending[node.index()].len() as u64
+        self.inj_pending.len(node.index()) as u64
     }
 
     /// `true` if flits are in flight but nothing has moved for
@@ -685,10 +746,13 @@ impl Network {
         assert!(desc.dest.index() < self.switches.len(), "bad destination");
         let id = PacketId(self.next_packet);
         self.next_packet += 1;
-        let q = &mut self.inj_pending[desc.src.index()];
-        q.extend(desc.flits_for(id));
+        let src = desc.src.index();
+        for flit in desc.flits_for(id) {
+            self.inj_pending.push_back_growing(src, flit);
+        }
         self.backlog_flits += u64::from(desc.flits);
-        self.active_injectors.insert(desc.src.index());
+        self.active_injectors.insert(src);
+        set_bit(&mut self.inj_mask, src);
         self.stats.on_inject(desc.flits);
         id
     }
@@ -745,7 +809,7 @@ impl Network {
                 .active_links
                 .members()
                 .iter()
-                .all(|&li| self.links[li].is_quiescent())
+                .all(|&li| self.links[li].is_quiescent(self.flight.is_empty(li)))
             && self.media.iter().all(|m| m.is_quiescent())
     }
 
@@ -756,11 +820,7 @@ impl Network {
     pub fn radio_backlog(&self) -> u64 {
         debug_assert_eq!(
             self.radio_backlog_flits,
-            self.radios
-                .iter()
-                .flat_map(|r| r.vcs.iter())
-                .map(|vc| vc.fifo.len() as u64)
-                .sum::<u64>(),
+            self.radios.iter().map(RadioTx::backlog).sum::<u64>(),
             "radio backlog counter out of sync"
         );
         self.radio_backlog_flits
@@ -844,7 +904,9 @@ impl Network {
         // is independent, but determinism costs one small sort).
         {
             let links = &self.links;
-            self.active_links.sweep(|li| !links[li].is_quiescent());
+            let flight = &self.flight;
+            self.active_links
+                .sweep(|li| !links[li].is_quiescent(flight.is_empty(li)));
         }
         order.clear();
         order.extend_from_slice(self.active_links.members());
@@ -853,13 +915,14 @@ impl Network {
         for &li in &order {
             self.links[li].begin_cycle();
             arrivals.clear();
-            self.links[li].take_arrivals_into(now, &mut arrivals);
+            Link::take_arrivals_into(&mut self.flight, li, now, &mut arrivals);
             if !arrivals.is_empty() {
                 let (sw, port) = self.link_dst[li];
                 for d in &arrivals {
                     self.switches[sw].deliver(port, d.vc, d.flit);
                 }
                 self.active_switches.insert(sw);
+                set_bit(&mut self.switch_mask, sw);
             }
         }
         self.scratch_arrivals = arrivals;
@@ -881,16 +944,7 @@ impl Network {
         for &si in &order {
             let lut_row = &self.lut[si * n_switches..(si + 1) * n_switches];
             self.switches[si].alloc_phase(now, lut_row, &mut grants);
-            if let Some((rid, radio_port)) = self.radio_of_switch[si] {
-                for g in &grants {
-                    if g.out_port == radio_port {
-                        let next = lut_row[g.dest.index()].next;
-                        let target = self.radio_by_node[next.index()]
-                            .expect("wireless next hop hosts a radio");
-                        self.radios[rid.index()].target_by_vc[g.out_vc] = Some(target);
-                    }
-                }
-            }
+            self.resolve_radio_targets(si, &grants);
         }
         self.scratch_grants = grants;
 
@@ -928,84 +982,117 @@ impl Network {
                 &mut moves,
             );
             for m in &moves {
-                self.last_progress = now;
-                // Per-flit-hop energy: log the port's precomputed charge
-                // sequence (traversal + link crossing); the batch drains
-                // into the meter once per cycle, in this exact order.
-                let (start, len) = self.charge_span[pb + m.out_port];
-                for &(cat, energy) in
-                    &self.flit_charges[start as usize..(start + len) as usize]
-                {
-                    self.charge_log.push(cat, energy);
-                }
-                // Credit back upstream for the freed input slot.
-                if let Upstream::Wired { switch, port } = self.upstream[pb + m.in_port] {
-                    self.scratch_credits.push((switch, port, m.in_vc));
-                }
-                if m.out_port == 0 {
-                    // Ejection: the flit reaches the attached endpoint
-                    // after the one-cycle switch traversal.
-                    if let Some(p) = self.reassembler.push(m.flit, now + 1) {
-                        self.stats.on_deliver(&p);
-                        self.arrivals.push(p);
-                    }
-                    self.flits_in_network -= 1;
-                } else if Some(m.out_port)
-                    == self.radio_of_switch[si].map(|(_, port)| port)
-                {
-                    let (rid, _) = self.radio_of_switch[si].expect("radio port");
-                    let radio = &mut self.radios[rid.index()];
-                    let target = radio.target_by_vc[m.out_vc]
-                        .expect("VA set a target before ST");
-                    assert!(
-                        radio.vcs[m.out_vc].free_space() > 0,
-                        "radio TX overflow: credit protocol violated"
-                    );
-                    radio.vcs[m.out_vc].fifo.push_back((m.flit, target));
-                    self.radio_backlog_flits += 1;
-                } else {
-                    let li = self.out_link[pb + m.out_port].expect("wired port has a link");
-                    self.links[li].send(m.flit, m.out_vc, now);
-                    self.active_links.insert(li);
-                }
+                self.apply_move(si, pb, m, now);
             }
         }
         self.scratch_moves = moves;
         self.scratch_order = order;
 
-        // Drain the batched per-flit charges before phase 5 so the
-        // meter's accumulation order matches the former per-move adds
-        // exactly (media charges always followed phase 4's).
+        self.drain_charges();
+        self.run_media_phase(now);
+        self.land_credits();
+        self.finish_cycle(now);
+    }
+
+    /// Routes one winning ST movement: meter charges, upstream credit,
+    /// ejection/radio/link delivery.  Shared verbatim by [`Network::step`]
+    /// and [`Network::step_fast`] (`pb` = `port_base[si]`).
+    fn apply_move(&mut self, si: usize, pb: usize, m: &StMove, now: u64) {
+        self.last_progress = now;
+        // Per-flit-hop energy: log the port's precomputed charge
+        // sequence (traversal + link crossing); the batch drains
+        // into the meter once per cycle, in this exact order.
+        let (start, len) = self.charge_span[pb + m.out_port];
+        for &(cat, energy) in &self.flit_charges[start as usize..(start + len) as usize] {
+            self.charge_log.push(cat, energy);
+        }
+        // Credit back upstream for the freed input slot.
+        if let Upstream::Wired { switch, port } = self.upstream[pb + m.in_port] {
+            self.scratch_credits.push((switch, port, m.in_vc));
+        }
+        if m.out_port == 0 {
+            // Ejection: the flit reaches the attached endpoint
+            // after the one-cycle switch traversal.
+            if let Some(p) = self.reassembler.push(m.flit, now + 1) {
+                self.stats.on_deliver(&p);
+                self.arrivals.push(p);
+            }
+            self.flits_in_network -= 1;
+        } else if Some(m.out_port) == self.radio_of_switch[si].map(|(_, port)| port) {
+            let (rid, _) = self.radio_of_switch[si].expect("radio port");
+            let radio = &mut self.radios[rid.index()];
+            let target = radio.target_by_vc[m.out_vc].expect("VA set a target before ST");
+            assert!(
+                radio.free_space(m.out_vc) > 0,
+                "radio TX overflow: credit protocol violated"
+            );
+            radio.fifo.push_back(m.out_vc, (m.flit, target));
+            self.radio_backlog_flits += 1;
+        } else {
+            let li = self.out_link[pb + m.out_port].expect("wired port has a link");
+            self.links[li].send(&mut self.flight, li, m.flit, m.out_vc, now);
+            self.active_links.insert(li);
+            set_bit(&mut self.links_mask, li);
+        }
+    }
+
+    /// Resolves radio targets for this cycle's VA grants on switch `si`'s
+    /// radio port (the destination WI the next wireless hop reaches).
+    /// Shared by both stepping paths.
+    fn resolve_radio_targets(&mut self, si: usize, grants: &[VaGrant]) {
+        let Some((rid, radio_port)) = self.radio_of_switch[si] else { return };
+        let n = self.switches.len();
+        for g in grants {
+            if g.out_port == radio_port {
+                let next = self.lut[si * n + g.dest.index()].next;
+                let target = self.radio_by_node[next.index()]
+                    .expect("wireless next hop hosts a radio");
+                self.radios[rid.index()].target_by_vc[g.out_vc] = Some(target);
+            }
+        }
+    }
+
+    /// Drains the batched per-flit charges before phase 5 so the meter's
+    /// accumulation order matches the former per-move adds exactly (media
+    /// charges always followed phase 4's).
+    fn drain_charges(&mut self) {
         if !self.charge_log.is_empty() {
             self.meter.apply_batch(&self.charge_log);
             self.charge_log.clear();
         }
+    }
 
-        // Phase 5: shared media (wireless channel + MAC).  View and
-        // action list are per-run scratch, refreshed/cleared in place.
-        if !self.media.is_empty() {
-            let mut view = std::mem::take(&mut self.scratch_view);
-            self.refresh_view(&mut view);
-            let mut media = std::mem::take(&mut self.media);
-            let mut actions = std::mem::take(&mut self.scratch_actions);
-            for medium in &mut media {
-                actions.list.clear();
-                medium.step(now, &view, &mut actions);
-                self.apply_medium_actions(&actions);
-            }
-            self.media = media;
-            self.scratch_actions = actions;
-            self.scratch_view = view;
+    /// Phase 5: shared media (wireless channel + MAC).  View and action
+    /// list are per-run scratch, refreshed/cleared in place.
+    fn run_media_phase(&mut self, now: u64) {
+        if self.media.is_empty() {
+            return;
         }
+        let mut view = std::mem::take(&mut self.scratch_view);
+        self.refresh_view(&mut view);
+        let mut media = std::mem::take(&mut self.media);
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        for medium in &mut media {
+            actions.list.clear();
+            medium.step(now, &view, &mut actions);
+            self.apply_medium_actions(&actions);
+        }
+        self.media = media;
+        self.scratch_actions = actions;
+        self.scratch_view = view;
+    }
 
-        // Phase 6: credits land (one-cycle credit loop).
+    /// Phase 6: credits land (one-cycle credit loop).
+    fn land_credits(&mut self) {
         for i in 0..self.scratch_credits.len() {
             let (sw, port, vc) = self.scratch_credits[i];
             self.switches[sw].return_credit(port, vc);
         }
         self.scratch_credits.clear();
+    }
 
-        // Phase 7: leakage + bookkeeping.
+    /// Phase 7: leakage + end-of-cycle bookkeeping.
+    fn finish_cycle(&mut self, now: u64) {
         self.meter.add(
             EnergyCategory::SwitchStatic,
             self.switch_static.energy_over_cycles(1, self.cfg.energy.clock),
@@ -1027,16 +1114,182 @@ impl Network {
         self.now = now + 1;
     }
 
+    /// `true` when every switch fits the fast path's 128-bit VC masks
+    /// (ports × vcs ≤ 128) — the [`Network::step_fast`] precondition.
+    /// The paper configurations (8 VCs, ≤ 8 ports) all qualify; callers
+    /// fall back to [`Network::step`] otherwise.
+    pub fn supports_fast_step(&self) -> bool {
+        self.switches.iter().all(Switch::supports_mask)
+    }
+
+    /// Advances the network by one clock cycle on the fast path.
+    ///
+    /// Decision-identical to [`Network::step`] — same grants, moves,
+    /// arrival order, statistics, and bit-identical energy — but driven
+    /// by word bitsets instead of swept-and-sorted active lists, with the
+    /// switches' fused mask phases ([`Switch::alloc_phase_fast`],
+    /// [`Switch::st_phase_fast`]) and lazy link-bandwidth queries.  The
+    /// replica-batch engine steps every lane through this path; the
+    /// differential suite in `tests/fast_step.rs` pins the equivalence
+    /// cycle by cycle.
+    ///
+    /// Requires [`Network::supports_fast_step`] (debug-asserted).  The
+    /// two paths may be freely mixed on one network: shared insert sites
+    /// maintain the bitsets as conservative supersets, and only this
+    /// path clears them (exact sweep at visit time).
+    pub fn step_fast(&mut self) {
+        debug_assert!(self.supports_fast_step());
+        let now = self.now;
+
+        // Phase 0: links, ascending bit order (= the legacy sorted walk).
+        // Quiescent links drop out of the bitset exactly where the legacy
+        // sweep removed them from the active set.
+        let mut arrivals = std::mem::take(&mut self.scratch_arrivals);
+        for w in 0..self.links_mask.len() {
+            let mut bits = self.links_mask[w];
+            while bits != 0 {
+                let li = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if self.links[li].is_quiescent(self.flight.is_empty(li)) {
+                    self.links_mask[w] &= !(1u64 << (li & 63));
+                    continue;
+                }
+                self.links[li].begin_cycle();
+                arrivals.clear();
+                Link::take_arrivals_into(&mut self.flight, li, now, &mut arrivals);
+                if !arrivals.is_empty() {
+                    let (sw, port) = self.link_dst[li];
+                    for d in &arrivals {
+                        self.switches[sw].deliver(port, d.vc, d.flit);
+                    }
+                    self.active_switches.insert(sw);
+                    set_bit(&mut self.switch_mask, sw);
+                }
+            }
+        }
+        self.scratch_arrivals = arrivals;
+
+        // Phase 1: injection.
+        self.pump_injection_fast();
+
+        // Phase 2/3: RC + VA on switches with buffered flits, ascending
+        // bit order; empty switches drop out (the legacy sweep).
+        let mut order = std::mem::take(&mut self.scratch_order);
+        order.clear();
+        for w in 0..self.switch_mask.len() {
+            let mut bits = self.switch_mask[w];
+            while bits != 0 {
+                let si = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                order.push(si);
+            }
+        }
+        let n_switches = self.switches.len();
+        let mut grants = std::mem::take(&mut self.scratch_grants);
+        for slot in &mut order {
+            let si = *slot;
+            if self.switches[si].is_quiescent() {
+                clear_bit(&mut self.switch_mask, si);
+                // Mark for exclusion from the phase 4 walk below.
+                *slot = usize::MAX;
+                continue;
+            }
+            let lut_row = &self.lut[si * n_switches..(si + 1) * n_switches];
+            self.switches[si].alloc_phase_fast(now, lut_row, &mut grants);
+            self.resolve_radio_targets(si, &grants);
+        }
+        self.scratch_grants = grants;
+        order.retain(|&si| si != usize::MAX);
+
+        // Phase 4: SA/ST in the same rotated order as the legacy sort —
+        // the ascending survivor list rotated at the first index ≥
+        // offset.  Link bandwidth is queried lazily inside the switch
+        // phase, only for ports with an actual candidate.
+        let mut band_budget = match self.cfg.wireless_mode {
+            WirelessMode::PointToPoint { max_concurrent, .. } => max_concurrent,
+            WirelessMode::Medium => u32::MAX,
+        };
+        let offset = (now % n_switches as u64) as usize;
+        let split = order.partition_point(|&si| si < offset);
+        order.rotate_left(split);
+        let mut moves = std::mem::take(&mut self.scratch_moves);
+        for &si in &order {
+            let pb = self.port_base[si];
+            let ports = self.port_base[si + 1] - pb;
+            {
+                let links = &self.links;
+                let out_link = &self.out_link;
+                self.switches[si].st_phase_fast(
+                    now,
+                    |p| match out_link[pb + p] {
+                        Some(li) => links[li].available(),
+                        None => u32::MAX, // local sink / radio: credits gate
+                    },
+                    &self.band_port[pb..pb + ports],
+                    &mut band_budget,
+                    &mut moves,
+                );
+            }
+            for m in &moves {
+                self.apply_move(si, pb, m, now);
+            }
+        }
+        self.scratch_moves = moves;
+        self.scratch_order = order;
+
+        self.drain_charges();
+        self.run_media_phase(now);
+        self.land_credits();
+        self.finish_cycle(now);
+    }
+
+    /// Phase 1 of [`Network::step_fast`]: injection over the endpoint
+    /// bitset, ascending (= the legacy sorted walk); drained sources
+    /// drop out at visit time.
+    fn pump_injection_fast(&mut self) {
+        for w in 0..self.inj_mask.len() {
+            let mut bits = self.inj_mask[w];
+            while bits != 0 {
+                let ni = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if self.inj_pending.is_empty(ni) {
+                    self.inj_mask[w] &= !(1u64 << (ni & 63));
+                    continue;
+                }
+                let front = self.inj_pending.front(ni).expect("checked non-empty");
+                let is_head = front.kind.is_head();
+                let vc = if is_head {
+                    let sw = &self.switches[ni];
+                    self.inj_rr[ni].grant(|v| {
+                        sw.may_accept(0, v, front.packet, true) && sw.input_space(0, v) > 0
+                    })
+                } else {
+                    let v = self.inj_active_vc[ni].expect("body flit has an active VC");
+                    (self.switches[ni].input_space(0, v) > 0).then_some(v)
+                };
+                let Some(vc) = vc else { continue };
+                let flit = self.inj_pending.pop_front(ni).expect("front exists");
+                self.switches[ni].deliver(0, vc, flit);
+                self.active_switches.insert(ni);
+                set_bit(&mut self.switch_mask, ni);
+                self.backlog_flits -= 1;
+                self.flits_in_network += 1;
+                self.last_progress = self.now;
+                self.inj_active_vc[ni] = if flit.kind.is_tail() { None } else { Some(vc) };
+            }
+        }
+    }
+
     fn pump_injection(&mut self, order: &mut Vec<usize>) {
         {
             let pending = &self.inj_pending;
-            self.active_injectors.sweep(|ni| !pending[ni].is_empty());
+            self.active_injectors.sweep(|ni| !pending.is_empty(ni));
         }
         order.clear();
         order.extend_from_slice(self.active_injectors.members());
         order.sort_unstable();
         for &ni in order.iter() {
-            let front = *self.inj_pending[ni].front().expect("swept non-empty");
+            let front = self.inj_pending.front(ni).expect("swept non-empty");
             let is_head = front.kind.is_head();
             let vc = if is_head {
                 let sw = &self.switches[ni];
@@ -1048,9 +1301,10 @@ impl Network {
                 (self.switches[ni].input_space(0, v) > 0).then_some(v)
             };
             let Some(vc) = vc else { continue };
-            let flit = self.inj_pending[ni].pop_front().expect("front exists");
+            let flit = self.inj_pending.pop_front(ni).expect("front exists");
             self.switches[ni].deliver(0, vc, flit);
             self.active_switches.insert(ni);
+            set_bit(&mut self.switch_mask, ni);
             self.backlog_flits -= 1;
             self.flits_in_network += 1;
             self.last_progress = self.now;
@@ -1069,7 +1323,7 @@ impl Network {
                 RadioView {
                     id: RadioId(i),
                     node: radio.node,
-                    tx: Vec::with_capacity(radio.vcs.len()),
+                    tx: Vec::with_capacity(radio.fifo.lanes()),
                     rx: Vec::with_capacity(self.cfg.vcs),
                 }
             }));
@@ -1077,13 +1331,13 @@ impl Network {
         for (radio, out) in self.radios.iter().zip(radios_out.iter_mut()) {
             out.node = radio.node;
             out.tx.clear();
-            for vc in &radio.vcs {
-                let front = vc.fifo.front().copied();
+            for v in 0..radio.fifo.lanes() {
+                let front = radio.fifo.front(v);
                 let (run, has_tail) = match front {
                     Some((f, _)) => {
                         let mut run = 0usize;
                         let mut has_tail = false;
-                        for (g, _) in vc.fifo.iter() {
+                        for (g, _) in radio.fifo.iter(v) {
                             if g.packet != f.packet {
                                 break;
                             }
@@ -1099,7 +1353,7 @@ impl Network {
                 };
                 out.tx.push(TxVcView {
                     front,
-                    len: vc.fifo.len(),
+                    len: radio.fifo.len(v),
                     front_run_len: run,
                     front_run_has_tail: has_tail,
                 });
@@ -1126,9 +1380,9 @@ impl Network {
                 }
                 MediumAction::Transmit { from, tx_vc, rx_vc } => {
                     let radio = &mut self.radios[from.index()];
-                    let (flit, target) = radio.vcs[tx_vc]
+                    let (flit, target) = radio
                         .fifo
-                        .pop_front()
+                        .pop_front(tx_vc)
                         .expect("MAC transmitted from an empty TX VC");
                     self.radio_backlog_flits -= 1;
                     // Free TX slot: credit back to the hosting switch's
@@ -1152,6 +1406,7 @@ impl Network {
                     }
                     self.switches[ti].deliver(t_port, rx_vc, flit);
                     self.active_switches.insert(ti);
+                    set_bit(&mut self.switch_mask, ti);
                     self.last_progress = self.now;
                 }
             }

@@ -20,12 +20,11 @@
 //! logic free of engine internals and makes it unit-testable in
 //! isolation.
 
-use std::collections::VecDeque;
-
 use wimnet_energy::{Energy, EnergyCategory};
 use wimnet_topology::NodeId;
 
-use crate::flit::{Flit, PacketId};
+use crate::flit::{Flit, FlitKind, PacketId};
+use crate::ring::RingSlab;
 
 /// Identifier of a radio (= wireless interface); doubles as the MAC
 /// sequence position, mirroring `wimnet_topology::WiId`.
@@ -45,30 +44,19 @@ impl std::fmt::Display for RadioId {
     }
 }
 
-/// One transmit virtual channel: flits tagged with their target radio.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct TxVc {
-    pub(crate) fifo: VecDeque<(Flit, RadioId)>,
-    pub(crate) capacity: usize,
-}
-
-impl TxVc {
-    pub(crate) fn new(capacity: usize) -> Self {
-        TxVc { fifo: VecDeque::with_capacity(capacity), capacity }
-    }
-
-    pub(crate) fn free_space(&self) -> usize {
-        self.capacity - self.fifo.len()
-    }
-}
-
 /// Transmit-side state of one radio.
+///
+/// The per-VC transmit FIFOs are one [`RingSlab`] (lane = TX VC): all of
+/// a radio's buffered flits sit in a single contiguous allocation
+/// instead of a `VecDeque` per VC, so the per-cycle view refresh and the
+/// MAC transmit pops walk dense memory.
 #[derive(Debug, Clone)]
 pub(crate) struct RadioTx {
     /// The switch hosting this radio.
     pub(crate) node: NodeId,
-    /// Per-VC transmit FIFOs.
-    pub(crate) vcs: Vec<TxVc>,
+    /// Per-VC transmit FIFOs, slabbed: lane `v` holds VC `v`'s
+    /// `(flit, target)` entries in FIFO order.
+    pub(crate) fifo: RingSlab<(Flit, RadioId)>,
     /// Target radio chosen at VA time for the packet currently allocated
     /// to each VC; flits are tagged on push.
     pub(crate) target_by_vc: Vec<Option<RadioId>>,
@@ -76,11 +64,32 @@ pub(crate) struct RadioTx {
 
 impl RadioTx {
     pub(crate) fn new(node: NodeId, vcs: usize, depth: usize) -> Self {
+        let fill = (
+            Flit {
+                packet: PacketId(0),
+                kind: FlitKind::Body,
+                seq: 0,
+                src: node,
+                dest: node,
+                created_at: 0,
+            },
+            RadioId(0),
+        );
         RadioTx {
             node,
-            vcs: (0..vcs).map(|_| TxVc::new(depth)).collect(),
+            fifo: RingSlab::uniform(vcs, depth, fill),
             target_by_vc: vec![None; vcs],
         }
+    }
+
+    /// Free slots in one TX VC's FIFO.
+    pub(crate) fn free_space(&self, vc: usize) -> usize {
+        self.fifo.free_space(vc)
+    }
+
+    /// Total buffered flits across all TX VCs.
+    pub(crate) fn backlog(&self) -> u64 {
+        (0..self.fifo.lanes()).map(|v| self.fifo.len(v) as u64).sum()
     }
 }
 

@@ -111,6 +111,15 @@ pub struct Switch {
     /// iteration order is immaterial (pre-passes are commutative, and
     /// grant priority is imposed by the round-robin arbiters).
     busy: ActiveSet,
+    /// Bitmask mirror of `busy` for the batch engine's fused phases
+    /// (bit `flat` set ⇔ the VC *may* hold work): set on delivery, and
+    /// swept/cleared only by `alloc_phase_fast`/`st_phase_fast`.  Under
+    /// the legacy phases the mask is a conservative superset (never
+    /// missing a busy VC — deliveries always set it), which is exactly
+    /// the invariant the fast sweep needs, so the two stepping paths can
+    /// be mixed freely.  Only maintained while `ports × vcs <= 128`
+    /// ([`Switch::supports_mask`]).
+    busy_mask: u128,
     // Preallocated per-cycle scratch (allocation-free hot path).
     /// VA pre-pass: pending requests per output port.
     scratch_requests: Vec<u32>,
@@ -118,6 +127,9 @@ pub struct Switch {
     scratch_port_flags: Vec<bool>,
     /// Per-input-VC "already granted/used this cycle" flags.
     scratch_input_flags: Vec<bool>,
+    /// Fast-phase scratch: per-output candidate masks (VA requests /
+    /// SA actives), rebuilt by each fused pre-pass.
+    scratch_port_masks: Vec<u128>,
 }
 
 impl Switch {
@@ -145,10 +157,19 @@ impl Switch {
             sa_arb: (0..p).map(|_| RoundRobin::new(p * vcs)).collect(),
             buffered: 0,
             busy: ActiveSet::new(p * vcs),
+            busy_mask: 0,
             scratch_requests: vec![0; p],
             scratch_port_flags: vec![false; p],
             scratch_input_flags: vec![false; p * vcs],
+            scratch_port_masks: vec![0; p],
         }
+    }
+
+    /// `true` when this switch's input VCs fit the 128-bit busy mask the
+    /// fused fast phases need (`ports × vcs <= 128`; always true for the
+    /// paper's configurations — at 8 VCs that allows 16 ports).
+    pub fn supports_mask(&self) -> bool {
+        self.out_spec.len() * self.vcs <= 128
     }
 
     /// The switch's node id.
@@ -201,6 +222,9 @@ impl Switch {
         self.inputs.push(flat, flit);
         self.buffered += 1;
         self.busy.insert(flat);
+        if flat < 128 {
+            self.busy_mask |= 1u128 << flat;
+        }
     }
 
     /// Returns a credit to an output port VC (downstream freed a slot).
@@ -267,6 +291,12 @@ impl Switch {
                     self.busy.contains(flat),
                     "VC {flat} holds work but is not in the busy set"
                 );
+                if flat < 128 {
+                    assert!(
+                        self.busy_mask >> flat & 1 == 1,
+                        "VC {flat} holds work but is missing from the busy mask"
+                    );
+                }
             }
             // Owner sanity: entry ownership constrains the *newest*
             // (most recently pushed) flit — the owner's run is still
@@ -487,6 +517,201 @@ impl Switch {
                 if releases_input {
                     self.inputs.set_stage(flat, VcStage::Idle);
                     self.out_owner[out_port * self.vcs + out_vc] = None;
+                }
+                moves.push(StMove {
+                    in_port: p,
+                    in_vc: v,
+                    out_port,
+                    out_vc,
+                    flit,
+                    releases_input,
+                });
+            }
+        }
+    }
+
+    /// Fused, mask-driven [`Switch::alloc_phase`]: one pass over the
+    /// busy-mask bits performs the sweep, RC, and the VA pre-pass
+    /// simultaneously, and VA arbitration runs bit-parallel via
+    /// [`RoundRobin::grant_masked`].  Decision-identical to the legacy
+    /// phase — same stages, same grants, same grant order, same arbiter
+    /// pointer evolution — the replica-batch differential suite pins
+    /// this (`tests/fast_step.rs`; see `docs/engine.md`, "Replica
+    /// batching").
+    ///
+    /// Requires [`Switch::supports_mask`].  The legacy `busy` active set
+    /// is left un-swept (it remains a superset, which `alloc_phase`
+    /// tolerates).
+    pub fn alloc_phase_fast(&mut self, now: u64, lut: &[RouteEntry], grants: &mut Vec<VaGrant>) {
+        grants.clear();
+        debug_assert!(self.supports_mask());
+        let vcs = self.vcs;
+        let ports = self.out_spec.len();
+        // Fused sweep + RC + VA pre-pass: walk the busy bits once.
+        let mut live: u128 = 0;
+        let mut any_request = false;
+        self.scratch_port_masks.fill(0);
+        let mut m = self.busy_mask;
+        while m != 0 {
+            let flat = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let stage = self.inputs.stage(flat);
+            if self.inputs.is_empty(flat) {
+                if stage == VcStage::Idle {
+                    continue; // swept: neither flits nor a live stage
+                }
+            } else if stage == VcStage::Idle {
+                // RC: idle VC with a head flit at the front.
+                assert!(
+                    self.inputs.front_kind(flat).is_head(),
+                    "non-head flit at the front of an idle VC"
+                );
+                let entry = lut[self.inputs.front_dest(flat).index()];
+                self.inputs.set_stage(
+                    flat,
+                    VcStage::Routed { out_port: entry.port, ready_at: now + 1 },
+                );
+            }
+            live |= 1u128 << flat;
+            if let VcStage::Routed { out_port, ready_at } = stage {
+                if ready_at <= now {
+                    self.scratch_port_masks[out_port] |= 1u128 << flat;
+                    any_request = true;
+                }
+            }
+        }
+        self.busy_mask = live;
+        if !any_request {
+            return;
+        }
+        // VA: the request mask fully encodes the legacy predicate
+        // (Routed at this port, ready, not yet granted — grants clear
+        // their bit), so arbitration needs no residual check.
+        for out_port in 0..ports {
+            let mut pending = self.scratch_port_masks[out_port];
+            if pending == 0 {
+                continue;
+            }
+            for out_vc in 0..vcs {
+                if pending == 0 {
+                    break;
+                }
+                if self.out_owner[out_port * vcs + out_vc].is_some() {
+                    continue;
+                }
+                if let Some(flat) = self.va_arb[out_port].grant_masked(pending, |_| true) {
+                    pending &= !(1u128 << flat);
+                    let (p, v) = (flat / vcs, flat % vcs);
+                    debug_assert!(!self.inputs.is_empty(flat), "routed VC has a front flit");
+                    let packet = self.inputs.front_packet(flat);
+                    let dest = self.inputs.front_dest(flat);
+                    self.inputs.set_stage(
+                        flat,
+                        VcStage::Active { out_port, out_vc, ready_at: now + 1 },
+                    );
+                    self.out_owner[out_port * vcs + out_vc] = Some(packet);
+                    grants.push(VaGrant {
+                        in_port: p,
+                        in_vc: v,
+                        out_port,
+                        out_vc,
+                        packet,
+                        dest,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Fused, mask-driven [`Switch::st_phase`]: one pass over the busy
+    /// bits builds per-output candidate masks, SA arbitration runs via
+    /// [`RoundRobin::grant_masked`] (the downstream-credit check is the
+    /// only residual predicate), and link bandwidth is queried lazily —
+    /// `avail(port)` is called only for ports that actually have an
+    /// active candidate, so idle links cost nothing here.
+    /// Decision-identical to the legacy phase (same winners, same move
+    /// order, same band-budget draws).  Requires
+    /// [`Switch::supports_mask`].
+    pub fn st_phase_fast(
+        &mut self,
+        now: u64,
+        mut avail: impl FnMut(usize) -> u32,
+        shared_band: &[bool],
+        band_budget: &mut u32,
+        moves: &mut Vec<StMove>,
+    ) {
+        moves.clear();
+        debug_assert!(self.supports_mask());
+        let vcs = self.vcs;
+        let ports = self.out_spec.len();
+        debug_assert_eq!(shared_band.len(), ports);
+        // Fused pre-pass: per-output candidate masks in one bit walk.
+        self.scratch_port_masks.fill(0);
+        let mut any_active = false;
+        let mut m = self.busy_mask;
+        while m != 0 {
+            let flat = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if let VcStage::Active { out_port, ready_at, .. } = self.inputs.stage(flat) {
+                if ready_at <= now && !self.inputs.is_empty(flat) {
+                    self.scratch_port_masks[out_port] |= 1u128 << flat;
+                    any_active = true;
+                }
+            }
+        }
+        if !any_active {
+            return;
+        }
+        for out_port in 0..ports {
+            let mut cands = self.scratch_port_masks[out_port];
+            if cands == 0 {
+                continue;
+            }
+            let mut budget = self.out_spec[out_port].max_grants.min(avail(out_port));
+            if shared_band[out_port] {
+                budget = budget.min(*band_budget);
+            }
+            for _ in 0..budget {
+                let inputs = &self.inputs;
+                let credits = &self.credits;
+                let out_spec = &self.out_spec;
+                // The candidate mask encodes "Active at this port, ready,
+                // non-empty, not yet used" (winners clear their bit; a VC
+                // is Active toward exactly one port, so a pop here cannot
+                // empty a candidate of another port).  Only the
+                // per-output-VC credit check remains data-dependent.
+                let won = self.sa_arb[out_port].grant_masked(cands, |flat| {
+                    match inputs.stage(flat) {
+                        VcStage::Active { out_vc, .. } => {
+                            out_spec[out_port].is_sink
+                                || credits[out_port * vcs + out_vc] > 0
+                        }
+                        _ => unreachable!("candidate mask holds only active VCs"),
+                    }
+                });
+                let Some(flat) = won else { break };
+                cands &= !(1u128 << flat);
+                let (p, v) = (flat / vcs, flat % vcs);
+                let VcStage::Active { out_port: op, out_vc, .. } = self.inputs.stage(flat)
+                else {
+                    unreachable!("winner was Active");
+                };
+                debug_assert_eq!(op, out_port);
+                let flit = self.inputs.pop(flat).expect("winner has a flit");
+                self.buffered -= 1;
+                if !self.out_spec[out_port].is_sink {
+                    self.credits[out_port * vcs + out_vc] -= 1;
+                }
+                if shared_band[out_port] {
+                    *band_budget -= 1;
+                }
+                let releases_input = flit.kind.is_tail();
+                if releases_input {
+                    self.inputs.set_stage(flat, VcStage::Idle);
+                    self.out_owner[out_port * vcs + out_vc] = None;
+                    if self.inputs.is_empty(flat) {
+                        self.busy_mask &= !(1u128 << flat);
+                    }
                 }
                 moves.push(StMove {
                     in_port: p,

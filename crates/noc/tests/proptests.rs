@@ -48,22 +48,22 @@ proptest! {
     ) {
         let rate = f64::from(rate_milli) / 1000.0;
         let mut link = Link::new(EdgeId(0), EdgeKind::Mesh, 1.0, rate, 1);
+        let flit = wimnet_noc::Flit {
+            packet: wimnet_noc::PacketId(0),
+            kind: wimnet_noc::FlitKind::Body,
+            seq: 0,
+            src: wimnet_topology::NodeId(0),
+            dest: wimnet_topology::NodeId(1),
+            created_at: 0,
+        };
+        let fill = wimnet_noc::link::LinkDelivery { flit, vc: 0, arrives_at: 0 };
+        let mut flight = wimnet_noc::RingSlab::uniform(1, link.flight_capacity(), fill);
         let mut sent = 0u64;
         for now in 0..cycles {
             link.begin_cycle();
+            Link::take_arrivals_into(&mut flight, 0, now, &mut Vec::new());
             while link.can_accept() {
-                link.send(
-                    wimnet_noc::Flit {
-                        packet: wimnet_noc::PacketId(0),
-                        kind: wimnet_noc::FlitKind::Body,
-                        seq: 0,
-                        src: wimnet_topology::NodeId(0),
-                        dest: wimnet_topology::NodeId(1),
-                        created_at: 0,
-                    },
-                    0,
-                    now,
-                );
+                link.send(&mut flight, 0, flit, 0, now);
                 sent += 1;
             }
         }

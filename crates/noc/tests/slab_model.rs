@@ -11,7 +11,7 @@ use proptest::prelude::*;
 use wimnet_noc::vc::{VcFabric, VcStage};
 use wimnet_noc::{
     Flit, FlitKind, MediumActions, MediumView, Network, NocConfig, PacketDesc, PacketId,
-    SharedMedium,
+    RingSlab, SharedMedium,
 };
 use wimnet_routing::{Routes, RoutingPolicy};
 use wimnet_topology::{Architecture, MultichipConfig, MultichipLayout, NodeId};
@@ -182,6 +182,65 @@ proptest! {
                     prop_assert_eq!(fabric.front_dest(vc), front.dest);
                     prop_assert_eq!(fabric.front_packet(vc), front.packet);
                 }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Random push/pop sequences over a multi-lane [`RingSlab`] behave
+    /// exactly like a `VecDeque` per lane (the structure the slab
+    /// replaced for link pipelines, radio TX FIFOs and source queues):
+    /// same fronts, same pops, same iteration order, same lengths —
+    /// including across capacity growth — and lanes never interfere.
+    #[test]
+    fn ring_slab_round_trips_against_the_vecdeque_model(
+        caps in prop::collection::vec(0usize..6, 1..5),
+        ops in prop::collection::vec((0u8..3, 0usize..16, any::<u64>()), 1..200),
+    ) {
+        let lanes = caps.len();
+        let mut slab = RingSlab::with_capacities(&caps, 0u64);
+        let mut model: Vec<VecDeque<u64>> = vec![VecDeque::new(); lanes];
+
+        for (op, target, value) in ops {
+            let lane = target % lanes;
+            match op {
+                // Fixed-capacity push (skipped when full — overflow is a
+                // protocol violation the slab asserts).
+                0 => {
+                    if slab.free_space(lane) == 0 {
+                        continue;
+                    }
+                    slab.push_back(lane, value);
+                    model[lane].push_back(value);
+                }
+                // Growing push: always legal, rebuilds the slab when the
+                // lane is full.
+                1 => {
+                    slab.push_back_growing(lane, value);
+                    model[lane].push_back(value);
+                }
+                // Pop and compare.
+                _ => {
+                    prop_assert_eq!(slab.pop_front(lane), model[lane].pop_front());
+                }
+            }
+            // Full observational equivalence after every op.
+            for (l, m) in model.iter().enumerate() {
+                prop_assert_eq!(slab.len(l), m.len());
+                prop_assert_eq!(slab.is_empty(l), m.is_empty());
+                prop_assert!(slab.capacity(l) >= m.len());
+                prop_assert_eq!(slab.front(l), m.front().copied());
+                for i in 0..m.len() {
+                    prop_assert_eq!(slab.get(l, i), m.get(i).copied());
+                }
+                prop_assert_eq!(slab.get(l, m.len()), None);
+                prop_assert_eq!(
+                    slab.iter(l).collect::<Vec<_>>(),
+                    m.iter().copied().collect::<Vec<_>>()
+                );
             }
         }
     }

@@ -11,7 +11,7 @@
 //! tests immediately.
 
 use wimnet::core::experiments::run_all;
-use wimnet::core::sweeps::{run_pool, ScenarioGrid};
+use wimnet::core::sweeps::{run_pool, run_pool_batched, ScenarioGrid};
 use wimnet::core::{Experiment, MultichipSystem, Scale, SystemConfig};
 use wimnet::topology::Architecture;
 use wimnet::traffic::{InjectionProcess, TrafficEvent, UniformRandom, Workload};
@@ -426,6 +426,53 @@ fn pool_shape_is_invisible_in_the_results() {
         assert_eq!(
             got, reference,
             "pool shape ({threads} threads, chunk {chunk}) changed outcomes"
+        );
+    }
+}
+
+/// Oversized chunks degrade gracefully: with `chunk > n` the worker
+/// count clamps to `n.div_ceil(chunk) == 1` and one thread drains the
+/// single steal — same outcomes, same order, no dead workers racing an
+/// empty queue.  Checked for both the per-replica and the
+/// replica-batched pool (where the whole list becomes one batch).
+#[test]
+fn oversized_chunks_collapse_to_one_worker_without_changing_outcomes() {
+    let grid = ScenarioGrid::new("clamp")
+        .scale(Scale::Quick)
+        .architectures(&[Architecture::Wireless, Architecture::Substrate])
+        .loads(&[0.001, 0.004]);
+    let exps = grid.experiments();
+    let reference = run_pool(&exps, 1, 1).expect("serial reference");
+    let clamped = run_pool(&exps, 8, exps.len() + 5).expect("oversized chunk");
+    assert_eq!(clamped, reference, "run_pool: chunk > n changed outcomes");
+    let clamped_batched =
+        run_pool_batched(&exps, 8, exps.len() + 5).expect("oversized batched chunk");
+    assert_eq!(
+        clamped_batched, reference,
+        "run_pool_batched: chunk > n changed outcomes"
+    );
+}
+
+/// The replica-batched pool's contract: scheduling whole `chunk`-wide
+/// [`wimnet::core::ReplicaBatch`]es per steal is invisible in the
+/// results — every (threads, chunk) shape produces outcomes
+/// bit-identical to the per-replica `run_pool` reference, in the same
+/// order.  Chunk boundaries decide batch membership, so the shapes
+/// below cover one-lane batches, partial tail batches, and batches
+/// spanning an architecture boundary.
+#[test]
+fn batched_pool_shape_is_invisible_in_the_results() {
+    let grid = ScenarioGrid::new("batched-pool-shape")
+        .scale(Scale::Quick)
+        .architectures(&[Architecture::Wireless, Architecture::Interposer])
+        .loads(&[0.001, 0.004, 0.016]);
+    let exps = grid.experiments();
+    let reference = run_pool(&exps, 1, 1).expect("per-replica reference");
+    for (threads, chunk) in [(1, 1), (1, 3), (2, 2), (4, 3), (8, 4), (2, 6)] {
+        let got = run_pool_batched(&exps, threads, chunk).expect("batched pool");
+        assert_eq!(
+            got, reference,
+            "batched pool shape ({threads} threads, chunk {chunk}) changed outcomes"
         );
     }
 }
