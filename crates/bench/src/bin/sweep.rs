@@ -1,0 +1,484 @@
+//! `sweep` — the resumable, shardable sweep front-end over the result
+//! catalog (`wimnet_core::catalog`, `docs/sweeps.md` "The result
+//! catalog").
+//!
+//! A sweep is a [`ScenarioGrid`] declared on the command line; every
+//! outcome is memoized under its content fingerprint in a catalog
+//! directory, so repeated submits only simulate what the catalog does
+//! not already hold — a killed sweep resumes from its partial catalog
+//! and converges on the bit-identical final vector.
+//!
+//! ```text
+//! sweep submit --catalog results/catalog --quick \
+//!       --archs wireless,substrate --loads 0.001,0.004     # simulate misses
+//! sweep submit ... --shard 0/4                             # this process's quarter
+//! sweep status ...                                         # cached / missing counts
+//! sweep fetch  ... > outcomes.json                         # full JSON result vector
+//! ```
+//!
+//! Exit codes: `0` success, `1` usage error, `2` fetch on an
+//! incomplete catalog, `3` submit aborted by `--abort-after-misses`
+//! (the CI crash-resume smoke's simulated kill).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use serde::{Serialize, Value};
+use wimnet_bench::results_dir;
+use wimnet_core::catalog::Catalog;
+use wimnet_core::sweeps::default_threads;
+use wimnet_core::{Scale, ScenarioGrid, WirelessModel};
+use wimnet_core::system::MacKind;
+use wimnet_memory::SchedulerPolicy;
+use wimnet_topology::Architecture;
+use wimnet_traffic::{AddressStreamSpec, InjectionProcess};
+
+fn usage() -> String {
+    "usage: sweep <submit|status|fetch> [options]\n\
+     \n\
+     grid axes (defaults: the paper's 4C4M wireless saturation point):\n\
+       --name NAME            grid name (reporting only)\n\
+       --quick | --paper      simulation scale (default: paper)\n\
+       --archs LIST           wireless,interposer,substrate\n\
+       --chips LIST           chip counts, e.g. 1,4,8\n\
+       --stacks LIST          stack counts\n\
+       --wireless LIST        p2p | p2p:FLITS/CONC | parallel:FLITS | token | control\n\
+       --mem-fractions LIST   memory-access shares, e.g. 0.2,0.8\n\
+       --streams LIST         seq | stride:BLKS | uniform:BLKS | hotrow:HOT/REGION@FRAC\n\
+       --schedulers LIST      frfcfs,fcfs\n\
+       --loads LIST           Bernoulli rates (replaces the saturation default)\n\
+       --saturation           add the saturation point to the injection axis\n\
+       --seeds LIST           u64 seeds, decimal or 0x-hex\n\
+       --read-share X         read-request share of memory packets\n\
+     \n\
+     catalog / run options:\n\
+       --catalog DIR          catalog directory (default: results/catalog)\n\
+       --threads N            pool threads (default: all cores)\n\
+       --chunk N              steal/batch width (default: 4)\n\
+       --shard I/N            submit only shard I of N (default 0/1)\n\
+       --abort-after-misses K simulate a crash after K fresh points (exit 3)\n\
+       --out FILE             fetch: write JSON here instead of stdout\n"
+        .to_string()
+}
+
+struct Cli {
+    command: String,
+    grid: ScenarioGrid,
+    catalog_dir: PathBuf,
+    threads: usize,
+    chunk: usize,
+    shard: (usize, usize),
+    abort_after_misses: Option<usize>,
+    out: Option<PathBuf>,
+}
+
+fn split_list(v: &str) -> Vec<&str> {
+    v.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+}
+
+fn parse_list<T, E: std::fmt::Display>(
+    flag: &str,
+    v: &str,
+    parse: impl Fn(&str) -> Result<T, E>,
+) -> Result<Vec<T>, String> {
+    let items: Result<Vec<T>, String> = split_list(v)
+        .into_iter()
+        .map(|s| parse(s).map_err(|e| format!("{flag} {s:?}: {e}")))
+        .collect();
+    let items = items?;
+    if items.is_empty() {
+        return Err(format!("{flag} needs at least one value"));
+    }
+    Ok(items)
+}
+
+fn parse_arch(s: &str) -> Result<Architecture, String> {
+    match s {
+        "wireless" => Ok(Architecture::Wireless),
+        "interposer" => Ok(Architecture::Interposer),
+        "substrate" => Ok(Architecture::Substrate),
+        other => Err(format!("unknown architecture {other:?}")),
+    }
+}
+
+fn parse_wireless(s: &str) -> Result<WirelessModel, String> {
+    if s == "p2p" {
+        return Ok(WirelessModel::default());
+    }
+    if s == "token" {
+        return Ok(WirelessModel::SharedChannel { mac: MacKind::Token });
+    }
+    if s == "control" {
+        return Ok(WirelessModel::SharedChannel { mac: MacKind::ControlPacket });
+    }
+    if let Some(rest) = s.strip_prefix("p2p:") {
+        let (flits, conc) = rest
+            .split_once('/')
+            .ok_or_else(|| "p2p wants p2p:FLITS/CONC".to_string())?;
+        return Ok(WirelessModel::PointToPoint {
+            flits_per_cycle: flits.parse().map_err(|e| format!("{e}"))?,
+            max_concurrent: conc.parse().map_err(|e| format!("{e}"))?,
+        });
+    }
+    if let Some(flits) = s.strip_prefix("parallel:") {
+        return Ok(WirelessModel::ParallelLinks {
+            flits_per_cycle: flits.parse().map_err(|e| format!("{e}"))?,
+        });
+    }
+    Err(format!("unknown wireless model {s:?}"))
+}
+
+fn parse_stream(s: &str) -> Result<AddressStreamSpec, String> {
+    if s == "seq" {
+        return Ok(AddressStreamSpec::Sequential);
+    }
+    if let Some(blocks) = s.strip_prefix("stride:") {
+        return Ok(AddressStreamSpec::Strided {
+            stride_blocks: blocks.parse().map_err(|e| format!("{e}"))?,
+        });
+    }
+    if let Some(blocks) = s.strip_prefix("uniform:") {
+        return Ok(AddressStreamSpec::Uniform {
+            region_blocks: blocks.parse().map_err(|e| format!("{e}"))?,
+        });
+    }
+    if let Some(rest) = s.strip_prefix("hotrow:") {
+        let (sizes, frac) = rest
+            .split_once('@')
+            .ok_or_else(|| "hotrow wants hotrow:HOT/REGION@FRAC".to_string())?;
+        let (hot, region) = sizes
+            .split_once('/')
+            .ok_or_else(|| "hotrow wants hotrow:HOT/REGION@FRAC".to_string())?;
+        return Ok(AddressStreamSpec::HotRow {
+            region_blocks: region.parse().map_err(|e| format!("{e}"))?,
+            hot_blocks: hot.parse().map_err(|e| format!("{e}"))?,
+            hot_fraction: frac.parse().map_err(|e| format!("{e}"))?,
+        });
+    }
+    Err(format!("unknown address stream {s:?}"))
+}
+
+fn parse_scheduler(s: &str) -> Result<SchedulerPolicy, String> {
+    match s {
+        "frfcfs" => Ok(SchedulerPolicy::FrFcfs),
+        "fcfs" => Ok(SchedulerPolicy::Fcfs),
+        other => Err(format!("unknown scheduler {other:?}")),
+    }
+}
+
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|e| format!("{e}"))
+}
+
+fn parse_shard(s: &str) -> Result<(usize, usize), String> {
+    let (i, n) = s.split_once('/').ok_or_else(|| "--shard wants I/N".to_string())?;
+    let i: usize = i.parse().map_err(|e| format!("{e}"))?;
+    let n: usize = n.parse().map_err(|e| format!("{e}"))?;
+    if n == 0 || i >= n {
+        return Err(format!("--shard {s:?}: need 0 <= I < N"));
+    }
+    Ok((i, n))
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match args.first() {
+        Some(c) if ["submit", "status", "fetch"].contains(&c.as_str()) => c.clone(),
+        _ => return Err(usage()),
+    };
+
+    let mut name = "sweep".to_string();
+    let mut scale = Scale::Paper;
+    let mut grid_archs: Option<Vec<Architecture>> = None;
+    let mut chips: Option<Vec<usize>> = None;
+    let mut stacks: Option<Vec<usize>> = None;
+    let mut wireless: Option<Vec<WirelessModel>> = None;
+    let mut mem_fractions: Option<Vec<f64>> = None;
+    let mut streams: Option<Vec<AddressStreamSpec>> = None;
+    let mut schedulers: Option<Vec<SchedulerPolicy>> = None;
+    let mut loads: Option<Vec<f64>> = None;
+    let mut saturation = false;
+    let mut seeds: Option<Vec<u64>> = None;
+    let mut read_share: Option<f64> = None;
+    let mut catalog_dir: Option<PathBuf> = None;
+    let mut threads = default_threads();
+    let mut chunk = 4usize;
+    let mut shard = (0usize, 1usize);
+    let mut abort_after_misses: Option<usize> = None;
+    let mut out: Option<PathBuf> = None;
+
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--quick" | "-q" => scale = Scale::Quick,
+            "--paper" => scale = Scale::Paper,
+            "--saturation" => saturation = true,
+            "--name" => name = value("--name")?,
+            "--archs" => {
+                grid_archs = Some(parse_list("--archs", &value("--archs")?, parse_arch)?)
+            }
+            "--chips" => {
+                chips = Some(parse_list("--chips", &value("--chips")?, str::parse::<usize>)?)
+            }
+            "--stacks" => {
+                stacks =
+                    Some(parse_list("--stacks", &value("--stacks")?, str::parse::<usize>)?)
+            }
+            "--wireless" => {
+                wireless =
+                    Some(parse_list("--wireless", &value("--wireless")?, parse_wireless)?)
+            }
+            "--mem-fractions" => {
+                mem_fractions = Some(parse_list(
+                    "--mem-fractions",
+                    &value("--mem-fractions")?,
+                    str::parse::<f64>,
+                )?)
+            }
+            "--streams" => {
+                streams = Some(parse_list("--streams", &value("--streams")?, parse_stream)?)
+            }
+            "--schedulers" => {
+                schedulers = Some(parse_list(
+                    "--schedulers",
+                    &value("--schedulers")?,
+                    parse_scheduler,
+                )?)
+            }
+            "--loads" => {
+                loads = Some(parse_list("--loads", &value("--loads")?, str::parse::<f64>)?)
+            }
+            "--seeds" => seeds = Some(parse_list("--seeds", &value("--seeds")?, parse_seed)?),
+            "--read-share" => {
+                read_share = Some(
+                    value("--read-share")?
+                        .parse()
+                        .map_err(|e| format!("--read-share: {e}"))?,
+                )
+            }
+            "--catalog" => catalog_dir = Some(PathBuf::from(value("--catalog")?)),
+            "--threads" => {
+                threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--chunk" => {
+                chunk =
+                    value("--chunk")?.parse().map_err(|e| format!("--chunk: {e}"))?
+            }
+            "--shard" => shard = parse_shard(&value("--shard")?)?,
+            "--abort-after-misses" => {
+                abort_after_misses = Some(
+                    value("--abort-after-misses")?
+                        .parse()
+                        .map_err(|e| format!("--abort-after-misses: {e}"))?,
+                )
+            }
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
+        }
+    }
+
+    let mut grid = ScenarioGrid::new(name).scale(scale);
+    if let Some(v) = grid_archs {
+        grid = grid.architectures(&v);
+    }
+    if let Some(v) = chips {
+        grid = grid.chips(&v);
+    }
+    if let Some(v) = stacks {
+        grid = grid.stacks(&v);
+    }
+    if let Some(v) = wireless {
+        grid = grid.wireless_models(&v);
+    }
+    if let Some(v) = mem_fractions {
+        grid = grid.memory_fractions(&v);
+    }
+    if let Some(v) = streams {
+        grid = grid.address_streams(&v);
+    }
+    if let Some(v) = schedulers {
+        grid = grid.schedulers(&v);
+    }
+    let mut injections: Vec<InjectionProcess> = loads
+        .map(|ls| {
+            ls.into_iter()
+                .map(|rate| InjectionProcess::Bernoulli { rate })
+                .collect()
+        })
+        .unwrap_or_default();
+    if saturation || injections.is_empty() {
+        injections.push(InjectionProcess::Saturation);
+    }
+    grid = grid.injections(&injections);
+    if let Some(v) = seeds {
+        grid = grid.seeds(&v);
+    }
+    if let Some(share) = read_share {
+        if !(0.0..=1.0).contains(&share) {
+            return Err(format!("--read-share {share} outside [0, 1]"));
+        }
+        grid = grid.read_share(share);
+    }
+
+    Ok(Cli {
+        command,
+        grid,
+        catalog_dir: catalog_dir.unwrap_or_else(|| results_dir().join("catalog")),
+        threads,
+        chunk,
+        shard,
+        abort_after_misses,
+        out,
+    })
+}
+
+fn submit(cli: &Cli, catalog: &Catalog) -> Result<ExitCode, String> {
+    let (shard, shards) = cli.shard;
+    let range = cli.grid.shard_range(shard, shards);
+    println!(
+        "submit: grid {:?}, {} points, shard {shard}/{shards} -> indices {}..{}",
+        cli.grid.name(),
+        cli.grid.len(),
+        range.start,
+        range.end
+    );
+    let swept = catalog.sweep_temps();
+    if swept > 0 {
+        println!("cleared {swept} abandoned temp file(s) from a crashed writer");
+    }
+    let report = cli
+        .grid
+        .run_cached_shard_with_budget(
+            catalog,
+            shard,
+            shards,
+            cli.threads,
+            cli.chunk,
+            cli.abort_after_misses,
+        )
+        .map_err(|e| format!("{e}"))?;
+    println!(
+        "hits {} / simulated {} / pending {}  (catalog {} holds {} entries)",
+        report.hits,
+        report.misses,
+        report.pending,
+        catalog.dir().display(),
+        catalog.len()
+    );
+    if catalog.quarantined() > 0 {
+        println!("quarantined {} unserveable entr(ies)", catalog.quarantined());
+    }
+    if !report.is_complete() {
+        println!(
+            "aborted by --abort-after-misses with {} point(s) unsimulated; \
+             resubmit to resume",
+            report.pending
+        );
+        return Ok(ExitCode::from(3));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn status(cli: &Cli, catalog: &Catalog) -> Result<ExitCode, String> {
+    let points = cli.grid.points();
+    let mut missing: Vec<&str> = Vec::new();
+    for point in &points {
+        if !catalog.contains(&cli.grid.point_fingerprint(point)) {
+            missing.push(&point.label);
+        }
+    }
+    println!(
+        "status: grid {:?} — {} of {} points cached in {}",
+        cli.grid.name(),
+        points.len() - missing.len(),
+        points.len(),
+        catalog.dir().display()
+    );
+    if missing.is_empty() {
+        println!("complete: ready to fetch");
+    } else {
+        println!("missing {}:", missing.len());
+        for label in missing.iter().take(8) {
+            println!("  {label}");
+        }
+        if missing.len() > 8 {
+            println!("  ... and {} more", missing.len() - 8);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn fetch(cli: &Cli, catalog: &Catalog) -> Result<ExitCode, String> {
+    let points = cli.grid.points();
+    let mut rows = Vec::with_capacity(points.len());
+    let mut missing = 0usize;
+    for point in &points {
+        let fp = cli.grid.point_fingerprint(point);
+        match catalog.lookup(&fp) {
+            Some(outcome) => rows.push(Value::Map(vec![
+                ("index".to_string(), Value::UInt(point.index as u64)),
+                ("label".to_string(), Value::Str(point.label.clone())),
+                ("fingerprint".to_string(), Value::Str(fp.hex())),
+                ("outcome".to_string(), outcome.to_value()),
+            ])),
+            None => missing += 1,
+        }
+    }
+    if missing > 0 {
+        return Err(format!(
+            "fetch: {missing} of {} points not cached (quarantined this pass: {}) — \
+             run `sweep submit` first",
+            points.len(),
+            catalog.quarantined()
+        ));
+    }
+    let json = serde_json::to_string_pretty(&Value::Seq(rows)).map_err(|e| format!("{e}"))?;
+    match &cli.out {
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+            println!("wrote {} outcomes to {}", points.len(), path.display());
+        }
+        None => println!("{json}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(1);
+        }
+    };
+    let catalog = match Catalog::open(&cli.catalog_dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(1);
+        }
+    };
+    let result = match cli.command.as_str() {
+        "submit" => submit(&cli, &catalog),
+        "status" => status(&cli, &catalog),
+        "fetch" => fetch(&cli, &catalog),
+        _ => unreachable!("parse_cli validates the command"),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -91,6 +91,23 @@ pub mod de {
     pub use crate::Deserialize as DeserializeOwned;
 }
 
+/// [`Value`] serializes as itself — hand-assembled trees (e.g. the
+/// `sweep` CLI's fetch envelopes) render through `serde_json` like any
+/// derived type.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+/// [`Value`] deserializes as itself (schema-free capture of arbitrary
+/// JSON subtrees).
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 // --------------------------------------------------------------------
 // Primitive impls.
 // --------------------------------------------------------------------

@@ -29,6 +29,13 @@ pub enum CoreError {
         /// Description of the offending parameter.
         what: String,
     },
+    /// The on-disk result catalog could not be created or written.
+    /// (Unreadable/corrupt *entries* are not errors — the catalog
+    /// quarantines them and reports a miss; see `catalog::Catalog`.)
+    Catalog {
+        /// Description of the failing catalog operation.
+        what: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -42,6 +49,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::InvalidParameter { what } => {
                 write!(f, "invalid parameter: {what}")
+            }
+            CoreError::Catalog { what } => {
+                write!(f, "result catalog: {what}")
             }
         }
     }

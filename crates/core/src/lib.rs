@@ -17,6 +17,12 @@
 //! * [`sweeps`] — declarative [`ScenarioGrid`] cartesian products and
 //!   the work-stealing pool (`run_pool` / `run_pool_batched`) that
 //!   executes grids larger than the core count (see `docs/sweeps.md`).
+//! * [`catalog`] — the fingerprint-keyed on-disk result cache behind
+//!   [`ScenarioGrid::run_cached`](sweeps::ScenarioGrid::run_cached):
+//!   deterministic outcomes memoized under
+//!   (scenario bytes, engine version) keys with atomic writes and
+//!   quarantine-on-corruption, making sweeps resumable and shardable
+//!   (front-ended by the `sweep` CLI in `wimnet-bench`).
 //! * [`replica`] — [`ReplicaBatch`]: N independent scenario points
 //!   advanced in lockstep by one driver loop over the engine's masked
 //!   fast stepper, bit-identical to N sequential runs (see
@@ -39,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod driver;
 pub mod error;
 pub mod experiments;
@@ -48,10 +55,11 @@ pub mod report;
 pub mod sweeps;
 pub mod system;
 
+pub use catalog::{Catalog, CatalogEntry, Fingerprint, ENGINE_VERSION};
 pub use driver::{compare_on_shared_trace, find_saturation_load, latency_curve};
 pub use error::CoreError;
 pub use experiments::{Experiment, Scale, WorkloadSpec};
 pub use metrics::{percentage_gain, RunOutcome};
 pub use replica::ReplicaBatch;
-pub use sweeps::{run_pool, run_pool_batched, ScenarioGrid, ScenarioPoint};
+pub use sweeps::{run_pool, run_pool_batched, CachedSweep, ScenarioGrid, ScenarioPoint};
 pub use system::{MacKind, MultichipSystem, SystemConfig, WirelessModel};

@@ -19,12 +19,16 @@
 //! seed-deterministic — the outcomes are **bit-identical for every
 //! thread count and chunk size** (guarded by `tests/determinism.rs`).
 
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+use serde::{Deserialize, Serialize};
 
 use wimnet_memory::SchedulerPolicy;
 use wimnet_topology::Architecture;
 
+use crate::catalog::{Catalog, Fingerprint};
 use crate::error::CoreError;
 use crate::experiments::{Experiment, Scale, WorkloadSpec};
 use crate::metrics::RunOutcome;
@@ -144,7 +148,11 @@ pub fn default_threads() -> usize {
 
 /// One materialised grid point: the axis values that produced an
 /// [`Experiment`], kept alongside its outcome for reporting.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable for the result catalog and sweep archives; the
+/// content fingerprint ([`crate::catalog::fingerprint`]) covers the
+/// axis fields only — `index` and `label` are presentation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioPoint {
     /// Position in the grid's row-major enumeration.
     pub index: usize,
@@ -520,6 +528,163 @@ impl ScenarioGrid {
     pub fn run_annotated(&self) -> Result<Vec<(ScenarioPoint, RunOutcome)>, CoreError> {
         Ok(self.points().into_iter().zip(self.run()?).collect())
     }
+
+    /// The canonical catalog fingerprint of one of this grid's points:
+    /// the point's axis values plus the grid-wide settings (scale,
+    /// read share) that co-determine the compiled experiment, keyed
+    /// under [`crate::catalog::ENGINE_VERSION`].
+    pub fn point_fingerprint(&self, point: &ScenarioPoint) -> Fingerprint {
+        crate::catalog::fingerprint(point, self.scale, self.read_share)
+    }
+
+    /// The contiguous point-index range shard `shard` of `shards`
+    /// owns: `[shard·n/shards, (shard+1)·n/shards)` — a balanced
+    /// split (sizes differ by at most one) that covers every index
+    /// exactly once across the shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0` or `shard >= shards`.
+    pub fn shard_range(&self, shard: usize, shards: usize) -> Range<usize> {
+        assert!(shards > 0, "shard count must be positive");
+        assert!(shard < shards, "shard {shard} out of range for {shards} shards");
+        let n = self.len();
+        (shard * n / shards)..((shard + 1) * n / shards)
+    }
+
+    /// Runs the grid through the result `catalog`: cache hits are
+    /// served from disk at memcpy speed, only misses simulate (on the
+    /// replica-batched pool, [`run_pool_batched`]), and every fresh
+    /// outcome is memoized before the call returns.  Outcomes are
+    /// bit-identical to an uncached [`ScenarioGrid::run_batched`] —
+    /// simulations are deterministic and the JSON layer round-trips
+    /// every finite f64 exactly — so a killed sweep resumed from its
+    /// partial catalog converges on the same final vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed failing point's error, or a
+    /// [`CoreError::Catalog`] when the catalog cannot be written.
+    pub fn run_cached(
+        &self,
+        catalog: &Catalog,
+        threads: usize,
+        chunk: usize,
+    ) -> Result<CachedSweep, CoreError> {
+        self.run_cached_shard(catalog, 0, 1, threads, chunk)
+    }
+
+    /// [`ScenarioGrid::run_cached`] restricted to the points of shard
+    /// `shard` of `shards` (see [`ScenarioGrid::shard_range`]).
+    /// Disjoint shards may run concurrently — in threads or separate
+    /// processes — against one catalog directory; overlapping shards
+    /// are safe too and dedupe to byte-identical entries (atomic
+    /// rename of deterministic content).
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed failing point's error, or a
+    /// [`CoreError::Catalog`] when the catalog cannot be written.
+    pub fn run_cached_shard(
+        &self,
+        catalog: &Catalog,
+        shard: usize,
+        shards: usize,
+        threads: usize,
+        chunk: usize,
+    ) -> Result<CachedSweep, CoreError> {
+        self.run_cached_shard_with_budget(catalog, shard, shards, threads, chunk, None)
+    }
+
+    /// [`ScenarioGrid::run_cached_shard`] with an optional **miss
+    /// budget**: simulate at most `budget` cache misses (in point
+    /// order), memoize them, and stop.  A truncated run reports the
+    /// remaining misses in [`CachedSweep::pending`] and carries no
+    /// outcome vector — it is the `sweep` CLI's simulated crash, and
+    /// the building block for incremental fill-ins.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed failing point's error, or a
+    /// [`CoreError::Catalog`] when the catalog cannot be written.
+    pub fn run_cached_shard_with_budget(
+        &self,
+        catalog: &Catalog,
+        shard: usize,
+        shards: usize,
+        threads: usize,
+        chunk: usize,
+        budget: Option<usize>,
+    ) -> Result<CachedSweep, CoreError> {
+        let range = self.shard_range(shard, shards);
+        let points = self.points();
+        let shard_points = &points[range.clone()];
+        let fingerprints: Vec<Fingerprint> =
+            shard_points.iter().map(|p| self.point_fingerprint(p)).collect();
+        let mut slots: Vec<Option<RunOutcome>> =
+            fingerprints.iter().map(|fp| catalog.lookup(fp)).collect();
+        let miss_indices: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.is_none().then_some(i))
+            .collect();
+        let hits = shard_points.len() - miss_indices.len();
+        let budgeted = budget.unwrap_or(miss_indices.len()).min(miss_indices.len());
+        let pending = miss_indices.len() - budgeted;
+        let to_run = &miss_indices[..budgeted];
+
+        let experiments: Vec<Experiment> =
+            to_run.iter().map(|&i| self.experiment(&shard_points[i])).collect();
+        let fresh = run_pool_batched(&experiments, threads, chunk)?;
+        for (&i, outcome) in to_run.iter().zip(fresh) {
+            catalog.store(&fingerprints[i], &shard_points[i], &outcome)?;
+            slots[i] = Some(outcome);
+        }
+        let outcomes = if pending == 0 {
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every shard slot is a hit or was simulated"))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok(CachedSweep {
+            indices: range,
+            outcomes,
+            hits,
+            misses: budgeted,
+            pending,
+        })
+    }
+}
+
+/// The result of a catalog-backed (sharded) grid run — outcomes plus
+/// the hit/miss accounting the resumability tests and the `sweep` CLI
+/// assert on: a fully warm rerun must report `misses == 0` (zero
+/// simulation steps) while returning the bit-identical vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedSweep {
+    /// The grid point indices this run covered (the shard's range;
+    /// the whole grid for [`ScenarioGrid::run_cached`]).
+    pub indices: Range<usize>,
+    /// Outcomes for `indices`, in point order — `outcomes[k]` belongs
+    /// to point `indices.start + k`.  Empty when the run was
+    /// truncated by a miss budget (`pending > 0`).
+    pub outcomes: Vec<RunOutcome>,
+    /// Points served from the catalog without simulating.
+    pub hits: usize,
+    /// Points simulated (and memoized) by this run.
+    pub misses: usize,
+    /// Cache misses left unsimulated by a miss budget; zero means the
+    /// shard is complete.
+    pub pending: usize,
+}
+
+impl CachedSweep {
+    /// `true` when every point of the shard has an outcome.
+    pub fn is_complete(&self) -> bool {
+        self.pending == 0
+    }
 }
 
 #[cfg(test)]
@@ -678,6 +843,56 @@ mod tests {
     #[test]
     fn empty_experiment_list_is_fine() {
         assert!(run_pool(&[], 4, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn shard_ranges_partition_every_index_exactly_once() {
+        let grid = ScenarioGrid::new("t")
+            .loads(&[0.001, 0.002, 0.004])
+            .seeds(&[1, 2, 3, 4, 5]);
+        for shards in [1, 2, 3, 7, 15, 16] {
+            let mut covered = Vec::new();
+            for shard in 0..shards {
+                let range = grid.shard_range(shard, shards);
+                covered.extend(range);
+            }
+            assert_eq!(covered, (0..grid.len()).collect::<Vec<_>>(), "shards={shards}");
+        }
+        // Balanced: sizes differ by at most one.
+        let sizes: Vec<usize> =
+            (0..4).map(|s| grid.shard_range(s, 4).len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn run_cached_serves_the_second_run_without_simulating() {
+        let dir = std::env::temp_dir()
+            .join(format!("wimnet-sweeps-cached-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let catalog = Catalog::open(&dir).unwrap();
+        let grid = ScenarioGrid::new("cached")
+            .scale(Scale::Quick)
+            .architectures(&[Architecture::Wireless, Architecture::Substrate])
+            .loads(&[0.002]);
+        let first = grid.run_cached(&catalog, 2, 1).unwrap();
+        assert_eq!((first.hits, first.misses, first.pending), (0, 2, 0));
+        assert!(first.is_complete());
+        let second = grid.run_cached(&catalog, 2, 1).unwrap();
+        assert_eq!((second.hits, second.misses), (2, 0), "warm run must not simulate");
+        assert_eq!(first.outcomes, second.outcomes);
+        // Budgeted runs stop mid-shard and report the remainder.
+        let _ = std::fs::remove_dir_all(&dir);
+        let catalog = Catalog::open(&dir).unwrap();
+        let truncated = grid
+            .run_cached_shard_with_budget(&catalog, 0, 1, 2, 1, Some(1))
+            .unwrap();
+        assert_eq!((truncated.hits, truncated.misses, truncated.pending), (0, 1, 1));
+        assert!(!truncated.is_complete());
+        assert!(truncated.outcomes.is_empty());
+        let resumed = grid.run_cached(&catalog, 2, 1).unwrap();
+        assert_eq!((resumed.hits, resumed.misses), (1, 1));
+        assert_eq!(resumed.outcomes, first.outcomes, "resume converges on the same vector");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

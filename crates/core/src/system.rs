@@ -605,7 +605,7 @@ impl MultichipSystem {
         // slab occupancy) so a drifting counter fails the nearest
         // test instead of corrupting a long run silently.
         #[cfg(debug_assertions)]
-        if cycle % 1024 == 0 {
+        if cycle.is_multiple_of(1024) {
             self.net.assert_switch_invariants();
         }
         cycle += 1;

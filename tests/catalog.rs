@@ -1,0 +1,308 @@
+//! Crash, corruption, and concurrency harness for the result catalog
+//! (`wimnet::core::catalog`, `docs/sweeps.md` "The result catalog").
+//!
+//! The catalog's contract is brutal on purpose: whatever happens to
+//! the directory — a killed writer, truncated files, entries from a
+//! different engine version, two shards racing on one key — a
+//! subsequent `run_cached` must converge on the **bit-identical**
+//! outcome vector a fresh uncached run would produce.  These tests
+//! damage the catalog in every one of those ways and check exactly
+//! that.
+
+use std::fs;
+use std::path::PathBuf;
+
+use wimnet::core::{Catalog, CatalogEntry, RunOutcome, Scale, ScenarioGrid, ENGINE_VERSION};
+
+/// A fresh per-test catalog directory under the system temp dir.
+fn temp_catalog(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "wimnet-catalog-harness-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small grid that still exercises several axes: 2 architectures x
+/// 2 loads x 2 seeds = 8 points at quick scale.
+fn grid() -> ScenarioGrid {
+    use wimnet::topology::Architecture;
+    ScenarioGrid::new("catalog-harness")
+        .scale(Scale::Quick)
+        .architectures(&[Architecture::Wireless, Architecture::Substrate])
+        .chips(&[2])
+        .stacks(&[2])
+        .loads(&[0.002, 0.006])
+        .seeds(&[11, 12])
+}
+
+/// Canonical bytes of an outcome vector — "bit-identical" below means
+/// equal through this, not just `PartialEq`.
+fn vector_bytes(outcomes: &[RunOutcome]) -> String {
+    serde_json::to_string(&outcomes.to_vec()).unwrap()
+}
+
+/// A tiny deterministic generator for damage-site selection (the
+/// proptest shim's rng is per-test-name; this keeps the subset stable
+/// and printable on failure).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Kill a sweep mid-flight (miss budget), damage the partial catalog —
+/// delete a random subset of entries, truncate another one, leave a
+/// half-written temp file behind — and resume.  The resumed sweep must
+/// equal a fresh uncached run bit-for-bit.
+#[test]
+fn crash_damaged_catalog_resumes_to_the_uncached_result() {
+    let g = grid();
+    let n = g.len();
+    assert_eq!(n, 8);
+
+    // Reference: a fresh, uncached run of the same grid.
+    let reference_dir = temp_catalog("crash-reference");
+    let reference = g
+        .run_cached(&Catalog::open(&reference_dir).unwrap(), 2, 2)
+        .unwrap();
+    assert_eq!(reference.misses, n);
+
+    // The "crashed" sweep: budget kills it after 5 of 8 points.
+    let dir = temp_catalog("crash-victim");
+    let catalog = Catalog::open(&dir).unwrap();
+    let killed = g
+        .run_cached_shard_with_budget(&catalog, 0, 1, 2, 2, Some(5))
+        .unwrap();
+    assert!(!killed.is_complete());
+    assert_eq!(killed.pending, 3);
+    assert!(killed.outcomes.is_empty(), "a truncated run carries no vector");
+
+    // Damage pass over the partial catalog.
+    let mut rng = 0xdead_beefu64;
+    let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    entries.sort();
+    assert_eq!(entries.len(), 5);
+    // Delete a random subset (at least one)...
+    let mut deleted = 0;
+    for path in &entries {
+        if splitmix(&mut rng).is_multiple_of(2) || deleted == 0 {
+            fs::remove_file(path).unwrap();
+            deleted += 1;
+        }
+    }
+    // ...truncate a survivor halfway, if any survived...
+    if let Some(survivor) = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "json"))
+    {
+        let bytes = fs::read(&survivor).unwrap();
+        fs::write(&survivor, &bytes[..bytes.len() / 2]).unwrap();
+    }
+    // ...and plant a half-written temp file like a writer killed
+    // mid-`fs::write` would leave.
+    fs::write(
+        dir.join("0123456789abcdef0123456789abcdef.json.tmp-999-0"),
+        "{\"engine_version\": \"wim",
+    )
+    .unwrap();
+
+    // Resume: a fresh Catalog handle, as a restarted process would own.
+    let resumed_catalog = Catalog::open(&dir).unwrap();
+    assert_eq!(resumed_catalog.sweep_temps(), 1, "abandoned temp swept");
+    let resumed = g.run_cached(&resumed_catalog, 2, 2).unwrap();
+    assert!(resumed.is_complete());
+    assert!(resumed.misses > 0, "damage forced recomputation");
+    assert_eq!(resumed.hits + resumed.misses, n);
+
+    assert_eq!(resumed.outcomes, reference.outcomes);
+    assert_eq!(
+        vector_bytes(&resumed.outcomes),
+        vector_bytes(&reference.outcomes),
+        "resumed vector must be bit-identical to the uncached run"
+    );
+
+    // The catalog healed: one more run is all hits.
+    let warm = g.run_cached(&resumed_catalog, 2, 2).unwrap();
+    assert_eq!((warm.hits, warm.misses), (n, 0));
+
+    let _ = fs::remove_dir_all(&reference_dir);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Poisoned entries — a well-formed envelope from a different engine
+/// version carrying a doctored outcome, and an entry overwritten with
+/// garbage — are quarantined and recomputed, never served and never
+/// fatal.
+#[test]
+fn poisoned_entries_are_quarantined_and_recomputed() {
+    let g = grid();
+    let n = g.len();
+    let dir = temp_catalog("poison");
+    let catalog = Catalog::open(&dir).unwrap();
+    let first = g.run_cached(&catalog, 2, 2).unwrap();
+    assert_eq!(first.misses, n);
+
+    let points = g.points();
+
+    // Poison 1: a valid envelope claiming a *different engine version*,
+    // wrapping an outcome doctored to be obviously wrong.  If the
+    // version rule ever breaks, the doctored packet count gets served
+    // and the equality assertion below catches it.
+    let victim = &points[2];
+    let fp = g.point_fingerprint(victim);
+    let mut doctored = first.outcomes[2].clone();
+    doctored.total_packets = doctored.total_packets.wrapping_add(123_456);
+    let poison = CatalogEntry {
+        engine_version: "wimnet-engine-v0".to_string(),
+        fingerprint: fp.hex(),
+        point: victim.clone(),
+        outcome: doctored,
+    };
+    assert_ne!(poison.engine_version, ENGINE_VERSION);
+    fs::write(
+        dir.join(format!("{}.json", fp.hex())),
+        serde_json::to_string_pretty(&poison).unwrap(),
+    )
+    .unwrap();
+
+    // Poison 2: plain corruption — an entry that no longer parses.
+    let fp2 = g.point_fingerprint(&points[5]);
+    fs::write(dir.join(format!("{}.json", fp2.hex())), "{ this is not json").unwrap();
+
+    // Both poisoned keys still "exist" (contains is a cheap probe)...
+    assert!(catalog.contains(&fp) && catalog.contains(&fp2));
+    // ...but a lookup refuses to serve either.
+    assert_eq!(catalog.lookup(&fp), None);
+    assert_eq!(catalog.lookup(&fp2), None);
+    assert_eq!(catalog.quarantined(), 2);
+
+    // The quarantine directory preserves both bodies for forensics.
+    let quarantine: Vec<_> = fs::read_dir(dir.join("quarantine"))
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    assert_eq!(quarantine.len(), 2);
+    assert!(quarantine.iter().any(|f| f.starts_with(&fp.hex())));
+    assert!(quarantine.iter().any(|f| f.starts_with(&fp2.hex())));
+
+    // A rerun recomputes exactly the two poisoned points and lands on
+    // the reference vector — the doctored outcome is never served.
+    let healed = g.run_cached(&catalog, 2, 2).unwrap();
+    assert_eq!((healed.hits, healed.misses), (n - 2, 2));
+    assert_eq!(healed.outcomes, first.outcomes);
+    assert_eq!(vector_bytes(&healed.outcomes), vector_bytes(&first.outcomes));
+
+    // And the heal sticks: the next run is all hits.
+    let warm = g.run_cached(&catalog, 2, 2).unwrap();
+    assert_eq!((warm.hits, warm.misses), (n, 0));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Two threads filling **disjoint** shards of one catalog directory
+/// meet in the middle; two threads racing over the **same** full
+/// range dedupe through atomic rename to byte-identical entries.  No
+/// torn file is ever observable.
+#[test]
+fn concurrent_shards_share_a_catalog_without_torn_entries() {
+    let g = grid();
+    let n = g.len();
+
+    // Disjoint halves, one directory, two threads.
+    let dir = temp_catalog("shards-disjoint");
+    let catalog = Catalog::open(&dir).unwrap();
+    let (left, right) = std::thread::scope(|s| {
+        let a = s.spawn(|| g.run_cached_shard(&catalog, 0, 2, 2, 2).unwrap());
+        let b = s.spawn(|| g.run_cached_shard(&catalog, 1, 2, 2, 2).unwrap());
+        (a.join().unwrap(), b.join().unwrap())
+    });
+    assert_eq!(left.indices, g.shard_range(0, 2));
+    assert_eq!(right.indices, g.shard_range(1, 2));
+    assert_eq!(left.misses + right.misses, n, "halves are disjoint");
+    assert_eq!(catalog.len(), n);
+
+    // The merged catalog serves the full grid without simulating.
+    let merged = g.run_cached(&catalog, 2, 2).unwrap();
+    assert_eq!((merged.hits, merged.misses), (n, 0));
+    let mut stitched = left.outcomes.clone();
+    stitched.extend(right.outcomes.iter().cloned());
+    assert_eq!(vector_bytes(&merged.outcomes), vector_bytes(&stitched));
+
+    // Overlapping shards: both threads run the *whole* grid against a
+    // fresh directory.  Same-key writers race, atomic rename makes the
+    // race a benign overwrite of identical bytes.
+    let dir2 = temp_catalog("shards-overlap");
+    let catalog2 = Catalog::open(&dir2).unwrap();
+    let (run_a, run_b) = std::thread::scope(|s| {
+        let a = s.spawn(|| g.run_cached(&catalog2, 2, 2).unwrap());
+        let b = s.spawn(|| g.run_cached(&catalog2, 2, 2).unwrap());
+        (a.join().unwrap(), b.join().unwrap())
+    });
+    assert!(run_a.is_complete() && run_b.is_complete());
+    assert_eq!(vector_bytes(&run_a.outcomes), vector_bytes(&run_b.outcomes));
+    assert_eq!(vector_bytes(&run_a.outcomes), vector_bytes(&merged.outcomes));
+    assert_eq!(catalog2.len(), n, "duplicate work dedupes to one entry per key");
+
+    // Every entry file in both directories parses as a complete,
+    // self-consistent envelope — no torn read, no stray temp file.
+    for d in [&dir, &dir2] {
+        for entry in fs::read_dir(d).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                continue;
+            }
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            assert!(
+                name.ends_with(".json"),
+                "unexpected non-entry file {name:?} (torn write or leftover temp)"
+            );
+            let body = fs::read_to_string(&path).unwrap();
+            let parsed: CatalogEntry = serde_json::from_str(&body).unwrap();
+            assert_eq!(parsed.engine_version, ENGINE_VERSION);
+            assert_eq!(format!("{}.json", parsed.fingerprint), name);
+        }
+    }
+
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&dir2);
+}
+
+/// The headline acceptance check: a second `run_cached` of the same
+/// grid performs **zero** simulation (miss counter is the witness) and
+/// returns the bit-identical vector.
+#[test]
+fn warm_rerun_simulates_nothing_and_matches_bitwise() {
+    let g = grid();
+    let dir = temp_catalog("warm-rerun");
+    let catalog = Catalog::open(&dir).unwrap();
+
+    let cold = g.run_cached(&catalog, 2, 2).unwrap();
+    assert_eq!((cold.hits, cold.misses), (0, g.len()));
+
+    let warm = g.run_cached(&catalog, 2, 2).unwrap();
+    assert_eq!(
+        (warm.hits, warm.misses, warm.pending),
+        (g.len(), 0, 0),
+        "zero simulation on a warm catalog"
+    );
+    assert_eq!(warm.outcomes, cold.outcomes);
+    assert_eq!(vector_bytes(&warm.outcomes), vector_bytes(&cold.outcomes));
+
+    // Different thread/chunk shapes must not perturb the served bytes.
+    for (threads, chunk) in [(1, 1), (3, 2), (4, 8)] {
+        let again = g.run_cached(&catalog, threads, chunk).unwrap();
+        assert_eq!(again.misses, 0);
+        assert_eq!(vector_bytes(&again.outcomes), vector_bytes(&cold.outcomes));
+    }
+
+    let _ = fs::remove_dir_all(&dir);
+}

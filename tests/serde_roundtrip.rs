@@ -5,8 +5,16 @@
 //! JSON layer is not guaranteed bit-exact for every f64, and the
 //! archives only need analysable precision.
 
-use wimnet::core::{Experiment, RunOutcome, SystemConfig};
+use proptest::prelude::*;
+
+use wimnet::core::catalog;
+use wimnet::core::experiments::Scale;
+use wimnet::core::system::MacKind;
+use wimnet::core::{Experiment, RunOutcome, ScenarioPoint, SystemConfig, WirelessModel};
+use wimnet::energy::{Energy, EnergyBreakdown, EnergyCategory};
+use wimnet::memory::{MemoryStackStats, SchedulerPolicy};
 use wimnet::topology::Architecture;
+use wimnet::traffic::{AddressStreamSpec, InjectionProcess};
 
 fn close(a: f64, b: f64) -> bool {
     (a - b).abs() <= a.abs().max(b.abs()) * 1e-9 + 1e-15
@@ -80,4 +88,208 @@ fn figure_rows_serialize_for_the_harness() {
     let back: Vec<wimnet::core::experiments::Fig2Row> =
         serde_json::from_str(&json).unwrap();
     assert_eq!(back.len(), rows.len());
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: the catalog payload types (`ScenarioPoint`,
+// `RunOutcome`) must survive JSON **bit-exactly** for arbitrary values,
+// because the result catalog's resume/dedupe guarantees
+// (`docs/sweeps.md`) are stated in terms of byte-identical entries.
+// ---------------------------------------------------------------------------
+
+/// A finite f64 with a full random mantissa — stresses the shortest
+/// round-trip float codec much harder than "nice" decimal literals.
+fn gnarly_f64(bits: u64) -> f64 {
+    let f = f64::from_bits(bits);
+    if f.is_finite() {
+        f
+    } else {
+        // Clear the exponent's top bit: the result is always finite.
+        f64::from_bits(bits & !(1u64 << 62))
+    }
+}
+
+fn arch_from(idx: usize) -> Architecture {
+    match idx % 3 {
+        0 => Architecture::Wireless,
+        1 => Architecture::Interposer,
+        _ => Architecture::Substrate,
+    }
+}
+
+fn wireless_from(idx: usize, flits_raw: u32, conc: u32) -> WirelessModel {
+    match idx % 5 {
+        0 => WirelessModel::default(),
+        1 => WirelessModel::PointToPoint {
+            flits_per_cycle: f64::from(flits_raw) / 64.0,
+            max_concurrent: 1 + conc % 16,
+        },
+        2 => WirelessModel::ParallelLinks {
+            flits_per_cycle: f64::from(flits_raw) / 64.0,
+        },
+        3 => WirelessModel::SharedChannel { mac: MacKind::Token },
+        _ => WirelessModel::SharedChannel {
+            mac: MacKind::ControlPacket,
+        },
+    }
+}
+
+fn stream_from(idx: usize, a: u64, b: u64, frac_raw: u32) -> AddressStreamSpec {
+    let region = 1 + a % 1_000_000;
+    match idx % 4 {
+        0 => AddressStreamSpec::Sequential,
+        1 => AddressStreamSpec::Strided {
+            stride_blocks: 1 + b % 4096,
+        },
+        2 => AddressStreamSpec::Uniform {
+            region_blocks: region,
+        },
+        _ => AddressStreamSpec::HotRow {
+            region_blocks: region,
+            hot_blocks: 1 + b % region,
+            hot_fraction: f64::from(frac_raw) / f64::from(u32::MAX),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Random [`ScenarioPoint`]s over all nine axes round-trip through
+    /// JSON to equal values, and — the property the catalog actually
+    /// leans on — the round trip preserves the content fingerprint and
+    /// the serialized bytes exactly.
+    #[test]
+    fn scenario_points_round_trip_bit_exactly(
+        axis_picks in (0usize..3, 0usize..5, 0usize..4),
+        chips in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+        stacks in prop_oneof![Just(2usize), Just(4), Just(8)],
+        wireless_raw in (1u32..512, any::<u32>(), 0u32..1_000_000),
+        stream_raw in (any::<u64>(), any::<u64>(), any::<u64>()),
+        toggles in (any::<bool>(), any::<bool>()),
+        seed in any::<u64>(),
+        index in 0usize..1_000_000,
+    ) {
+        let (arch_idx, wireless_idx, stream_idx) = axis_picks;
+        let (flits_raw, conc, rate_raw) = wireless_raw;
+        let (frac_bits, stream_a, stream_b) = stream_raw;
+        let (frfcfs, saturation) = toggles;
+        let memory_fraction = gnarly_f64(frac_bits).abs().fract();
+        let point = ScenarioPoint {
+            index,
+            label: format!("prop point #{index} seed=0x{seed:x}"),
+            architecture: arch_from(arch_idx),
+            chips,
+            stacks,
+            wireless: wireless_from(wireless_idx, flits_raw, conc),
+            memory_fraction,
+            address_stream: stream_from(stream_idx, stream_a, stream_b, conc),
+            scheduler: if frfcfs { SchedulerPolicy::FrFcfs } else { SchedulerPolicy::Fcfs },
+            injection: if saturation {
+                InjectionProcess::Saturation
+            } else {
+                InjectionProcess::Bernoulli { rate: f64::from(rate_raw) / 1e7 }
+            },
+            seed,
+        };
+
+        let json = serde_json::to_string_pretty(&point).unwrap();
+        let back: ScenarioPoint = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &point);
+        // Value equality is not enough for the catalog: the float axes
+        // must come back with the same bit pattern...
+        prop_assert_eq!(
+            back.memory_fraction.to_bits(),
+            point.memory_fraction.to_bits()
+        );
+        // ...so the fingerprint — and therefore the catalog key — is
+        // stable across a round trip, at either scale.
+        for scale in [Scale::Quick, Scale::Paper] {
+            prop_assert_eq!(
+                catalog::fingerprint(&back, scale, 0.7),
+                catalog::fingerprint(&point, scale, 0.7)
+            );
+        }
+        // And re-serializing yields byte-identical JSON.
+        prop_assert_eq!(serde_json::to_string_pretty(&back).unwrap(), json);
+    }
+
+    /// Random [`RunOutcome`]s — with the optional latency/energy fields
+    /// populated or absent and the memory-stats table populated or
+    /// empty — round-trip through JSON to byte-identical documents.
+    #[test]
+    fn run_outcomes_round_trip_bit_exactly(
+        cores in 1usize..4096,
+        counters in (any::<u64>(), any::<u64>(), any::<u64>()),
+        float_bits in (any::<u64>(), any::<u64>(), any::<u64>()),
+        presence in (any::<bool>(), any::<bool>(), any::<bool>()),
+        fast_forwarded in any::<u64>(),
+        shape in (0usize..15, 1usize..5),
+    ) {
+        let (window_cycles, window_packets, total_packets) = counters;
+        let (bw_bits, energy_bits, stat_seed) = float_bits;
+        let (with_energy_stats, with_latency, with_memory) = presence;
+        let (n_categories, stacks) = shape;
+        let energy = EnergyBreakdown {
+            entries: EnergyCategory::ALL
+                .into_iter()
+                .take(n_categories)
+                .enumerate()
+                .map(|(i, cat)| {
+                    (cat, Energy::from_nj(gnarly_f64(energy_bits.rotate_left(i as u32)).abs()))
+                })
+                .collect(),
+            total: Energy::from_nj(gnarly_f64(energy_bits).abs()),
+        };
+        let memory: Vec<MemoryStackStats> = if with_memory {
+            (0..stacks)
+                .map(|s| MemoryStackStats {
+                    stack: s,
+                    accesses: stat_seed.rotate_left(s as u32),
+                    reads: stat_seed.rotate_left(1 + s as u32),
+                    writes: stat_seed.rotate_left(2 + s as u32),
+                    page_hits: stat_seed.rotate_left(3 + s as u32),
+                    page_empties: stat_seed.rotate_left(4 + s as u32),
+                    page_misses: stat_seed.rotate_left(5 + s as u32),
+                    admit_stall_cycles: stat_seed.rotate_left(6 + s as u32),
+                    max_queue_depth: (stat_seed % 1024) as usize,
+                    avg_queue_depth: gnarly_f64(stat_seed.rotate_left(7)).abs(),
+                    avg_bank_parallelism: gnarly_f64(stat_seed.rotate_left(8)).abs(),
+                    busy_fraction: gnarly_f64(stat_seed.rotate_left(9)).abs().fract(),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let outcome = RunOutcome {
+            label: format!("prop outcome cores={cores}"),
+            workload: "property-generated".to_string(),
+            cores,
+            window_cycles,
+            window_packets,
+            total_packets,
+            bandwidth_gbps_per_core: gnarly_f64(bw_bits).abs(),
+            avg_packet_energy_nj: with_energy_stats
+                .then(|| gnarly_f64(bw_bits.rotate_left(13)).abs()),
+            avg_latency_cycles: with_latency
+                .then(|| gnarly_f64(bw_bits.rotate_left(29)).abs()),
+            max_latency_cycles: with_latency.then_some(stat_seed % 1_000_000),
+            p99_latency_cycles: with_latency.then_some(stat_seed % 500_000),
+            fast_forwarded_cycles: fast_forwarded,
+            energy,
+            memory,
+        };
+
+        let json = serde_json::to_string_pretty(&outcome).unwrap();
+        let back: RunOutcome = serde_json::from_str(&json).unwrap();
+        // `RunOutcome`'s PartialEq covers every field, floats included.
+        prop_assert_eq!(&back, &outcome);
+        prop_assert_eq!(
+            back.bandwidth_gbps_per_core.to_bits(),
+            outcome.bandwidth_gbps_per_core.to_bits()
+        );
+        // Byte-identical re-serialization is what lets overlapping
+        // catalog shards overwrite each other's entries benignly.
+        prop_assert_eq!(serde_json::to_string_pretty(&back).unwrap(), json);
+    }
 }
