@@ -35,6 +35,13 @@
 //!   load (1e-5, ≈20% of the serialized channel's capacity): token +
 //!   control MAC back to back on the serialized channel, the scenario
 //!   the quiescence-capable MACs unlock;
+//! * `deep_idle_ff` — the lifted-ceiling row: token + control MAC at
+//!   Bernoulli 1e-6 over a 20× paper window, where essentially every
+//!   cycle is skippable and the per-skipped-cycle *meter* cost is the
+//!   whole story — under per-cycle f64 replay the after block's wall
+//!   clock still scaled with the window; with the exact-sum meter's
+//!   repeated charges each jump costs O(1) adds (`docs/engine.md`
+//!   §"Batched energy metering");
 //! * `memory_bound_ff` — read-heavy closed-loop traffic into the
 //!   stacks (90% memory share, all reads, sparse load): the network
 //!   drains while requests sit in the cycle-accurate memory
@@ -347,6 +354,29 @@ fn main() {
             }
             Measured { wall_ms: wall, cycles, fingerprint: Some(fp) }
         })),
+        ("deep_idle_ff", Box::new(|no_ff| {
+            // Token + control MAC at Bernoulli 1e-6 over a 20× paper
+            // window: a handful of packets in 200k cycles, so the row
+            // isolates the per-skipped-cycle accounting floor that
+            // capped mac_comparison_ff at ~4× before the exact-sum
+            // meter made each jump O(1) in meter adds.
+            let mut wall = 0.0;
+            let mut cycles = 0;
+            let mut fp = Fingerprint::default();
+            for mac in [MacKind::Token, MacKind::ControlPacket] {
+                let mut config = SystemConfig::xcym(4, 4, Architecture::Wireless);
+                config.wireless = WirelessModel::SharedChannel { mac };
+                config.warmup_cycles = 2_000;
+                config.measure_cycles = 198_000;
+                config.disable_fast_forward = no_ff;
+                let (w, c, f) =
+                    run_system(&config, InjectionProcess::Bernoulli { rate: 0.000001 });
+                wall += w;
+                cycles += c;
+                fp.fold(&f);
+            }
+            Measured { wall_ms: wall, cycles, fingerprint: Some(fp) }
+        })),
         ("memory_bound_ff", Box::new(|no_ff| {
             // Read-heavy closed-loop memory traffic: every memory
             // packet is a read request serviced by the stack
@@ -567,6 +597,15 @@ fn main() {
     json.push_str(
         "  \"regenerate\": \"cargo run --release -p wimnet-bench --bin bench_engine\",\n",
     );
+    // The engine version is part of the record: outcomes (and so the
+    // fingerprints below) are only comparable within one version, and
+    // bench_schema.rs asserts this string matches
+    // `wimnet_core::ENGINE_VERSION` so an outcome-changing PR cannot
+    // bump one without regenerating the other.
+    json.push_str(&format!(
+        "  \"engine_version\": \"{}\",\n",
+        wimnet_core::ENGINE_VERSION
+    ));
     emit_block(
         &mut json,
         "before",
@@ -614,6 +653,16 @@ fn main() {
          the per-cycle medium view refresh + MAC step; on the wired point-to-point \
          path (app_blackscholes) active-set stepping already made idle cycles \
          near-free, so the same skip is wall-clock neutral there\",\n",
+    );
+    json.push_str(
+        "    \"deep_idle_ff\": \"token + control-packet MACs at Bernoulli 1e-6 over a \
+         200k-cycle window (20x the paper window): essentially every cycle is \
+         skippable, so the row isolates the per-skipped-cycle meter cost.  Before \
+         the exact-sum meter, every jump replayed k per-cycle f64 adds to keep \
+         energy bits identical to stepping (float addition is not associative), \
+         pinning this regime to O(k); the superaccumulator's add_repeated makes \
+         each jump O(1) meter adds with the same read-out bits, which is what \
+         lifts the serialized-MAC rows' ceiling\",\n",
     );
     json.push_str(
         "    \"memory_bound_ff\": \"uniform random at Bernoulli 5e-5, 90% memory share, \

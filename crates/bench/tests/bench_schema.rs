@@ -23,6 +23,7 @@ const REQUIRED_ROWS: &[&str] = &[
     "fig3_anchor_load",
     "shared_channel",
     "mac_comparison_ff",
+    "deep_idle_ff",
     "app_workload_ff",
     "app_blackscholes",
     "memory_bound_ff",
@@ -110,6 +111,28 @@ fn bench_engine_json_has_before_and_after_blocks_with_fingerprints() {
             }
         }
     }
+}
+
+/// The versioning guard (`docs/sweeps.md` §4): `BENCH_engine.json` is
+/// only meaningful for the engine version it was generated against —
+/// fingerprints are version-scoped exactly like catalog entries.  The
+/// file must record `engine_version`, and the string must match
+/// `wimnet_core::ENGINE_VERSION`, so a future outcome-changing PR
+/// cannot bump the engine without regenerating the bench file (or vice
+/// versa).
+#[test]
+fn bench_file_records_the_current_engine_version() {
+    let root = load();
+    let recorded = match field(&root, "engine_version", "BENCH_engine.json") {
+        Value::Str(s) => s.clone(),
+        other => panic!("engine_version must be a string, got {other:?}"),
+    };
+    assert_eq!(
+        recorded,
+        wimnet_core::ENGINE_VERSION,
+        "BENCH_engine.json was generated against a different engine version — \
+         regenerate it (see the file's `regenerate` key)"
+    );
 }
 
 #[test]

@@ -75,7 +75,9 @@ use crate::system::WirelessModel;
 ///
 /// Bump when a PR changes what any scenario *computes* (see the module
 /// docs' versioning rule); keep when a PR only proves bit-identity.
-pub const ENGINE_VERSION: &str = "wimnet-engine-v7";
+/// v8: the exact-sum energy meter — correctly-rounded superaccumulator
+/// read-outs move energy bits relative to v7's sequential f64 adds.
+pub const ENGINE_VERSION: &str = "wimnet-engine-v8";
 
 /// A 128-bit canonical content fingerprint of one cacheable scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -394,6 +396,8 @@ mod tests {
             max_latency_cycles: Some(211),
             p99_latency_cycles: Some(96),
             fast_forwarded_cycles: 0,
+            meter_ops: 0,
+            meter_charges: 0,
             energy: EnergyBreakdown {
                 entries: Vec::new(),
                 total: wimnet_energy::Energy::from_nj(total_packets as f64),

@@ -44,6 +44,17 @@ pub struct RunOutcome {
     /// [`SystemConfig::disable_fast_forward`] set.  Surfaces how much
     /// of a run was provably idle; see `docs/fast_forward.md`.
     pub fast_forwarded_cycles: u64,
+    /// Exact-sum meter operations performed over the window (each
+    /// `add`/`add_repeated` call counts once).  With
+    /// [`RunOutcome::meter_charges`] this surfaces the O(1)-accounting
+    /// win: `meter_charges − meter_ops` is the number of per-cycle
+    /// float adds the repeated-charge closed forms avoided.
+    #[serde(default)]
+    pub meter_ops: u64,
+    /// Per-cycle charge quanta those operations accounted (an
+    /// `add_repeated` of count `k` contributes `k`).
+    #[serde(default)]
+    pub meter_charges: u64,
     /// Energy by category over the window.
     pub energy: EnergyBreakdown,
     /// Per-stack memory-controller statistics (queue occupancy,
@@ -84,9 +95,18 @@ impl RunOutcome {
             max_latency_cycles: stats.max_latency(),
             p99_latency_cycles: stats.latency_percentile(0.99),
             fast_forwarded_cycles: net.fast_forwarded_cycles(),
+            meter_ops: net.meter().ops(),
+            meter_charges: net.meter().charges(),
             energy: net.meter().breakdown(),
             memory,
         }
+    }
+
+    /// Per-cycle float adds the repeated-charge closed forms avoided:
+    /// the quanta accounted minus the meter operations that landed
+    /// them.  Zero on fully stepped runs (every charge is its own op).
+    pub fn meter_adds_saved(&self) -> u64 {
+        self.meter_charges.saturating_sub(self.meter_ops)
     }
 
     /// Packets delivered since simulation start.

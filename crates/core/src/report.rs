@@ -132,6 +132,31 @@ pub fn format_memory_table(stats: &[wimnet_memory::MemoryStackStats]) -> String 
     )
 }
 
+/// Formats a run's per-category energy totals (`RunOutcome::energy`)
+/// as an aligned table: every nonzero category with its share of the
+/// total, then the total itself.  Each figure is one correctly-rounded
+/// read-out of the meter's exact accumulator (`docs/engine.md`
+/// §"Batched energy metering"), so the categories sum to the total up
+/// to one rounding per line — there is no accumulation drift to hide.
+pub fn format_energy_table(energy: &wimnet_energy::EnergyBreakdown) -> String {
+    let total = energy.total.nanojoules();
+    let mut rows: Vec<Vec<String>> = energy
+        .entries
+        .iter()
+        .filter(|&&(_, e)| e > wimnet_energy::Energy::ZERO)
+        .map(|&(c, e)| {
+            let share = if total > 0.0 {
+                format!("{:.1}%", 100.0 * e.nanojoules() / total)
+            } else {
+                "-".to_string()
+            };
+            vec![c.label().to_string(), format!("{:.4}", e.nanojoules()), share]
+        })
+        .collect();
+    rows.push(vec!["total".to_string(), format!("{total:.4}"), "100.0%".to_string()]);
+    format_table(&["category", "energy (nJ)", "share"], &rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +196,24 @@ mod tests {
     fn fmt_opt_renders_none_as_dash() {
         assert_eq!(fmt_opt(Some(1.23456), 2), "1.23");
         assert_eq!(fmt_opt(None, 2), "-");
+    }
+
+    #[test]
+    fn energy_table_lists_nonzero_categories_and_total() {
+        use wimnet_energy::{Energy, EnergyCategory, EnergyMeter};
+        let mut m = EnergyMeter::new();
+        m.add(EnergyCategory::SwitchDynamic, Energy::from_pj(500.0));
+        m.add_repeated(EnergyCategory::WirelessIdle, Energy::from_pj(1.0), 1_500);
+        let t = format_energy_table(&m.breakdown());
+        assert!(t.contains(EnergyCategory::SwitchDynamic.label()), "{t}");
+        assert!(t.contains(EnergyCategory::WirelessIdle.label()), "{t}");
+        assert!(
+            !t.contains(EnergyCategory::DramBackground.label()),
+            "zero categories are hidden: {t}"
+        );
+        assert!(t.contains("total"), "{t}");
+        // 500 pJ of 2 000 pJ total.
+        assert!(t.contains("25.0%"), "{t}");
     }
 
     #[test]

@@ -332,8 +332,17 @@ impl MultichipSystem {
         }
 
         let num_stacks = config.multichip.num_stacks;
+        // Pre-derive the per-cycle background quantum once so the
+        // stepped and fast-forwarded paths charge the identical f64.
+        let background =
+            config.stack.background_energy_per_cycle(config.energy.clock);
         let controllers = (0..num_stacks)
-            .map(|i| MemoryController::new(i, config.stack.clone(), config.mem_controller))
+            .map(|i| {
+                let mut c =
+                    MemoryController::new(i, config.stack.clone(), config.mem_controller);
+                c.set_background_energy(background);
+                c
+            })
             .collect();
         let streams = (0..num_stacks)
             .map(|i| AddressStream::new(config.address_stream, config.seed, i as u64))
@@ -488,6 +497,10 @@ impl MultichipSystem {
             }
             completions.clear();
             self.controllers[stack].step(t, &mut completions);
+            let background = self.controllers[stack].background_energy();
+            if background > wimnet_energy::Energy::ZERO {
+                self.net.charge(EnergyCategory::DramBackground, background);
+            }
             for c in &completions {
                 self.net.charge(EnergyCategory::Tsv, c.energy);
                 self.pending_replies.push(PendingReply {
@@ -532,17 +545,21 @@ impl MultichipSystem {
     }
 
     /// Fast-forwards up to `want` network cycles and replays the same
-    /// skip on every controller (their occupancy integrals accrue in
-    /// closed form — `MemoryController::idle_advance`).  The skipped
-    /// controller steps are the ones the skipped driver iterations
-    /// would have run, i.e. cycles `now + 1 ..= now + skipped`.
+    /// skip on every controller (their occupancy integrals and DRAM
+    /// background energy accrue in closed form —
+    /// `MemoryController::idle_advance` batches the background quanta
+    /// into one repeated charge per stack).  The skipped controller
+    /// steps are the ones the skipped driver iterations would have
+    /// run, i.e. cycles `now + 1 ..= now + skipped`.
     fn fast_forward_cycles(&mut self, want: u64) -> u64 {
         let from = self.net.now();
         let skipped = self.net.fast_forward(want);
         if skipped > 0 {
+            let mut charges = wimnet_energy::ChargeBatch::new();
             for c in &mut self.controllers {
-                c.idle_advance(from + 1, skipped);
+                c.idle_advance(from + 1, skipped, &mut charges);
             }
+            self.net.apply_charges(&charges);
         }
         skipped
     }

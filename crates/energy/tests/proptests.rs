@@ -8,6 +8,13 @@ fn finite_pj() -> impl Strategy<Value = f64> {
     0.0f64..1.0e9
 }
 
+/// Adversarial finite positive f64 assembled bit-by-bit: any fraction
+/// pattern (all-ones mantissas are the float-drift worst case) crossed
+/// with exponents from deep subnormal to ~10³⁰ J.
+fn adversarial(frac: u64, exp: u64) -> f64 {
+    f64::from_bits(((exp % 1124) << 52) | (frac & ((1 << 52) - 1)))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
 
@@ -64,6 +71,93 @@ proptest! {
         let manual: f64 = a.iter().map(|(_, e)| e.joules()).sum();
         prop_assert!((manual - a.total().joules()).abs()
             <= a.total().joules() * 1e-9 + 1e-15);
+    }
+
+    /// `add_repeated(c, x, k)` equals k individual adds — *exactly*,
+    /// for adversarial mantissas and exponents: the accumulator is an
+    /// exact integer sum, so the multiply-add is the real sum by
+    /// construction, and read-outs match bit for bit.
+    #[test]
+    fn add_repeated_equals_the_exact_sum_of_k_adds(
+        x in (0u64..(1 << 52), 0u64..1124),
+        k in 0u64..4_096,
+        interleave in (0u64..(1 << 52), 0u64..1124),
+    ) {
+        let e = Energy::from_joules(adversarial(x.0, x.1));
+        let other = Energy::from_joules(adversarial(interleave.0, interleave.1));
+        let mut looped = EnergyMeter::new();
+        looped.add(EnergyCategory::WirelessControl, other);
+        for _ in 0..k {
+            looped.add(EnergyCategory::WirelessIdle, e);
+        }
+        let mut batched = EnergyMeter::new();
+        batched.add_repeated(EnergyCategory::WirelessIdle, e, k);
+        batched.add(EnergyCategory::WirelessControl, other);
+        prop_assert_eq!(&looped, &batched);
+        prop_assert_eq!(
+            looped.total().joules().to_bits(),
+            batched.total().joules().to_bits()
+        );
+        prop_assert_eq!(
+            looped.category(EnergyCategory::WirelessIdle).joules().to_bits(),
+            batched.category(EnergyCategory::WirelessIdle).joules().to_bits()
+        );
+        if k > 0 {
+            prop_assert!(batched.ops() < 3);
+        }
+    }
+
+    /// Accumulation order is irrelevant: forward, reversed and split/
+    /// merged charge sequences land on bit-identical meters.
+    #[test]
+    fn meter_is_order_independent(
+        adds in prop::collection::vec((0usize..15, 0u64..(1 << 52), 0u64..1124), 0..64),
+        split in 0usize..64,
+    ) {
+        let cat = |i: usize| EnergyCategory::ALL[i % EnergyCategory::ALL.len()];
+        let mut fwd = EnergyMeter::new();
+        for &(c, f, x) in &adds {
+            fwd.add(cat(c), Energy::from_joules(adversarial(f, x)));
+        }
+        let mut rev = EnergyMeter::new();
+        for &(c, f, x) in adds.iter().rev() {
+            rev.add(cat(c), Energy::from_joules(adversarial(f, x)));
+        }
+        let mut a = EnergyMeter::new();
+        let mut b = EnergyMeter::new();
+        for (i, &(c, f, x)) in adds.iter().enumerate() {
+            let m = if i < split { &mut a } else { &mut b };
+            m.add(cat(c), Energy::from_joules(adversarial(f, x)));
+        }
+        a.merge(&b);
+        prop_assert_eq!(&fwd, &rev);
+        prop_assert_eq!(&fwd, &a);
+        prop_assert_eq!(fwd.total().joules().to_bits(), rev.total().joules().to_bits());
+        prop_assert_eq!(fwd.total().joules().to_bits(), a.total().joules().to_bits());
+    }
+
+    /// Meter read-out is correctly rounded (round-to-nearest-even).
+    /// Oracle: charges are dyadic rationals m × 2⁻⁵⁰⁰, so the exact sum
+    /// fits a u128 and Rust's u128 → f64 conversion (itself
+    /// round-to-nearest-even) scaled by the exact power 2⁻⁵⁰⁰ is the
+    /// correctly rounded real sum.
+    #[test]
+    fn read_out_is_correctly_rounded(
+        terms in prop::collection::vec((1u64..(1 << 53), 1u64..(1 << 40)), 1..16),
+    ) {
+        let scale = 2.0f64.powi(-500);
+        let mut m = EnergyMeter::new();
+        let mut exact: u128 = 0;
+        for &(mant, k) in &terms {
+            m.add_repeated(EnergyCategory::SerialIo, Energy::from_joules(mant as f64 * scale), k);
+            exact += u128::from(mant) * u128::from(k);
+        }
+        let expected = (exact as f64) * scale;
+        prop_assert_eq!(
+            m.category(EnergyCategory::SerialIo).joules().to_bits(),
+            expected.to_bits()
+        );
+        prop_assert_eq!(m.total().joules().to_bits(), expected.to_bits());
     }
 
     /// Model energies are non-negative, monotone in bits, and linear.

@@ -43,18 +43,20 @@
 //! * [`MemoryController::is_quiescent`] is `true` when no request is
 //!   queued or in flight;
 //! * [`MemoryController::idle_advance`]`(first, k)` replays `k` skipped
-//!   [`MemoryController::step`]s in closed form.  Skipped steps only
-//!   accrue the occupancy statistics (queue depth and bank-busy
-//!   integrals), and those are u64 sums over piecewise-constant state,
-//!   so the closed form is bit-exact — the `idle_step(k) ≡ k×step`
-//!   obligation, proven by proptest replay in
-//!   `tests/controller_equivalence.rs`.
+//!   [`MemoryController::step`]s in closed form.  Skipped steps accrue
+//!   the occupancy statistics (queue depth and bank-busy integrals) —
+//!   u64 sums over piecewise-constant state, so bit-exact — plus the
+//!   constant per-cycle DRAM background energy, emitted as one
+//!   repeated charge ([`wimnet_energy::ChargeBatch::push_repeated`])
+//!   that the meter's exact accumulator lands bit-identically to `k`
+//!   per-cycle adds — the `idle_step(k) ≡ k×step` obligation, proven
+//!   by proptest replay in `tests/controller_equivalence.rs`.
 
 use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
-use wimnet_energy::Energy;
+use wimnet_energy::{ChargeBatch, Energy, EnergyCategory};
 
 use crate::address::{AddressMap, Location};
 use crate::stack::{AccessKind, PageOutcome, StackConfig};
@@ -285,6 +287,13 @@ pub struct MemoryController {
     channels: Vec<Channel>,
     next_seq: u64,
     counters: Counters,
+    /// Constant background energy per cycle (refresh/standby draw of
+    /// the whole stack), precomputed by the system driver from
+    /// [`StackConfig::background_power`] and its clock.  The stepped
+    /// path charges it once per [`MemoryController::step`]; the
+    /// fast-forwarded path batches it in
+    /// [`MemoryController::idle_advance`].
+    background_energy: Energy,
 }
 
 impl MemoryController {
@@ -310,7 +319,22 @@ impl MemoryController {
             channels,
             next_seq: 0,
             counters: Counters::default(),
+            background_energy: Energy::ZERO,
         }
+    }
+
+    /// Sets the constant background energy charged per accounted cycle
+    /// (`DramBackground`).  The driver derives it once from
+    /// [`StackConfig::background_power`] at the system clock so the
+    /// stepped and fast-forwarded paths charge the bit-identical
+    /// quantum.
+    pub fn set_background_energy(&mut self, per_cycle: Energy) {
+        self.background_energy = per_cycle;
+    }
+
+    /// The background energy charged per accounted cycle.
+    pub fn background_energy(&self) -> Energy {
+        self.background_energy
     }
 
     /// The stack's index in the package.
@@ -516,9 +540,17 @@ impl MemoryController {
     ///   maximum prefix — all u64 arithmetic, bit-identical to `k`
     ///   individual steps (proptest-proven in
     ///   `tests/controller_equivalence.rs`).
-    pub fn idle_advance(&mut self, first: u64, k: u64) {
+    ///
+    /// DRAM background power joins the closed form: the `k` per-cycle
+    /// `DramBackground` quanta the skipped steps would have charged
+    /// land in `charges` as one repeated run — exact under the meter's
+    /// superaccumulator, so stepping and skipping stay bit-identical.
+    pub fn idle_advance(&mut self, first: u64, k: u64, charges: &mut ChargeBatch) {
         if k == 0 {
             return;
+        }
+        if self.background_energy > Energy::ZERO {
+            charges.push_repeated(EnergyCategory::DramBackground, self.background_energy, k);
         }
         let mut queued = 0u64;
         let mut busy_sum = 0u64;

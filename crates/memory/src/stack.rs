@@ -23,7 +23,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use wimnet_energy::Energy;
+use wimnet_energy::{Energy, Frequency, Power};
 
 use crate::address::{AddressMap, Location};
 use crate::tsv::TsvBundle;
@@ -90,6 +90,15 @@ pub struct StackConfig {
     /// DRAM array energy per bit *written*, in pJ (0 by default, as
     /// above; writes cost more than reads on real parts).
     pub array_write_pj_per_bit: f64,
+    /// Constant DRAM background power of the whole stack (refresh,
+    /// peripheral and standby current), charged every cycle — stepped
+    /// or fast-forwarded — as `EnergyCategory::DramBackground`.  Zero
+    /// by default: the paper excludes intra-stack energy from its
+    /// cross-architecture comparison, so the paper anchors are
+    /// unaffected; calibrated deep-idle studies set it to surface
+    /// standby draw.
+    #[serde(default)]
+    pub background_power: Power,
     /// TSV bundle between layers.
     pub tsv: TsvBundle,
 }
@@ -109,6 +118,7 @@ impl StackConfig {
             burst_cycles: 4,
             array_read_pj_per_bit: 0.0,
             array_write_pj_per_bit: 0.0,
+            background_power: Power::ZERO,
             tsv: TsvBundle::paper(),
         }
     }
@@ -151,6 +161,14 @@ impl StackConfig {
     pub fn access_energy(&self, bits: u64, kind: AccessKind, layer: u32) -> Energy {
         Energy::from_pj(self.array_pj_per_bit(kind) * bits as f64)
             + self.tsv.energy(bits, layer)
+    }
+
+    /// Background energy of one clock cycle at `clock` — the per-cycle
+    /// quantum both the stepped and the fast-forwarded engine paths
+    /// charge as `DramBackground` (the closed form charges it as one
+    /// repeated charge over the skipped span).
+    pub fn background_energy_per_cycle(&self, clock: Frequency) -> Energy {
+        self.background_power.energy_over_cycles(1, clock)
     }
 }
 

@@ -14,6 +14,7 @@
 
 use proptest::prelude::*;
 
+use wimnet_energy::{ChargeBatch, Energy, EnergyCategory, EnergyMeter};
 use wimnet_memory::{
     AccessKind, AddressMap, ControllerConfig, MemRequest, MemoryController, MemoryStack,
     SchedulerPolicy, StackConfig,
@@ -102,10 +103,12 @@ proptest! {
         policy_bit in any::<bool>(),
         warm_steps in 0u64..20,
         window in 1u64..200,
+        background_pj in 0.0f64..10.0,
     ) {
         let map = AddressMap::paper(1);
         let ctrl = ControllerConfig { queue_capacity: 16, scheduler: policy_of(policy_bit) };
         let mut mc = MemoryController::new(0, StackConfig::paper(), ctrl);
+        mc.set_background_energy(Energy::from_pj(background_pj));
         let mut sink = Vec::new();
         for (i, &(block, write_bit)) in batch.iter().enumerate() {
             mc.enqueue(
@@ -140,11 +143,22 @@ proptest! {
             "the sanctioned window must contain no completions"
         );
         let mut jumped = mc.clone();
-        jumped.idle_advance(now + 1, k);
+        let mut charges = ChargeBatch::new();
+        jumped.idle_advance(now + 1, k, &mut charges);
         prop_assert_eq!(
             &stepped, &jumped,
             "idle_advance({}, {}) diverged from {} steps", now + 1, k, k
         );
+        // The batched background run must land exactly where k stepped
+        // cycles' per-cycle quanta would — and in O(1) meter adds.
+        let mut batched = EnergyMeter::new();
+        batched.apply_batch(&charges);
+        let mut looped = EnergyMeter::new();
+        for _ in 0..k {
+            looped.add(EnergyCategory::DramBackground, mc.background_energy());
+        }
+        prop_assert_eq!(&batched, &looped, "background closed form diverged");
+        prop_assert!(batched.ops() <= 1, "background charge must be O(1) in k");
 
         // Resume both live until drained: identical completion streams.
         let mut a_out = Vec::new();

@@ -675,6 +675,25 @@ impl Network {
         self.meter.add(category, energy);
     }
 
+    /// Charges `count` identical quanta in one exact multiply-add — the
+    /// O(1) entry point external closed forms (memory background power,
+    /// driver-side batches) use during fast-forwarded stretches.
+    pub fn charge_repeated(
+        &mut self,
+        category: EnergyCategory,
+        energy: wimnet_energy::Energy,
+        count: u64,
+    ) {
+        self.meter.add_repeated(category, energy, count);
+    }
+
+    /// Drains an externally assembled [`ChargeBatch`] into the meter —
+    /// one exact multiply-add per run (the memory controllers'
+    /// fast-forward closed form lands its background energy here).
+    pub fn apply_charges(&mut self, batch: &ChargeBatch) {
+        self.meter.apply_batch(batch);
+    }
+
     /// Opens the measurement window now: resets window statistics and the
     /// energy meter (warmup energy is discarded, as in the paper).
     pub fn begin_measurement(&mut self) {
@@ -834,51 +853,60 @@ impl Network {
 
     /// Fast-forwards up to `cycles` idle cycles, applying exactly the
     /// per-cycle bookkeeping a full [`Network::step`] would have: medium
-    /// idle charges, leakage energy (in the same meter order, so energy
-    /// totals stay bit-identical) and window-cycle statistics.  Returns
-    /// the number of cycles actually skipped — zero when the network is
-    /// not [`Network::is_idle`].
+    /// idle charges, leakage energy and window-cycle statistics.  The
+    /// meter's exact accumulator makes per-category sums order- and
+    /// batching-independent, so each medium collapses the span into O(1)
+    /// repeated charges via [`SharedMedium::idle_advance`] and the
+    /// leakage loop becomes one [`EnergyMeter::add_repeated`] per
+    /// category — energy totals stay bit-identical to stepping while
+    /// meter work stays O(1) in the skipped-cycle count.  Returns the
+    /// number of cycles actually skipped — zero when the network is not
+    /// [`Network::is_idle`].
     pub fn fast_forward(&mut self, cycles: u64) -> u64 {
         if cycles == 0 || !self.is_idle() {
             return 0;
         }
         let mut media = std::mem::take(&mut self.media);
         let mut actions = std::mem::take(&mut self.scratch_actions);
-        for k in 0..cycles {
-            let now = self.now + k;
-            // Phase 5 position: media idle accounting first…
-            for medium in &mut media {
-                actions.list.clear();
-                medium.idle_step(now, &mut actions);
-                for action in actions.actions() {
-                    match *action {
-                        MediumAction::Energy { category, energy } => {
-                            self.meter.add(category, energy);
-                        }
-                        MediumAction::Transmit { .. } => {
-                            unreachable!("quiescent medium must not transmit")
-                        }
+        // Phase 5 position: media idle accounting first…
+        for medium in &mut media {
+            actions.list.clear();
+            medium.idle_advance(self.now, cycles, &mut actions);
+            for action in actions.actions() {
+                match *action {
+                    MediumAction::Energy { category, energy } => {
+                        self.meter.add(category, energy);
+                    }
+                    MediumAction::EnergyRepeated { category, energy, count } => {
+                        self.meter.add_repeated(category, energy, count);
+                    }
+                    MediumAction::Transmit { .. } => {
+                        unreachable!("quiescent medium must not transmit")
                     }
                 }
             }
-            // …then the phase 7 leakage, in the same order as step().
-            self.meter.add(
-                EnergyCategory::SwitchStatic,
-                self.switch_static.energy_over_cycles(1, self.cfg.energy.clock),
+        }
+        // …then the phase 7 leakage, one exact multiply-add per
+        // category instead of `cycles` float adds.
+        self.meter.add_repeated(
+            EnergyCategory::SwitchStatic,
+            self.switch_static.energy_over_cycles(1, self.cfg.energy.clock),
+            cycles,
+        );
+        if self.serial_static > Power::ZERO {
+            self.meter.add_repeated(
+                EnergyCategory::SerialIoStatic,
+                self.serial_static.energy_over_cycles(1, self.cfg.energy.clock),
+                cycles,
             );
-            if self.serial_static > Power::ZERO {
-                self.meter.add(
-                    EnergyCategory::SerialIoStatic,
-                    self.serial_static.energy_over_cycles(1, self.cfg.energy.clock),
-                );
-            }
-            if self.wireless_idle_static > Power::ZERO {
-                self.meter.add(
-                    EnergyCategory::WirelessIdle,
-                    self.wireless_idle_static
-                        .energy_over_cycles(1, self.cfg.energy.clock),
-                );
-            }
+        }
+        if self.wireless_idle_static > Power::ZERO {
+            self.meter.add_repeated(
+                EnergyCategory::WirelessIdle,
+                self.wireless_idle_static
+                    .energy_over_cycles(1, self.cfg.energy.clock),
+                cycles,
+            );
         }
         self.media = media;
         self.scratch_actions = actions;
@@ -1377,6 +1405,9 @@ impl Network {
             match *action {
                 MediumAction::Energy { category, energy } => {
                     self.meter.add(category, energy);
+                }
+                MediumAction::EnergyRepeated { category, energy, count } => {
+                    self.meter.add_repeated(category, energy, count);
                 }
                 MediumAction::Transmit { from, tx_vc, rx_vc } => {
                     let radio = &mut self.radios[from.index()];

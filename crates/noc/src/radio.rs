@@ -232,6 +232,20 @@ pub enum MediumAction {
         /// Amount.
         energy: Energy,
     },
+    /// Charge `energy` to the meter `count` times — one exact
+    /// multiply-add on the meter's superaccumulator
+    /// (`EnergyMeter::add_repeated`), bit-identical to `count`
+    /// individual [`MediumAction::Energy`] actions.  Idle closed forms
+    /// ([`SharedMedium::idle_advance`]) use this to account whole
+    /// skipped stretches in O(1) actions.
+    EnergyRepeated {
+        /// Meter category.
+        category: EnergyCategory,
+        /// Amount of each charge.
+        energy: Energy,
+        /// Number of charges.
+        count: u64,
+    },
 }
 
 /// The medium's command list for one cycle.
@@ -254,6 +268,15 @@ impl MediumActions {
     /// Queues an energy charge.
     pub fn energy(&mut self, category: EnergyCategory, energy: Energy) {
         self.list.push(MediumAction::Energy { category, energy });
+    }
+
+    /// Queues `count` identical energy charges as one action (a no-op
+    /// when `count` is zero).
+    pub fn energy_repeated(&mut self, category: EnergyCategory, energy: Energy, count: u64) {
+        if count > 0 {
+            self.list
+                .push(MediumAction::EnergyRepeated { category, energy, count });
+        }
     }
 
     /// Queued actions, in order.
@@ -309,17 +332,33 @@ pub trait SharedMedium {
     }
 
     /// One idle cycle without a [`MediumView`]: replays exactly what
-    /// [`SharedMedium::step`] would have done given an all-empty view,
-    /// in the same action order (the engine drains charges into the
-    /// meter per cycle, so emission order is part of the bit-identity
-    /// obligation).  Only called when [`SharedMedium::is_quiescent`]
+    /// [`SharedMedium::step`] would have done given an all-empty view.
+    /// Emitted charges must *sum* to exactly what the stepped cycle
+    /// would have charged per category — the meter's exact
+    /// superaccumulator makes that sum independent of emission order
+    /// and batching, so the obligation is on totals, not on the action
+    /// sequence.  Only called when [`SharedMedium::is_quiescent`]
     /// returned `true`.  Implementations must only emit
-    /// [`MediumAction::Energy`] actions — a quiescent medium has
-    /// nothing to transmit by definition, and the engine treats a
-    /// `Transmit` here as a contract violation.
+    /// [`MediumAction::Energy`] / [`MediumAction::EnergyRepeated`]
+    /// actions — a quiescent medium has nothing to transmit by
+    /// definition, and the engine treats a `Transmit` here as a
+    /// contract violation.
     fn idle_step(&mut self, now: u64, actions: &mut MediumActions) {
         let _ = (now, actions);
         unreachable!("idle_step requires an is_quiescent implementation");
+    }
+
+    /// `cycles` idle cycles in one call: must leave the medium in the
+    /// same state as `cycles` consecutive [`SharedMedium::idle_step`]s
+    /// starting at `now`, with charges summing per category to exactly
+    /// the same energies.  The default replays per-cycle; closed-form
+    /// media override it to emit O(1) [`MediumAction::EnergyRepeated`]
+    /// runs for the whole stretch — that override is what makes a
+    /// fast-forwarded cycle O(1) in meter work (`docs/fast_forward.md`).
+    fn idle_advance(&mut self, now: u64, cycles: u64, actions: &mut MediumActions) {
+        for c in now..now + cycles {
+            self.idle_step(c, actions);
+        }
     }
 }
 

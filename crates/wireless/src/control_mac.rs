@@ -161,10 +161,13 @@ impl ControlPacketMac {
     /// `span = control_flits(0) × cycles_per_flit` is the header-only
     /// broadcast time; every idle turn has `control_until == turn_end`,
     /// so all receivers listen and the sleepy gating never engages.
-    /// The state update (holder rotation, turn timers, participants,
-    /// stats) is applied once from the pass count; only the energy
-    /// charges — which must land per-cycle to keep the meter's f64
-    /// accumulation order, see `docs/fast_forward.md` — loop.
+    /// Both the state update (holder rotation, turn timers,
+    /// participants, stats) and the energy charges are O(1) in `cycles`:
+    /// the pass count follows from arithmetic, and the charges land as
+    /// a handful of repeated-charge actions — the meter's exact
+    /// accumulator makes the per-category sum independent of charge
+    /// order and batching, so this is bit-identical to per-cycle replay
+    /// (see `docs/fast_forward.md`).
     ///
     /// # Panics
     ///
@@ -182,24 +185,56 @@ impl ControlPacketMac {
         let period = span.max(1);
         let first = self.turn_end.max(now);
         let end = now + cycles;
-        let pass_energy = self.pass_energy();
-        let idle_energy = self.cfg.energy.wireless_idle_over(1) * n as f64;
-        let mut passes = 0u64;
-        for c in now..end {
-            if c >= first && (c - first).is_multiple_of(period) {
-                actions.energy(EnergyCategory::WirelessControl, pass_energy);
-                passes += 1;
+        let idle_one = self.cfg.energy.wireless_idle_over(1);
+        // Tail of a pre-existing turn (`[now, min(first, end))`): the
+        // per-cycle power is uniform within at most two segments split
+        // at `control_until` — the control broadcast keeps everyone
+        // listening, a leftover data window applies the sleepy
+        // participant split with the still-unchanged phase timers.
+        let tail_end = first.min(end);
+        if tail_end > now {
+            let ctrl_end = self.control_until.clamp(now, tail_end);
+            actions.energy_repeated(
+                EnergyCategory::WirelessIdle,
+                idle_one * n as f64,
+                ctrl_end - now,
+            );
+            let data_cycles = tail_end - ctrl_end;
+            if data_cycles > 0 {
+                let (awake, asleep) = if self.cfg.sleepy_receivers {
+                    let awake = self.participants.iter().filter(|&&p| p).count();
+                    (awake, n - awake)
+                } else {
+                    (n, 0)
+                };
+                if awake > 0 {
+                    actions.energy_repeated(
+                        EnergyCategory::WirelessIdle,
+                        idle_one * awake as f64,
+                        data_cycles,
+                    );
+                }
+                if asleep > 0 {
+                    actions.energy_repeated(
+                        EnergyCategory::WirelessSleep,
+                        self.cfg.energy.wireless_sleep_over(1) * asleep as f64,
+                        data_cycles,
+                    );
+                }
             }
-            if c < first {
-                // Tail of a pre-existing turn: replay the per-cycle
-                // power with the still-unchanged phase timers (covers a
-                // leftover data window's sleepy accounting exactly).
-                self.charge_per_cycle_power(c, actions);
-            } else {
-                // Inside idle turns control and data phases coincide
-                // (`control_until == turn_end`), so everyone listens.
-                actions.energy(EnergyCategory::WirelessIdle, idle_energy);
-            }
+        }
+        // Idle turns from `first` on: passes sit at `first + i · period`
+        // clipped to `[now, end)` (`first ≥ now` by construction), and
+        // control and data phases coincide (`control_until == turn_end`)
+        // so everyone listens every cycle.
+        let passes = if end > first { (end - 1 - first) / period + 1 } else { 0 };
+        actions.energy_repeated(EnergyCategory::WirelessControl, self.pass_energy(), passes);
+        if end > first {
+            actions.energy_repeated(
+                EnergyCategory::WirelessIdle,
+                idle_one * n as f64,
+                end - first,
+            );
         }
         if passes > 0 {
             self.stats.turns += passes;
@@ -377,7 +412,11 @@ impl SharedMedium for ControlPacketMac {
     }
 
     fn idle_step(&mut self, now: u64, actions: &mut MediumActions) {
-        self.idle_advance(now, 1, actions);
+        ControlPacketMac::idle_advance(self, now, 1, actions);
+    }
+
+    fn idle_advance(&mut self, now: u64, cycles: u64, actions: &mut MediumActions) {
+        ControlPacketMac::idle_advance(self, now, cycles, actions);
     }
 }
 

@@ -275,29 +275,35 @@ impl SharedMedium for ParallelMac {
     }
 
     fn idle_step(&mut self, now: u64, actions: &mut MediumActions) {
+        SharedMedium::idle_advance(self, now, 1, actions);
+    }
+
+    fn idle_advance(&mut self, now: u64, cycles: u64, actions: &mut MediumActions) {
         let _ = now;
         let n = self.cfg.radios;
-        if n == 0 {
+        if n == 0 || cycles == 0 {
             return;
         }
-        // Mirror of `step` under an all-empty view: credits are already
-        // saturated (is_quiescent), no WI transmits, the rotation
-        // pointer still advances, and the transceiver power charge is
-        // identical — all radios sleep in sleepy mode, all idle
-        // otherwise.
-        self.wi_rr = (self.wi_rr + 1) % n;
+        // Mirror of `cycles` steps under an all-empty view: credits are
+        // already saturated (is_quiescent), no WI transmits, the
+        // rotation pointer advances modulo `n`, and the constant
+        // transceiver power — all radios sleep in sleepy mode, all idle
+        // otherwise — lands as one repeated charge per category.
+        self.wi_rr = ((self.wi_rr as u64 + cycles) % n as u64) as usize;
         let awake = if self.cfg.sleepy_receivers { 0 } else { n };
         let asleep = n - awake;
         if awake > 0 {
-            actions.energy(
+            actions.energy_repeated(
                 EnergyCategory::WirelessIdle,
                 self.cfg.energy.wireless_idle_over(1) * awake as f64,
+                cycles,
             );
         }
         if asleep > 0 {
-            actions.energy(
+            actions.energy_repeated(
                 EnergyCategory::WirelessSleep,
                 self.cfg.energy.wireless_sleep_over(1) * asleep as f64,
+                cycles,
             );
         }
     }

@@ -116,11 +116,13 @@ impl TokenMac {
     /// The idle evolution is closed-form: pass cycles sit at
     /// `first + i · cpf` where `first` is `now` (token at a deciding
     /// holder) or the pending arrival cycle, and `cpf` is the token's
-    /// one-flit serialisation time.  The state update (holder rotation
-    /// modulo `radios`, next arrival cycle, stats) is applied once from
-    /// the pass count; only the energy charges — which must land
-    /// per-cycle to keep the meter's f64 accumulation order, see
-    /// `docs/fast_forward.md` — loop.
+    /// one-flit serialisation time.  Both the state update (holder
+    /// rotation modulo `radios`, next arrival cycle, stats) and the
+    /// energy charges are O(1) in `cycles`: the pass count follows from
+    /// arithmetic, and the charges land as two repeated-charge actions —
+    /// the meter's exact accumulator makes the per-category sum
+    /// independent of charge order and batching, so this is
+    /// bit-identical to per-cycle replay (see `docs/fast_forward.md`).
     ///
     /// # Panics
     ///
@@ -141,16 +143,15 @@ impl TokenMac {
             TokenState::Transmitting { .. } => unreachable!("quiescence asserted"),
         };
         let end = now + cycles;
-        let pass_energy = self.pass_energy();
-        let idle_energy = self.cfg.energy.wireless_idle_over(1) * n as f64;
-        let mut passes = 0u64;
-        for c in now..end {
-            if c >= first && (c - first).is_multiple_of(cpf) {
-                actions.energy(EnergyCategory::WirelessControl, pass_energy);
-                passes += 1;
-            }
-            actions.energy(EnergyCategory::WirelessIdle, idle_energy);
-        }
+        // Pass cycles are `first, first + cpf, …` clipped to `[now, end)`
+        // (`first ≥ now` by construction).
+        let passes = if end > first { (end - 1 - first) / cpf + 1 } else { 0 };
+        actions.energy_repeated(EnergyCategory::WirelessControl, self.pass_energy(), passes);
+        actions.energy_repeated(
+            EnergyCategory::WirelessIdle,
+            self.cfg.energy.wireless_idle_over(1) * n as f64,
+            cycles,
+        );
         if passes > 0 {
             self.stats.turns += passes;
             self.stats.passes += passes;
@@ -286,7 +287,11 @@ impl SharedMedium for TokenMac {
     }
 
     fn idle_step(&mut self, now: u64, actions: &mut MediumActions) {
-        self.idle_advance(now, 1, actions);
+        TokenMac::idle_advance(self, now, 1, actions);
+    }
+
+    fn idle_advance(&mut self, now: u64, cycles: u64, actions: &mut MediumActions) {
+        TokenMac::idle_advance(self, now, cycles, actions);
     }
 }
 

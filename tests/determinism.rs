@@ -477,6 +477,109 @@ fn batched_pool_shape_is_invisible_in_the_results() {
     }
 }
 
+/// The acceptance criterion for O(1)-per-skipped-cycle accounting,
+/// asserted on the meter's own work counters rather than wall clock:
+/// with an empty trace the whole run is fast-forwardable, so growing
+/// the measurement window by 16× must leave the number of meter
+/// *operations* unchanged (each jump lands a constant handful of
+/// `add_repeated`s) while the number of per-cycle charge *quanta*
+/// grows with the window.  Covered for the always-on wireless medium
+/// and both serialized-channel MACs, whose idle closed forms emit
+/// repeated charges per period rather than per cycle.
+#[test]
+fn fast_forwarded_idle_accounting_is_o1_in_skipped_cycles() {
+    use wimnet::core::{MacKind, WirelessModel};
+    let scenarios: Vec<(&str, SystemConfig)> = vec![
+        ("substrate", quick(Architecture::Substrate)),
+        ("wireless/parallel", quick(Architecture::Wireless)),
+        (
+            "wireless/token",
+            {
+                let mut c = quick(Architecture::Wireless);
+                c.wireless = WirelessModel::SharedChannel { mac: MacKind::Token };
+                c
+            },
+        ),
+        (
+            "wireless/control-packet",
+            {
+                let mut c = quick(Architecture::Wireless);
+                c.wireless = WirelessModel::SharedChannel { mac: MacKind::ControlPacket };
+                c
+            },
+        ),
+    ];
+    for (what, base) in scenarios {
+        let meter_work = |measure_cycles: u64| -> (u64, u64, u64) {
+            let mut cfg = base.clone();
+            cfg.measure_cycles = measure_cycles;
+            let mut sys = MultichipSystem::build(&cfg).expect("system builds");
+            let trace = wimnet::traffic::Trace::default();
+            let mut replay = trace.replay();
+            sys.run(&mut replay).expect("idle run completes");
+            let skipped = sys.network().fast_forwarded_cycles();
+            (sys.network().meter().ops(), sys.network().meter().charges(), skipped)
+        };
+        let (ops_small, charges_small, skipped_small) = meter_work(10_000);
+        let (ops_big, charges_big, skipped_big) = meter_work(160_000);
+        assert!(skipped_big > skipped_small, "{what}: bigger window must skip more");
+        assert_eq!(
+            ops_small, ops_big,
+            "{what}: meter operations must not scale with the skipped-cycle count"
+        );
+        assert!(
+            charges_big >= charges_small + (160_000 - 10_000),
+            "{what}: charge quanta must keep scaling with the window \
+             ({charges_small} -> {charges_big})"
+        );
+        assert!(
+            charges_big > ops_big,
+            "{what}: the closed forms must actually batch (saved {} adds)",
+            charges_big - ops_big
+        );
+    }
+}
+
+/// Nonzero DRAM background power rides the same contract: the per-cycle
+/// quantum charged by the stepping driver and the repeated charge
+/// batched by `MemoryController::idle_advance` must agree to the last
+/// bit, and the `dram_background` category must actually accrue.
+#[test]
+fn background_power_fast_forward_is_bit_identical_to_full_stepping() {
+    use wimnet::energy::{EnergyCategory, Power};
+    use wimnet::traffic::AddressStreamSpec;
+    let mut cfg = quick(Architecture::Wireless);
+    cfg.address_stream = AddressStreamSpec::Sequential;
+    cfg.stack.background_power = Power::from_mw(75.0);
+    let load = InjectionProcess::Bernoulli { rate: 0.0004 };
+    let cores = cfg.multichip.total_cores();
+    let stacks = cfg.multichip.num_stacks;
+    let (flits, seed) = (cfg.packet_flits, cfg.seed);
+    assert_ff_bit_identical(
+        "memory-read/background-power",
+        &cfg,
+        &|| {
+            Box::new(
+                UniformRandom::new(cores, stacks, 0.9, load, flits, seed)
+                    .with_memory_reads(1.0, 8),
+            )
+        },
+    );
+    let mut sys = MultichipSystem::build(&cfg).unwrap();
+    let mut w = UniformRandom::new(cores, stacks, 0.9, load, flits, seed)
+        .with_memory_reads(1.0, 8);
+    sys.run(&mut w).unwrap();
+    let background = sys
+        .network()
+        .meter()
+        .breakdown()
+        .category(EnergyCategory::DramBackground);
+    assert!(
+        background > wimnet::energy::Energy::ZERO,
+        "background power configured but dram_background never accrued"
+    );
+}
+
 /// Idle fast-forward must not change what an idle system reports:
 /// leakage accrues cycle-exactly even when the cycles are skipped.
 #[test]

@@ -276,6 +276,8 @@ proptest! {
             max_latency_cycles: with_latency.then_some(stat_seed % 1_000_000),
             p99_latency_cycles: with_latency.then_some(stat_seed % 500_000),
             fast_forwarded_cycles: fast_forwarded,
+            meter_ops: stat_seed.rotate_left(11),
+            meter_charges: stat_seed.rotate_left(17),
             energy,
             memory,
         };
