@@ -14,11 +14,22 @@
 //! sweep submit ... --shard 0/4                             # this process's quarter
 //! sweep status ...                                         # cached / missing counts
 //! sweep fetch  ... > outcomes.json                         # full JSON result vector
+//! sweep checkpoint ... --every 200 --kill-at 500           # run, snapshot, die mid-point
+//! sweep resume ...                                         # finish from the snapshots
 //! ```
+//!
+//! `checkpoint`/`resume` add **mid-point** resumability on top of the
+//! catalog's per-point kind: misses snapshot their full engine state
+//! every `--every` cycles into a checkpoint store
+//! (`wimnet_core::checkpoint`, `docs/checkpoint.md`), and a killed
+//! sweep's next run warm-starts each point from its latest snapshot —
+//! producing the bit-identical outcome vector of an uninterrupted
+//! submit (the CI checkpoint smoke diffs the two fetches).
 //!
 //! Exit codes: `0` success, `1` usage error, `2` fetch on an
 //! incomplete catalog, `3` submit aborted by `--abort-after-misses`
-//! (the CI crash-resume smoke's simulated kill).
+//! or checkpoint killed by `--kill-at` (the CI smokes' simulated
+//! kills).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -26,6 +37,7 @@ use std::process::ExitCode;
 use serde::{Serialize, Value};
 use wimnet_bench::results_dir;
 use wimnet_core::catalog::Catalog;
+use wimnet_core::checkpoint::CheckpointStore;
 use wimnet_core::sweeps::default_threads;
 use wimnet_core::{Scale, ScenarioGrid, WirelessModel};
 use wimnet_core::system::MacKind;
@@ -34,7 +46,7 @@ use wimnet_topology::Architecture;
 use wimnet_traffic::{AddressStreamSpec, InjectionProcess};
 
 fn usage() -> String {
-    "usage: sweep <submit|status|fetch> [options]\n\
+    "usage: sweep <submit|status|fetch|checkpoint|resume> [options]\n\
      \n\
      grid axes (defaults: the paper's 4C4M wireless saturation point):\n\
        --name NAME            grid name (reporting only)\n\
@@ -57,7 +69,13 @@ fn usage() -> String {
        --chunk N              steal/batch width (default: 4)\n\
        --shard I/N            submit only shard I of N (default 0/1)\n\
        --abort-after-misses K simulate a crash after K fresh points (exit 3)\n\
-       --out FILE             fetch: write JSON here instead of stdout\n"
+       --out FILE             fetch: write JSON here instead of stdout\n\
+     \n\
+     checkpoint / resume options:\n\
+       --checkpoints DIR      snapshot store (default: results/checkpoints)\n\
+       --every N              snapshot cadence in cycles (default: 500)\n\
+       --kill-at CYCLE        checkpoint: die before any iteration at or\n\
+                              past CYCLE, leaving snapshots behind (exit 3)\n"
         .to_string()
 }
 
@@ -65,10 +83,12 @@ struct Cli {
     command: String,
     grid: ScenarioGrid,
     catalog_dir: PathBuf,
+    checkpoints_dir: PathBuf,
     threads: usize,
     chunk: usize,
     shard: (usize, usize),
     abort_after_misses: Option<usize>,
+    kill_at: Option<u64>,
     out: Option<PathBuf>,
 }
 
@@ -188,7 +208,12 @@ fn parse_shard(s: &str) -> Result<(usize, usize), String> {
 fn parse_cli() -> Result<Cli, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = match args.first() {
-        Some(c) if ["submit", "status", "fetch"].contains(&c.as_str()) => c.clone(),
+        Some(c)
+            if ["submit", "status", "fetch", "checkpoint", "resume"]
+                .contains(&c.as_str()) =>
+        {
+            c.clone()
+        }
         _ => return Err(usage()),
     };
 
@@ -206,6 +231,9 @@ fn parse_cli() -> Result<Cli, String> {
     let mut seeds: Option<Vec<u64>> = None;
     let mut read_share: Option<f64> = None;
     let mut catalog_dir: Option<PathBuf> = None;
+    let mut checkpoints_dir: Option<PathBuf> = None;
+    let mut every = 500u64;
+    let mut kill_at: Option<u64> = None;
     let mut threads = default_threads();
     let mut chunk = 4usize;
     let mut shard = (0usize, 1usize);
@@ -265,6 +293,19 @@ fn parse_cli() -> Result<Cli, String> {
                 )
             }
             "--catalog" => catalog_dir = Some(PathBuf::from(value("--catalog")?)),
+            "--checkpoints" => {
+                checkpoints_dir = Some(PathBuf::from(value("--checkpoints")?))
+            }
+            "--every" => {
+                every = value("--every")?.parse().map_err(|e| format!("--every: {e}"))?
+            }
+            "--kill-at" => {
+                kill_at = Some(
+                    value("--kill-at")?
+                        .parse()
+                        .map_err(|e| format!("--kill-at: {e}"))?,
+                )
+            }
             "--threads" => {
                 threads = value("--threads")?
                     .parse()
@@ -329,15 +370,22 @@ fn parse_cli() -> Result<Cli, String> {
         }
         grid = grid.read_share(share);
     }
+    if every == 0 {
+        return Err("--every must be positive (the cadence is the resume grain)".into());
+    }
+    grid = grid.checkpoint_every(every);
 
     Ok(Cli {
         command,
         grid,
         catalog_dir: catalog_dir.unwrap_or_else(|| results_dir().join("catalog")),
+        checkpoints_dir: checkpoints_dir
+            .unwrap_or_else(|| results_dir().join("checkpoints")),
         threads,
         chunk,
         shard,
         abort_after_misses,
+        kill_at,
         out,
     })
 }
@@ -453,6 +501,54 @@ fn fetch(cli: &Cli, catalog: &Catalog) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `checkpoint` and `resume`: a catalog run whose misses snapshot
+/// their engine state every `--every` cycles.  `checkpoint` may carry
+/// `--kill-at` to die mid-point (exit 3, snapshots left behind);
+/// `resume` never kills — it warm-starts every unfinished point from
+/// its latest snapshot and completes the grid.
+fn checkpointed(cli: &Cli, catalog: &Catalog, kill_at: Option<u64>) -> Result<ExitCode, String> {
+    let store =
+        CheckpointStore::open(&cli.checkpoints_dir).map_err(|e| format!("{e}"))?;
+    println!(
+        "{}: grid {:?}, {} points, checkpoints in {}",
+        cli.command,
+        cli.grid.name(),
+        cli.grid.len(),
+        store.dir().display()
+    );
+    let swept = catalog.sweep_temps() + store.sweep_temps();
+    if swept > 0 {
+        println!("cleared {swept} abandoned temp file(s) from crashed writer(s)");
+    }
+    let report = cli
+        .grid
+        .run_cached_resumable(catalog, &store, cli.threads, cli.chunk, kill_at)
+        .map_err(|e| format!("{e}"))?;
+    println!(
+        "hits {} / simulated {} / killed {}  (catalog {} entries, {} checkpoint(s) on disk)",
+        report.hits,
+        report.misses,
+        report.pending,
+        catalog.len(),
+        store.len()
+    );
+    if store.quarantined() > 0 {
+        println!(
+            "quarantined {} unserveable checkpoint(s); those points restarted cold",
+            store.quarantined()
+        );
+    }
+    if !report.is_complete() {
+        println!(
+            "killed by --kill-at with {} point(s) mid-flight; \
+             `sweep resume` finishes from the snapshots",
+            report.pending
+        );
+        return Ok(ExitCode::from(3));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let cli = match parse_cli() {
         Ok(cli) => cli,
@@ -472,6 +568,8 @@ fn main() -> ExitCode {
         "submit" => submit(&cli, &catalog),
         "status" => status(&cli, &catalog),
         "fetch" => fetch(&cli, &catalog),
+        "checkpoint" => checkpointed(&cli, &catalog, cli.kill_at),
+        "resume" => checkpointed(&cli, &catalog, None),
         _ => unreachable!("parse_cli validates the command"),
     };
     match result {

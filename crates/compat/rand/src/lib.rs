@@ -250,6 +250,18 @@ pub mod rngs {
     }
 
     impl SmallRng {
+        /// The raw xoshiro256++ state, for checkpoint/restore.  Together
+        /// with [`SmallRng::from_state`] this round-trips the generator
+        /// exactly: the restored instance replays the identical stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`SmallRng::state`] snapshot.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+
         fn splitmix64(state: &mut u64) -> u64 {
             *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
             let mut z = *state;

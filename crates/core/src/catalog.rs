@@ -116,7 +116,8 @@ fn mix(mut z: u64) -> u64 {
 /// One hash lane: absorb the bytes as little-endian 64-bit words, a
 /// full finalizer round per word, length appended.  Platform-stable by
 /// construction (explicit little-endian, no usize arithmetic).
-fn lane(bytes: &[u8], seed: u64) -> u64 {
+/// Shared with `checkpoint` (content hashes use distinct seeds).
+pub(crate) fn lane(bytes: &[u8], seed: u64) -> u64 {
     let mut h = mix(seed ^ 0x9e37_79b9_7f4a_7c15);
     for chunk in bytes.chunks(8) {
         let mut word = [0u8; 8];

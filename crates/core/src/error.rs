@@ -36,6 +36,14 @@ pub enum CoreError {
         /// Description of the failing catalog operation.
         what: String,
     },
+    /// A checkpoint could not be taken, written, or restored.
+    /// (Unreadable/corrupt on-disk *snapshots* are not errors — the
+    /// store quarantines them and reports a miss; see
+    /// `checkpoint::CheckpointStore`.)
+    Checkpoint {
+        /// Description of the failing checkpoint operation.
+        what: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -52,6 +60,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::Catalog { what } => {
                 write!(f, "result catalog: {what}")
+            }
+            CoreError::Checkpoint { what } => {
+                write!(f, "checkpoint store: {what}")
             }
         }
     }

@@ -12,6 +12,8 @@ use wimnet_topology::Architecture;
 use wimnet_traffic::profiles;
 use wimnet_traffic::{AppProfile, AppWorkload, InjectionProcess, UniformRandom, Workload};
 
+use crate::catalog::Fingerprint;
+use crate::checkpoint::{run_with_checkpoints, CheckpointStore};
 use crate::error::CoreError;
 use crate::metrics::{percentage_gain, percentage_reduction, RunOutcome};
 use crate::system::{MultichipSystem, SystemConfig};
@@ -228,6 +230,27 @@ impl Experiment {
         let mut system = MultichipSystem::build(&self.config)?;
         let mut workload = self.build_workload();
         system.run(workload.as_mut())
+    }
+
+    /// Runs with checkpointing against `store` under the scenario key
+    /// `fp`: resumes from the latest serveable snapshot, persists one at
+    /// every `config.checkpoint_every` mark, and — `kill_at` aside —
+    /// produces the bit-identical [`RunOutcome`] of [`Experiment::run`].
+    /// See [`crate::checkpoint::run_with_checkpoints`] for the `kill_at`
+    /// crash-simulation contract (`Ok(None)` when killed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates build, run and checkpoint-store failures.
+    pub fn run_checkpointed(
+        &self,
+        store: &CheckpointStore,
+        fp: &Fingerprint,
+        kill_at: Option<u64>,
+    ) -> Result<Option<RunOutcome>, CoreError> {
+        let mut system = MultichipSystem::build(&self.config)?;
+        let mut workload = self.build_workload();
+        run_with_checkpoints(&mut system, workload.as_mut(), store, fp, kill_at)
     }
 }
 

@@ -27,6 +27,10 @@
 //!   advanced in lockstep by one driver loop over the engine's masked
 //!   fast stepper, bit-identical to N sequential runs (see
 //!   `docs/engine.md`, "Replica batching").
+//! * [`checkpoint`] — full-engine [`Snapshot`]s and the
+//!   [`CheckpointStore`]: snapshot → restore → run is bit-identical to
+//!   an uninterrupted run, so long sweeps survive kills mid-point and
+//!   resume from the latest cadence mark (see `docs/checkpoint.md`).
 //! * [`report`] — plain-text tables and CSV output for the harness.
 //!
 //! # Quickstart
@@ -46,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod checkpoint;
 pub mod driver;
 pub mod error;
 pub mod experiments;
@@ -56,10 +61,11 @@ pub mod sweeps;
 pub mod system;
 
 pub use catalog::{Catalog, CatalogEntry, Fingerprint, ENGINE_VERSION};
+pub use checkpoint::{run_with_checkpoints, CheckpointEntry, CheckpointStore, Snapshot};
 pub use driver::{compare_on_shared_trace, find_saturation_load, latency_curve};
 pub use error::CoreError;
 pub use experiments::{Experiment, Scale, WorkloadSpec};
 pub use metrics::{percentage_gain, RunOutcome};
 pub use replica::ReplicaBatch;
 pub use sweeps::{run_pool, run_pool_batched, CachedSweep, ScenarioGrid, ScenarioPoint};
-pub use system::{MacKind, MultichipSystem, SystemConfig, WirelessModel};
+pub use system::{MacKind, MultichipSystem, SystemConfig, SystemState, WirelessModel};

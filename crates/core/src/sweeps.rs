@@ -29,6 +29,7 @@ use wimnet_memory::SchedulerPolicy;
 use wimnet_topology::Architecture;
 
 use crate::catalog::{Catalog, Fingerprint};
+use crate::checkpoint::CheckpointStore;
 use crate::error::CoreError;
 use crate::experiments::{Experiment, Scale, WorkloadSpec};
 use crate::metrics::RunOutcome;
@@ -114,14 +115,25 @@ fn run_pool_with(
     chunk: usize,
     run_chunk: impl Fn(&[OnceLock<Result<RunOutcome, CoreError>>], usize, usize) + Sync,
 ) -> Result<Vec<RunOutcome>, CoreError> {
-    let n = experiments.len();
+    run_pool_generic(experiments.len(), threads, chunk, run_chunk)
+}
+
+/// [`run_pool_with`] generalised over the per-index result type, for
+/// drivers whose work items can legitimately *not* produce an outcome
+/// (checkpointed runs killed mid-point yield `Option<RunOutcome>`).
+fn run_pool_generic<T: Send + Sync>(
+    n: usize,
+    threads: usize,
+    chunk: usize,
+    run_chunk: impl Fn(&[OnceLock<Result<T, CoreError>>], usize, usize) + Sync,
+) -> Result<Vec<T>, CoreError> {
     if n == 0 {
         return Ok(Vec::new());
     }
     let chunk = chunk.max(1);
     let threads = threads.clamp(1, n.div_ceil(chunk));
     let next = AtomicUsize::new(0);
-    let slots: Vec<OnceLock<Result<RunOutcome, CoreError>>> =
+    let slots: Vec<OnceLock<Result<T, CoreError>>> =
         (0..n).map(|_| OnceLock::new()).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -219,6 +231,11 @@ pub struct ScenarioGrid {
     /// Read-request share of memory packets (a grid-wide setting, not
     /// an axis: 0 keeps the paper's fire-and-forget stores).
     read_share: f64,
+    /// Snapshot cadence for checkpointed runs (a grid-wide setting
+    /// that, like `disable_fast_forward`, is *not* part of the point
+    /// fingerprints: the cadence changes disk traffic, never physics).
+    /// `0` disables checkpointing.
+    checkpoint_every: u64,
 }
 
 impl ScenarioGrid {
@@ -239,6 +256,7 @@ impl ScenarioGrid {
             injections: vec![InjectionProcess::Saturation],
             seeds: vec![0x5177],
             read_share: 0.0,
+            checkpoint_every: 0,
         }
     }
 
@@ -325,6 +343,18 @@ impl ScenarioGrid {
     pub fn read_share(mut self, share: f64) -> Self {
         assert!((0.0..=1.0).contains(&share), "read share {share} outside [0, 1]");
         self.read_share = share;
+        self
+    }
+
+    /// Sets the snapshot cadence for
+    /// [`ScenarioGrid::run_cached_resumable`]: every miss persists a
+    /// checkpoint at each `every`-cycle mark while it simulates, so a
+    /// killed sweep resumes mid-point instead of from cycle 0.  `0`
+    /// (the default) disables checkpointing.  Not part of the point
+    /// fingerprints — outcomes are bit-identical at every cadence.
+    #[must_use]
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = every;
         self
     }
 
@@ -461,6 +491,7 @@ impl ScenarioGrid {
         config.seed = point.seed;
         config.address_stream = point.address_stream;
         config.mem_controller.scheduler = point.scheduler;
+        config.checkpoint_every = self.checkpoint_every;
         let spec = match point.injection {
             InjectionProcess::Bernoulli { rate } => WorkloadSpec::UniformRandom {
                 load: rate,
@@ -655,6 +686,94 @@ impl ScenarioGrid {
             misses: budgeted,
             pending,
         })
+    }
+
+    /// [`ScenarioGrid::run_cached`] with **mid-point warm starts**:
+    /// every miss runs through
+    /// [`crate::checkpoint::run_with_checkpoints`] — resuming from the
+    /// scenario's latest serveable snapshot in `checkpoints`, and (with
+    /// a positive [`ScenarioGrid::checkpoint_every`]) persisting a new
+    /// snapshot at each cadence mark while it simulates.  A completed
+    /// miss lands in the `catalog` and its spent checkpoint is removed;
+    /// the outcome vector is bit-identical to an uncached
+    /// [`ScenarioGrid::run_batched`] (snapshot → restore → run equals
+    /// the uninterrupted run, bit for bit — `tests/checkpoint.rs`).
+    ///
+    /// `kill_at: Some(k)` is the CLI's simulated mid-point crash: each
+    /// miss stops before its first iteration at cursor ≥ `k` and counts
+    /// into [`CachedSweep::pending`], leaving its latest checkpoint on
+    /// disk for a later call with `kill_at: None` to finish from.
+    ///
+    /// Misses run on the generic pool one point per work item (a
+    /// checkpointed run owns its own snapshot schedule, so points are
+    /// not replica-batched; warm resumes make up the difference).
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed failing point's error, or a
+    /// [`CoreError::Catalog`] / [`CoreError::Checkpoint`] when either
+    /// store cannot be written.
+    pub fn run_cached_resumable(
+        &self,
+        catalog: &Catalog,
+        checkpoints: &CheckpointStore,
+        threads: usize,
+        chunk: usize,
+        kill_at: Option<u64>,
+    ) -> Result<CachedSweep, CoreError> {
+        let points = self.points();
+        let fingerprints: Vec<Fingerprint> =
+            points.iter().map(|p| self.point_fingerprint(p)).collect();
+        let mut slots: Vec<Option<RunOutcome>> =
+            fingerprints.iter().map(|fp| catalog.lookup(fp)).collect();
+        let miss_indices: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.is_none().then_some(i))
+            .collect();
+        let hits = points.len() - miss_indices.len();
+
+        let experiments: Vec<Experiment> =
+            miss_indices.iter().map(|&i| self.experiment(&points[i])).collect();
+        let miss_fps: Vec<Fingerprint> =
+            miss_indices.iter().map(|&i| fingerprints[i]).collect();
+        let fresh = run_pool_generic(
+            experiments.len(),
+            threads,
+            chunk,
+            |pool_slots, start, end| {
+                for i in start..end {
+                    let result =
+                        experiments[i].run_checkpointed(checkpoints, &miss_fps[i], kill_at);
+                    let filled = pool_slots[i].set(result).is_ok();
+                    debug_assert!(filled, "each index is stolen exactly once");
+                }
+            },
+        )?;
+
+        let mut pending = 0;
+        let mut misses = 0;
+        for (k, outcome) in fresh.into_iter().enumerate() {
+            let i = miss_indices[k];
+            match outcome {
+                Some(outcome) => {
+                    catalog.store(&fingerprints[i], &points[i], &outcome)?;
+                    checkpoints.remove(&fingerprints[i]);
+                    slots[i] = Some(outcome);
+                    misses += 1;
+                }
+                None => pending += 1,
+            }
+        }
+        let outcomes = if pending == 0 {
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every slot is a hit or was simulated"))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok(CachedSweep { indices: 0..points.len(), outcomes, hits, misses, pending })
     }
 }
 

@@ -8,9 +8,9 @@ use serde::{Deserialize, Serialize};
 use wimnet_energy::{EnergyCategory, EnergyModel};
 use wimnet_memory::{
     AccessKind, AddressMap, Completion, ControllerConfig, MemRequest, MemoryController,
-    MemoryStackStats, StackConfig,
+    MemoryControllerState, MemoryStackStats, StackConfig,
 };
-use wimnet_noc::{Network, NocConfig, PacketDesc, PacketId, WirelessMode};
+use wimnet_noc::{Network, NetworkState, NocConfig, PacketDesc, PacketId, WirelessMode};
 use wimnet_routing::{Routes, RoutingPolicy};
 use wimnet_topology::{Architecture, MultichipConfig, MultichipLayout, NodeId};
 use wimnet_traffic::{
@@ -115,6 +115,16 @@ pub struct SystemConfig {
     /// for interleaved full-stepping vs fast-forwarded A/B timing.
     #[serde(skip, default)]
     pub disable_fast_forward: bool,
+    /// Snapshot cadence in cycles for checkpointed runs: `0` (the
+    /// default) disables checkpointing; `n > 0` makes
+    /// [`crate::checkpoint::run_with_checkpoints`] persist a snapshot at
+    /// each crossing of an `n`-cycle mark.  Excluded from serialization
+    /// (and therefore from catalog fingerprints) for the same reason as
+    /// `disable_fast_forward`: the cadence changes wall-clock and disk
+    /// traffic only, never the outcome — checkpoint/restore is
+    /// bit-identical to an uninterrupted run (`docs/checkpoint.md`).
+    #[serde(skip, default)]
+    pub checkpoint_every: u64,
     /// RNG seed for workloads and channel error injection.
     pub seed: u64,
     /// Technology energy constants.
@@ -147,6 +157,7 @@ impl SystemConfig {
             source_queue_packets: 4,
             stall_threshold: 20_000,
             disable_fast_forward: false,
+            checkpoint_every: 0,
             seed: 0x5177,
             energy: EnergyModel::paper_65nm(),
             stack: StackConfig::paper(),
@@ -205,13 +216,20 @@ impl SystemConfig {
     }
 }
 
-/// A pending memory reply.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct PendingReply {
-    ready_at: u64,
-    stack: usize,
-    requester: NodeId,
-    flits: u32,
+/// A pending memory reply: a stack access that has completed inside the
+/// controller and is waiting for its data packet to be injected.  Public
+/// only because it appears (heap-drained into a sorted `Vec`) inside
+/// [`SystemState`] snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingReply {
+    /// Cycle at which the reply packet becomes injectable.
+    pub ready_at: u64,
+    /// Stack that serviced the access.
+    pub stack: usize,
+    /// Switch the reply data travels back to.
+    pub requester: NodeId,
+    /// Reply length in flits.
+    pub flits: u32,
 }
 
 impl Ord for PendingReply {
@@ -229,6 +247,37 @@ impl PartialOrd for PendingReply {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// Complete mutable state of a [`MultichipSystem`] at an iteration
+/// boundary of the [`MultichipSystem::run`] loop: the engine
+/// ([`NetworkState`]: VC slabs, ring lanes, credits, active sets,
+/// media, meter, clock, statistics), every memory controller (queues,
+/// bank state machines, in-flight completions, counters), the workload
+/// cursors the system itself owns (per-stack stream ordinals, staged
+/// requests, outstanding read map) and the reply plumbing.
+///
+/// Everything *not* here is either immutable after
+/// [`MultichipSystem::build`] (config, layout, routes, address map and
+/// streams — all pure functions of the [`SystemConfig`]) or per-cycle
+/// scratch that is empty between iterations.  Captured by
+/// [`MultichipSystem::state`], reinstated by
+/// [`MultichipSystem::restore_state`]; see `docs/checkpoint.md` for the
+/// full state inventory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemState {
+    net: NetworkState,
+    controllers: Vec<MemoryControllerState>,
+    stream_ordinals: Vec<u64>,
+    staged: Vec<VecDeque<MemRequest>>,
+    /// The outstanding-read map, drained to a vec sorted by packet id so
+    /// serialization is canonical (the live structure is a hash map).
+    read_requests: Vec<(PacketId, (usize, NodeId))>,
+    /// The reply heap, drained to a vec sorted by (ready_at, stack,
+    /// requester) so serialization — and the heap layout rebuilt by
+    /// pushing in this order — is a pure function of the contents.
+    pending_replies: Vec<PendingReply>,
+    replies_injected: u64,
 }
 
 /// A complete, runnable multichip system.
@@ -570,6 +619,82 @@ impl MultichipSystem {
         self.controllers.iter().map(MemoryController::stats).collect()
     }
 
+    /// Captures the complete mutable state at an iteration boundary of
+    /// the run loop (between `run_iteration` calls, where the per-cycle
+    /// scratch is empty and the engine's charge log is drained).
+    /// Prefer [`MultichipSystem::snapshot`], which pairs the state with
+    /// its cycle cursor.
+    pub fn state(&self) -> SystemState {
+        let mut read_requests: Vec<(PacketId, (usize, NodeId))> =
+            self.read_requests.iter().map(|(&id, &v)| (id, v)).collect();
+        read_requests.sort_unstable_by_key(|&(id, _)| id);
+        let mut pending_replies: Vec<PendingReply> =
+            self.pending_replies.iter().copied().collect();
+        pending_replies
+            .sort_unstable_by_key(|r| (r.ready_at, r.stack, r.requester));
+        SystemState {
+            net: self.net.state(),
+            controllers: self.controllers.iter().map(MemoryController::state).collect(),
+            stream_ordinals: self.stream_ordinals.clone(),
+            staged: self.staged.clone(),
+            read_requests,
+            pending_replies,
+            replies_injected: self.replies_injected,
+        }
+    }
+
+    /// Reinstates a state captured by [`MultichipSystem::state`] on a
+    /// freshly built system with the *same* [`SystemConfig`].  The
+    /// restored system is bit-for-bit the system that was snapshotted:
+    /// resuming its run produces the identical [`RunOutcome`] — meter
+    /// limbs, statistics and memory counters included — as the
+    /// uninterrupted run (proven per architecture and MAC by
+    /// `tests/checkpoint.rs`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Checkpoint`] when the state's shape does not match
+    /// this system (different scale, architecture or wireless medium).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts deeper shape invariants (per-switch VC counts,
+    /// per-channel bank counts) that only a hand-doctored state can
+    /// violate; on-disk corruption is quarantined by
+    /// [`crate::checkpoint::CheckpointStore`] long before this runs.
+    pub fn restore_state(&mut self, s: &SystemState) -> Result<(), CoreError> {
+        let shape = |what: &str| CoreError::Checkpoint { what: what.to_string() };
+        if s.controllers.len() != self.controllers.len() {
+            return Err(shape("snapshot controller count differs from system"));
+        }
+        if s.stream_ordinals.len() != self.stream_ordinals.len() {
+            return Err(shape("snapshot stream-ordinal count differs from system"));
+        }
+        if s.staged.len() != self.staged.len() {
+            return Err(shape("snapshot staged-queue count differs from system"));
+        }
+        // The network restores its media first, so a MAC-model mismatch
+        // fails here and leaves this system untouched.
+        self.net.restore_state(&s.net).map_err(|e| CoreError::Checkpoint {
+            what: format!("network restore: {e}"),
+        })?;
+        for (c, cs) in self.controllers.iter_mut().zip(&s.controllers) {
+            c.restore_state(cs);
+        }
+        self.stream_ordinals.clone_from(&s.stream_ordinals);
+        self.staged.clone_from(&s.staged);
+        self.read_requests.clear();
+        self.read_requests.extend(s.read_requests.iter().copied());
+        self.pending_replies.clear();
+        // Pushing in the canonical sorted order makes the heap layout a
+        // pure function of the contents, so a later snapshot of the
+        // restored system is byte-identical to the uninterrupted run's.
+        self.pending_replies.extend(s.pending_replies.iter().copied());
+        self.replies_injected = s.replies_injected;
+        self.completions_scratch.clear();
+        Ok(())
+    }
+
     /// Runs `workload` through the configured warmup + measurement
     /// windows and reports the outcome.
     ///
@@ -577,12 +702,56 @@ impl MultichipSystem {
     ///
     /// [`CoreError::Stalled`] when the watchdog detects a deadlock.
     pub fn run(&mut self, workload: &mut dyn Workload) -> Result<RunOutcome, CoreError> {
+        self.run_from(workload, 0)
+    }
+
+    /// Resumes the run loop at `cycle` — the cursor returned by
+    /// [`MultichipSystem::run_until`] or recorded in a
+    /// [`crate::checkpoint::Snapshot`] — and drives it to the end of
+    /// the measurement window.  `run_from(w, 0)` on a fresh system is
+    /// exactly [`MultichipSystem::run`].
+    ///
+    /// Restoring a snapshot and calling `run_from` at its cycle
+    /// requires a workload whose generation is a pure function of the
+    /// queried cycle (true of every workload in this crate: injection
+    /// is counter-based, never history-based), because the workload
+    /// object itself is not part of the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Stalled`] when the watchdog detects a deadlock.
+    pub fn run_from(
+        &mut self,
+        workload: &mut dyn Workload,
+        cycle: u64,
+    ) -> Result<RunOutcome, CoreError> {
         let total = self.run_total_cycles();
-        let mut cycle = 0;
-        while cycle < total {
+        self.run_until(workload, cycle, total)?;
+        Ok(self.collect_outcome(workload.name()))
+    }
+
+    /// Advances the run loop from `cycle` until the cursor first
+    /// reaches `stop` (or the end of the measurement window, whichever
+    /// comes first) and returns the new cursor.  The cursor equals the
+    /// engine clock [`Network::now`] at every iteration boundary, and
+    /// may land past `stop` when an idle fast-forward jumped over it —
+    /// snapshots taken there exercise exactly the
+    /// fast-forward-boundary case `tests/checkpoint.rs` pins.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Stalled`] when the watchdog detects a deadlock.
+    pub fn run_until(
+        &mut self,
+        workload: &mut dyn Workload,
+        mut cycle: u64,
+        stop: u64,
+    ) -> Result<u64, CoreError> {
+        let stop = stop.min(self.run_total_cycles());
+        while cycle < stop {
             cycle = self.run_iteration(workload, cycle, false)?;
         }
-        Ok(self.collect_outcome(workload.name()))
+        Ok(cycle)
     }
 
     /// The driver's end cycle: warmup plus measurement window.

@@ -142,7 +142,7 @@ pub enum BankState {
 }
 
 /// Per-bank service state.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Bank {
     /// The open row, if any (set at issue: by the time the access
     /// completes the row is open).
@@ -177,7 +177,7 @@ impl Bank {
 }
 
 /// A queued request, decoded once at admission.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Queued {
     req: MemRequest,
     loc: Location,
@@ -189,7 +189,7 @@ struct Queued {
 /// A request in service; its completion time was fixed at issue.
 /// Entries sit in issue order (at most one issue per channel per
 /// cycle), which is the completion tie-break order.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct InFlight {
     complete_at: u64,
     tag: u64,
@@ -200,7 +200,7 @@ struct InFlight {
 }
 
 /// One channel: bounded queue, banks, shared data path.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Channel {
     queue: VecDeque<Queued>,
     banks: Vec<Bank>,
@@ -212,7 +212,7 @@ struct Channel {
 
 /// Raw statistic accumulators (all integer, so closed-form idle
 /// replay is bit-exact).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 struct Counters {
     accesses: u64,
     reads: u64,
@@ -276,6 +276,17 @@ impl MemoryStackStats {
             self.page_hits as f64 / self.accesses as f64
         }
     }
+}
+
+/// Checkpointed dynamic state of a [`MemoryController`]: queues, bank
+/// state machines, in-flight completions and statistic accumulators.
+/// The configurations and the background-energy quantum are rebuilt by
+/// the constructor path and deliberately excluded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryControllerState {
+    channels: Vec<Channel>,
+    next_seq: u64,
+    counters: Counters,
 }
 
 /// The cycle-accurate queued controller of one memory stack.
@@ -586,6 +597,34 @@ impl MemoryController {
     /// Requests currently in service (all channels).
     pub fn inflight_requests(&self) -> usize {
         self.channels.iter().map(|ch| ch.inflight.len()).sum()
+    }
+
+    /// Captures the controller's complete dynamic state for
+    /// checkpointing (see `wimnet_core::checkpoint`).
+    pub fn state(&self) -> MemoryControllerState {
+        MemoryControllerState {
+            channels: self.channels.clone(),
+            next_seq: self.next_seq,
+            counters: self.counters,
+        }
+    }
+
+    /// Restores a [`MemoryControllerState`] into this controller.  The
+    /// controller must have been built with the same configurations the
+    /// snapshot was taken from.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot's channel/bank shape disagrees with
+    /// this controller's configuration.
+    pub fn restore_state(&mut self, s: &MemoryControllerState) {
+        assert_eq!(s.channels.len(), self.channels.len(), "channel count changed");
+        for (ch, cs) in self.channels.iter().zip(&s.channels) {
+            assert_eq!(cs.banks.len(), ch.banks.len(), "bank count changed");
+        }
+        self.channels = s.channels.clone();
+        self.next_seq = s.next_seq;
+        self.counters = s.counters;
     }
 
     /// Statistics snapshot.

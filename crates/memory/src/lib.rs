@@ -40,8 +40,8 @@ pub mod wideio;
 
 pub use address::AddressMap;
 pub use controller::{
-    BankState, Completion, ControllerConfig, MemRequest, MemoryController, MemoryStackStats,
-    SchedulerPolicy,
+    BankState, Completion, ControllerConfig, MemRequest, MemoryController,
+    MemoryControllerState, MemoryStackStats, SchedulerPolicy,
 };
 pub use stack::{AccessKind, AccessResult, MemoryStack, PageOutcome, StackConfig};
 pub use tsv::TsvBundle;

@@ -72,6 +72,19 @@ impl ActiveSet {
         });
     }
 
+    /// Rebuilds a set over `0..n` from a saved member list
+    /// (checkpoint restore).  Replaying the members through
+    /// [`ActiveSet::insert`] in order reproduces both the stamp array
+    /// and the dense list exactly, so post-restore iteration order is
+    /// identical to the snapshotted set's.
+    pub(crate) fn restore(n: usize, members: &[usize]) -> Self {
+        let mut set = ActiveSet::new(n);
+        for &i in members {
+            set.insert(i);
+        }
+        set
+    }
+
     /// O(1) membership test (invariant checking; the hot path never
     /// needs it — insert is already idempotent).
     pub(crate) fn contains(&self, i: usize) -> bool {

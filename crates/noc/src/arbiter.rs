@@ -111,6 +111,22 @@ impl RoundRobin {
         None
     }
 
+    /// The rotation pointer, for checkpointing.
+    pub fn cursor(&self) -> usize {
+        self.next
+    }
+
+    /// Restores the rotation pointer from a [`RoundRobin::cursor`]
+    /// snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cursor` is out of range for a non-empty arbiter.
+    pub fn set_cursor(&mut self, cursor: usize) {
+        assert!(cursor < self.n.max(1), "round-robin cursor {cursor} out of range");
+        self.next = cursor;
+    }
+
     /// Peeks the winner without advancing the pointer.
     pub fn peek(&self, mut requesting: impl FnMut(usize) -> bool) -> Option<usize> {
         for off in 0..self.n {

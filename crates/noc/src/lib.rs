@@ -66,10 +66,11 @@ pub mod vc;
 
 pub use error::NocError;
 pub use flit::{Flit, FlitKind, PacketId};
-pub use link::Link;
-pub use network::{Network, NocConfig, WirelessMode};
-pub use packet::{ArrivedPacket, PacketDesc};
+pub use link::{Link, LinkDelivery};
+pub use network::{Network, NetworkState, NocConfig, RadioTxState, WirelessMode};
+pub use packet::{ArrivedPacket, PacketDesc, Reassembler};
 pub use radio::{MediumActions, MediumView, RadioId, SharedMedium};
 pub use ring::RingSlab;
 pub use stats::NetworkStats;
+pub use switch::{SwitchState, VcState};
 pub use vc::{VcFabric, VcStage};

@@ -19,13 +19,14 @@
 //! system shares one contiguous allocation.  [`Link::send`] and the
 //! arrival drains take the slab and the link's lane explicitly.
 
+use serde::{Deserialize, Serialize};
 use wimnet_topology::{EdgeId, EdgeKind};
 
 use crate::flit::Flit;
 use crate::ring::RingSlab;
 
 /// A flit due to arrive at the downstream switch.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LinkDelivery {
     /// The flit being carried.
     pub flit: Flit,
@@ -138,6 +139,18 @@ impl Link {
     #[inline]
     pub fn is_quiescent(&self, in_flight_empty: bool) -> bool {
         in_flight_empty && self.credit >= self.credit_cap()
+    }
+
+    /// The accrued bandwidth credit — the link's only dynamic state
+    /// (in-flight flits live in the network-owned slab).  Checkpoint
+    /// accessor; pairs with [`Link::set_credit`].
+    pub fn credit(&self) -> f64 {
+        self.credit
+    }
+
+    /// Restores the bandwidth credit from a [`Link::credit`] snapshot.
+    pub fn set_credit(&mut self, credit: f64) {
+        self.credit = credit;
     }
 
     /// `true` if the link can accept one more flit this cycle.

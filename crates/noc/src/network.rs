@@ -10,6 +10,7 @@
 //!   identical to `step` — same grants, same moves, same meter order,
 //!   bit for bit (pinned by `tests/fast_step.rs`).
 
+use serde::{Deserialize, Serialize, Value};
 use wimnet_energy::{ChargeBatch, Energy, EnergyCategory, EnergyMeter, EnergyModel, Power};
 use wimnet_routing::Routes;
 use wimnet_topology::{EdgeKind, MultichipLayout};
@@ -26,7 +27,7 @@ use crate::radio::{
 };
 use crate::ring::RingSlab;
 use crate::stats::NetworkStats;
-use crate::switch::{OutPortSpec, RouteEntry, StMove, Switch, VaGrant};
+use crate::switch::{OutPortSpec, RouteEntry, StMove, Switch, SwitchState, VaGrant};
 
 /// Sets bit `i` of a word bitset.
 #[inline]
@@ -143,6 +144,89 @@ enum Upstream {
     Wired { switch: usize, port: usize },
     /// The wireless medium: the MAC reads occupancy from the view.
     Radio,
+}
+
+/// Checkpointed dynamic state of one wireless interface's transmit side
+/// (see [`NetworkState`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RadioTxState {
+    /// Per-VC FIFO contents, front to back.
+    pub lanes: Vec<Vec<(Flit, RadioId)>>,
+    /// Per-VC FIFO capacities (fixed at construction, stored for the
+    /// restore-time shape check).
+    pub capacities: Vec<usize>,
+    /// Sticky per-VC wormhole target (head locks it, tail clears it).
+    pub target_by_vc: Vec<Option<RadioId>>,
+}
+
+/// Complete dynamic state of a [`Network`], detached from the static
+/// tables (`Network::new` rebuilds those from the layout + routes; a
+/// snapshot only carries what a run mutates).
+///
+/// Captured between cycles — per-cycle scratch and the charge batch are
+/// empty at that point and deliberately excluded.  Restoring into a
+/// freshly built network for the same layout/routes/config resumes the
+/// run bit-for-bit (see `wimnet_core::checkpoint`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkState {
+    /// Completed cycles.
+    pub now: u64,
+    /// Per-switch buffers, credits, allocation cursors and busy sets.
+    pub switches: Vec<SwitchState>,
+    /// Per-link fractional credit accumulators.
+    pub link_credits: Vec<f64>,
+    /// In-flight wire pipelines, one lane per link.
+    pub flight_lanes: Vec<Vec<LinkDelivery>>,
+    /// In-flight lane capacities.
+    pub flight_caps: Vec<usize>,
+    /// Radio TX FIFOs and wormhole targets, in [`RadioId`] order.
+    pub radios: Vec<RadioTxState>,
+    /// Per-medium MAC state as a schema-free serde value (each MAC
+    /// encodes and decodes its own representation via
+    /// [`SharedMedium::state_value`]).
+    pub media: Vec<Value>,
+    /// Source queues, one lane per endpoint.
+    pub inj_lanes: Vec<Vec<Flit>>,
+    /// Source-queue lane capacities (these grow on demand).
+    pub inj_caps: Vec<usize>,
+    /// Per-endpoint in-progress injection VC (wormhole stickiness).
+    pub inj_active_vc: Vec<Option<usize>>,
+    /// Per-endpoint injection round-robin cursors.
+    pub inj_cursors: Vec<usize>,
+    /// Next packet id to assign.
+    pub next_packet: u64,
+    /// Partially delivered packets.
+    pub reassembler: Reassembler,
+    /// Delivered packets not yet drained by the caller.
+    pub arrivals: Vec<ArrivedPacket>,
+    /// Statistics (lifetime + measurement window).
+    pub stats: NetworkStats,
+    /// Energy meter (exact integer limbs — restores bit-for-bit).
+    pub meter: EnergyMeter,
+    /// Flits accepted and not yet delivered.
+    pub flits_in_network: u64,
+    /// Flits queued at sources.
+    pub backlog_flits: u64,
+    /// Flits buffered in radio TX FIFOs.
+    pub radio_backlog_flits: u64,
+    /// Cycles skipped by fast-forward.
+    pub ff_cycles: u64,
+    /// Last cycle any flit moved.
+    pub last_progress: u64,
+    /// Active-set membership, in insertion order (restoring by replayed
+    /// insertion reproduces the dense lists exactly).
+    pub active_links: Vec<usize>,
+    /// Active switches, in insertion order.
+    pub active_switches: Vec<usize>,
+    /// Active injectors, in insertion order.
+    pub active_injectors: Vec<usize>,
+    /// Word-bitset mirror of the link active set (conservative superset
+    /// under legacy stepping — captured verbatim).
+    pub links_mask: Vec<u64>,
+    /// Word-bitset mirror of the switch active set.
+    pub switch_mask: Vec<u64>,
+    /// Word-bitset mirror of the injector active set.
+    pub inj_mask: Vec<u64>,
 }
 
 /// The assembled multichip network.
@@ -1444,6 +1528,139 @@ impl Network {
         }
     }
 
+    /// Captures the network's complete dynamic state for checkpointing.
+    ///
+    /// Must be called between cycles (never from inside a step), where
+    /// the per-cycle scratch buffers and the charge batch are empty —
+    /// the snapshot deliberately omits them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-cycle charge batch is non-empty (a snapshot
+    /// taken mid-step would silently drop pending meter charges).
+    pub fn state(&self) -> NetworkState {
+        assert!(
+            self.charge_log.is_empty(),
+            "network snapshot taken mid-cycle (pending meter charges)"
+        );
+        let (flight_lanes, flight_caps) = self.flight.state();
+        let (inj_lanes, inj_caps) = self.inj_pending.state();
+        NetworkState {
+            now: self.now,
+            switches: self.switches.iter().map(Switch::state).collect(),
+            link_credits: self.links.iter().map(Link::credit).collect(),
+            flight_lanes,
+            flight_caps,
+            radios: self
+                .radios
+                .iter()
+                .map(|r| {
+                    let (lanes, capacities) = r.fifo.state();
+                    RadioTxState {
+                        lanes,
+                        capacities,
+                        target_by_vc: r.target_by_vc.clone(),
+                    }
+                })
+                .collect(),
+            media: self.media.iter().map(|m| m.state_value()).collect(),
+            inj_lanes,
+            inj_caps,
+            inj_active_vc: self.inj_active_vc.clone(),
+            inj_cursors: self.inj_rr.iter().map(RoundRobin::cursor).collect(),
+            next_packet: self.next_packet,
+            reassembler: self.reassembler.clone(),
+            arrivals: self.arrivals.clone(),
+            stats: self.stats.clone(),
+            meter: self.meter.clone(),
+            flits_in_network: self.flits_in_network,
+            backlog_flits: self.backlog_flits,
+            radio_backlog_flits: self.radio_backlog_flits,
+            ff_cycles: self.ff_cycles,
+            last_progress: self.last_progress,
+            active_links: self.active_links.members().to_vec(),
+            active_switches: self.active_switches.members().to_vec(),
+            active_injectors: self.active_injectors.members().to_vec(),
+            links_mask: self.links_mask.clone(),
+            switch_mask: self.switch_mask.clone(),
+            inj_mask: self.inj_mask.clone(),
+        }
+    }
+
+    /// Restores a [`NetworkState`] into this network.  The network must
+    /// have been built for the same layout, routes and configuration the
+    /// snapshot was taken from; the subsequent run is then bit-identical
+    /// to the uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// [`serde::Error`] when the snapshot's shape disagrees with this
+    /// network's topology (counts of switches, links, radios, media or
+    /// endpoints — e.g. a snapshot from a different scale or wireless
+    /// model), or when an attached medium rejects its state value (MAC
+    /// model mismatch).  Shape rejection happens before any mutation,
+    /// so a failed restore leaves the network untouched.
+    pub fn restore_state(&mut self, s: &NetworkState) -> Result<(), serde::Error> {
+        let shape = |ours: usize, theirs: usize, what: &str| {
+            if ours == theirs {
+                Ok(())
+            } else {
+                Err(serde::Error::msg(format!(
+                    "snapshot shape mismatch: {what} ({theirs} in snapshot, {ours} here)"
+                )))
+            }
+        };
+        shape(self.switches.len(), s.switches.len(), "switch count")?;
+        shape(self.links.len(), s.link_credits.len(), "link count")?;
+        shape(self.radios.len(), s.radios.len(), "radio count")?;
+        shape(self.media.len(), s.media.len(), "medium count")?;
+        shape(self.inj_active_vc.len(), s.inj_active_vc.len(), "endpoint count")?;
+        shape(self.inj_rr.len(), s.inj_cursors.len(), "endpoint cursor count")?;
+        shape(self.links_mask.len(), s.links_mask.len(), "link bitset width")?;
+        shape(self.switch_mask.len(), s.switch_mask.len(), "switch bitset width")?;
+        shape(self.inj_mask.len(), s.inj_mask.len(), "injector bitset width")?;
+        // Media first: a MAC-model mismatch must fail before any part of
+        // the network is mutated, so a failed restore leaves the freshly
+        // built network untouched.
+        for (m, v) in self.media.iter_mut().zip(&s.media) {
+            m.restore_state_value(v)?;
+        }
+        self.now = s.now;
+        for (sw, st) in self.switches.iter_mut().zip(&s.switches) {
+            sw.restore_state(st);
+        }
+        for (link, &c) in self.links.iter_mut().zip(&s.link_credits) {
+            link.set_credit(c);
+        }
+        self.flight.restore(&s.flight_lanes, &s.flight_caps);
+        for (r, rs) in self.radios.iter_mut().zip(&s.radios) {
+            r.fifo.restore(&rs.lanes, &rs.capacities);
+            r.target_by_vc.clone_from(&rs.target_by_vc);
+        }
+        self.inj_pending.restore(&s.inj_lanes, &s.inj_caps);
+        self.inj_active_vc.clone_from(&s.inj_active_vc);
+        for (rr, &c) in self.inj_rr.iter_mut().zip(&s.inj_cursors) {
+            rr.set_cursor(c);
+        }
+        self.next_packet = s.next_packet;
+        self.reassembler = s.reassembler.clone();
+        self.arrivals = s.arrivals.clone();
+        self.stats = s.stats.clone();
+        self.meter = s.meter.clone();
+        self.flits_in_network = s.flits_in_network;
+        self.backlog_flits = s.backlog_flits;
+        self.radio_backlog_flits = s.radio_backlog_flits;
+        self.ff_cycles = s.ff_cycles;
+        self.last_progress = s.last_progress;
+        self.active_links = ActiveSet::restore(self.links.len(), &s.active_links);
+        self.active_switches = ActiveSet::restore(self.switches.len(), &s.active_switches);
+        self.active_injectors = ActiveSet::restore(self.inj_rr.len(), &s.active_injectors);
+        self.links_mask.copy_from_slice(&s.links_mask);
+        self.switch_mask.copy_from_slice(&s.switch_mask);
+        self.inj_mask.copy_from_slice(&s.inj_mask);
+        self.charge_log.clear();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

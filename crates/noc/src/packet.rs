@@ -72,7 +72,11 @@ impl ArrivedPacket {
 
 /// Reassembles ejected flits into [`ArrivedPacket`]s and checks wormhole
 /// delivery invariants (in-order, no duplicates, no gaps).
-#[derive(Debug, Default)]
+///
+/// Serializes (for checkpoints) as the pending map in sorted key order
+/// — iteration order is never behaviorally observed, so a rebuilt map
+/// is equivalent.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Reassembler {
     /// Keyed by packet id; iteration order is never observed (only
     /// entry/remove), so the Fx hash map's O(1) lookups are safe on

@@ -20,6 +20,7 @@
 //! logic free of engine internals and makes it unit-testable in
 //! isolation.
 
+use serde::{Deserialize, Serialize, Value};
 use wimnet_energy::{Energy, EnergyCategory};
 use wimnet_topology::NodeId;
 
@@ -28,7 +29,7 @@ use crate::ring::RingSlab;
 
 /// Identifier of a radio (= wireless interface); doubles as the MAC
 /// sequence position, mirroring `wimnet_topology::WiId`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RadioId(pub usize);
 
 impl RadioId {
@@ -358,6 +359,28 @@ pub trait SharedMedium {
     fn idle_advance(&mut self, now: u64, cycles: u64, actions: &mut MediumActions) {
         for c in now..now + cycles {
             self.idle_step(c, actions);
+        }
+    }
+
+    /// The medium's complete dynamic state as a schema-free serde
+    /// [`Value`] subtree, for checkpointing (`docs/checkpoint.md`).
+    /// Must round-trip through
+    /// [`SharedMedium::restore_state_value`] to a medium whose every
+    /// subsequent step is bit-identical.  The default (for stateless or
+    /// test media) records nothing.
+    fn state_value(&self) -> Value {
+        Value::Null
+    }
+
+    /// Restores the medium from a [`SharedMedium::state_value`]
+    /// snapshot taken on a medium of the same configuration.
+    fn restore_state_value(&mut self, v: &Value) -> Result<(), serde::Error> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(serde::Error::msg(format!(
+                "medium `{}` does not accept checkpoint state",
+                self.name()
+            ))),
         }
     }
 }

@@ -159,6 +159,37 @@ impl<T: Copy> RingSlab<T> {
         (0..self.len(lane)).map(move |i| self.slots[self.slot(lane, i)])
     }
 
+    /// The slab's complete dynamic state for checkpointing: per-lane
+    /// contents (front to back) and per-lane capacities (capacities are
+    /// state too — [`RingSlab::push_back_growing`] may have grown a
+    /// lane beyond its constructed size).
+    pub fn state(&self) -> (Vec<Vec<T>>, Vec<usize>) {
+        let contents = (0..self.lanes()).map(|l| self.iter(l).collect()).collect();
+        let caps = (0..self.lanes()).map(|l| self.capacity(l)).collect();
+        (contents, caps)
+    }
+
+    /// Rebuilds the slab from a [`RingSlab::state`] snapshot — the same
+    /// rebuild [`RingSlab::push_back_growing`] performs on growth, so
+    /// heads normalise to zero, which is invisible through the FIFO
+    /// interface.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lane count differs or a lane's contents exceed
+    /// its capacity.
+    pub fn restore(&mut self, contents: &[Vec<T>], capacities: &[usize]) {
+        assert_eq!(contents.len(), self.lanes(), "ring slab lane count changed");
+        assert_eq!(capacities.len(), self.lanes(), "ring slab lane count changed");
+        let mut next = RingSlab::with_capacities(capacities, self.fill);
+        for (l, lane) in contents.iter().enumerate() {
+            for &v in lane {
+                next.push_back(l, v);
+            }
+        }
+        *self = next;
+    }
+
     /// Doubles `lane`'s capacity by rebuilding the slab (contents and
     /// order of every lane are preserved).
     fn grow_lane(&mut self, lane: usize) {

@@ -22,12 +22,49 @@
 //! tables are flat `port * vcs + vc` arrays — the RC/VA/SA pre-passes
 //! walk dense memory (see `docs/engine.md`, "Switch memory layout").
 
+use serde::{Deserialize, Serialize};
 use wimnet_topology::NodeId;
 
 use crate::active::ActiveSet;
 use crate::arbiter::RoundRobin;
 use crate::flit::{Flit, PacketId};
 use crate::vc::{VcFabric, VcStage};
+
+/// Dynamic state of one input virtual channel (checkpoint form).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VcState {
+    /// Buffered flits, front to back.
+    pub flits: Vec<Flit>,
+    /// Pipeline stage.
+    pub stage: VcStage,
+    /// Wormhole entry owner.
+    pub owner: Option<PacketId>,
+}
+
+/// Complete dynamic state of one [`Switch`], for checkpointing
+/// (`docs/checkpoint.md`).  Static configuration (port specs, VC
+/// counts, buffer depths) is rebuilt from the scenario config; scratch
+/// arrays are rebuilt every cycle and carry no state between cycles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchState {
+    /// Per input VC in flat (`port * vcs + vc`) order.
+    pub vcs: Vec<VcState>,
+    /// Remaining downstream credit per output VC (flat order).
+    pub credits: Vec<u32>,
+    /// Packet owning each output VC (flat order).
+    pub out_owner: Vec<Option<PacketId>>,
+    /// VA arbiter rotation pointers, one per output port.
+    pub va_cursors: Vec<usize>,
+    /// SA arbiter rotation pointers, one per output port.
+    pub sa_cursors: Vec<usize>,
+    /// Busy-set member list in its exact (unsorted) stored order.
+    pub busy: Vec<usize>,
+    /// High half of the 128-bit busy mask (the serde shim carries
+    /// 64-bit integers, so the mask ships as two words).
+    pub busy_mask_hi: u64,
+    /// Low half of the 128-bit busy mask.
+    pub busy_mask_lo: u64,
+}
 
 /// One row of a switch's forwarding lookup table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -315,6 +352,57 @@ impl Switch {
             }
         }
         self.busy.assert_consistent();
+    }
+
+    /// Captures the switch's complete dynamic state.
+    pub fn state(&self) -> SwitchState {
+        let vcs = (0..self.inputs.vc_total())
+            .map(|flat| {
+                let (flits, stage, owner) = self.inputs.vc_state(flat);
+                VcState { flits, stage, owner }
+            })
+            .collect();
+        SwitchState {
+            vcs,
+            credits: self.credits.clone(),
+            out_owner: self.out_owner.clone(),
+            va_cursors: self.va_arb.iter().map(RoundRobin::cursor).collect(),
+            sa_cursors: self.sa_arb.iter().map(RoundRobin::cursor).collect(),
+            busy: self.busy.members().to_vec(),
+            busy_mask_hi: (self.busy_mask >> 64) as u64,
+            busy_mask_lo: self.busy_mask as u64,
+        }
+    }
+
+    /// Restores the switch from a [`Switch::state`] snapshot taken on a
+    /// switch of identical configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot's dimensions disagree with this
+    /// switch's configuration.
+    pub fn restore_state(&mut self, s: &SwitchState) {
+        let n = self.inputs.vc_total();
+        assert_eq!(s.vcs.len(), n, "switch VC count changed");
+        assert_eq!(s.credits.len(), self.credits.len(), "output VC count changed");
+        assert_eq!(s.out_owner.len(), self.out_owner.len(), "output VC count changed");
+        assert_eq!(s.va_cursors.len(), self.va_arb.len(), "port count changed");
+        assert_eq!(s.sa_cursors.len(), self.sa_arb.len(), "port count changed");
+        self.buffered = 0;
+        for (flat, vc) in s.vcs.iter().enumerate() {
+            self.inputs.restore_vc(flat, &vc.flits, vc.stage, vc.owner);
+            self.buffered += vc.flits.len();
+        }
+        self.credits.copy_from_slice(&s.credits);
+        self.out_owner.copy_from_slice(&s.out_owner);
+        for (arb, &c) in self.va_arb.iter_mut().zip(&s.va_cursors) {
+            arb.set_cursor(c);
+        }
+        for (arb, &c) in self.sa_arb.iter_mut().zip(&s.sa_cursors) {
+            arb.set_cursor(c);
+        }
+        self.busy = ActiveSet::restore(n, &s.busy);
+        self.busy_mask = (u128::from(s.busy_mask_hi) << 64) | u128::from(s.busy_mask_lo);
     }
 
     /// RC + VA pipeline stages for this cycle.

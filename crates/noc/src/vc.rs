@@ -17,12 +17,13 @@
 //! in `tests/slab_model.rs` checks push/pop/owner/stage sequences
 //! against exactly that reference.
 
+use serde::{Deserialize, Serialize};
 use wimnet_topology::NodeId;
 
 use crate::flit::{Flit, FlitKind, PacketId};
 
 /// Wormhole pipeline state of one input virtual channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum VcStage {
     /// No packet allocated; waiting for a head flit.
     Idle,
@@ -275,6 +276,49 @@ impl VcFabric {
         match self.owner[flat] {
             Some(owner) => owner == packet && !is_head,
             None => is_head,
+        }
+    }
+
+    /// One VC's complete dynamic state for checkpointing: buffered
+    /// flits front-to-back, pipeline stage, and wormhole owner.
+    pub fn vc_state(&self, flat: usize) -> (Vec<Flit>, VcStage, Option<PacketId>) {
+        let flits = (0..self.len(flat)).map(|i| self.read(self.slot(flat, i))).collect();
+        (flits, self.stage[flat], self.owner[flat])
+    }
+
+    /// Restores one VC from a [`VcFabric::vc_state`] snapshot.
+    ///
+    /// Writes the slab arrays directly rather than replaying
+    /// [`VcFabric::push`]: a snapshot taken mid-packet legitimately
+    /// holds body flits whose head already departed, which `push`'s
+    /// wormhole asserts would reject.  The ring head normalises to
+    /// zero — invisible through the FIFO interface, every accessor
+    /// addresses slots relative to the head.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot holds more flits than the VC's
+    /// capacity.
+    pub fn restore_vc(
+        &mut self,
+        flat: usize,
+        flits: &[Flit],
+        stage: VcStage,
+        owner: Option<PacketId>,
+    ) {
+        assert!(flits.len() <= self.capacity, "VC snapshot exceeds buffer capacity");
+        self.head[flat] = 0;
+        self.len[flat] = flits.len() as u32;
+        self.stage[flat] = stage;
+        self.owner[flat] = owner;
+        for (i, f) in flits.iter().enumerate() {
+            let slot = flat * self.capacity + i;
+            self.slot_packet[slot] = f.packet;
+            self.slot_kind[slot] = f.kind;
+            self.slot_seq[slot] = f.seq;
+            self.slot_src[slot] = f.src;
+            self.slot_dest[slot] = f.dest;
+            self.slot_created[slot] = f.created_at;
         }
     }
 

@@ -40,6 +40,7 @@ use std::collections::VecDeque;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize, Value};
 
 use wimnet_energy::EnergyCategory;
 use wimnet_noc::radio::{MediumActions, MediumView, RadioId, SharedMedium};
@@ -49,7 +50,7 @@ use crate::config::ChannelConfig;
 use crate::MacStats;
 
 /// One scheduled data-flit transmission.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 struct PendingFlit {
     complete_at: u64,
     from: RadioId,
@@ -65,6 +66,20 @@ struct ShadowVc {
     owner: Option<PacketId>,
     len: usize,
     capacity: usize,
+}
+
+/// Checkpointed dynamic state of a [`ControlPacketMac`] (the
+/// configuration is rebuilt by the constructor and deliberately
+/// excluded).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ControlMacState {
+    rng: [u64; 4],
+    next_holder: u64,
+    turn_end: u64,
+    control_until: u64,
+    pending: VecDeque<PendingFlit>,
+    participants: Vec<bool>,
+    stats: MacStats,
 }
 
 /// The SOCC'17 control-packet MAC.
@@ -417,6 +432,44 @@ impl SharedMedium for ControlPacketMac {
 
     fn idle_advance(&mut self, now: u64, cycles: u64, actions: &mut MediumActions) {
         ControlPacketMac::idle_advance(self, now, cycles, actions);
+    }
+
+    fn state_value(&self) -> Value {
+        ControlMacState {
+            rng: self.rng.state(),
+            next_holder: self.next_holder as u64,
+            turn_end: self.turn_end,
+            control_until: self.control_until,
+            pending: self.pending.clone(),
+            participants: self.participants.clone(),
+            stats: self.stats,
+        }
+        .to_value()
+    }
+
+    fn restore_state_value(&mut self, v: &Value) -> Result<(), serde::Error> {
+        let s = ControlMacState::from_value(v)?;
+        if s.participants.len() != self.cfg.radios {
+            return Err(serde::Error::msg(format!(
+                "participant vector sized {} for {} radios",
+                s.participants.len(),
+                self.cfg.radios
+            )));
+        }
+        if s.next_holder as usize >= self.cfg.radios.max(1) {
+            return Err(serde::Error::msg(format!(
+                "next holder {} out of range for {} radios",
+                s.next_holder, self.cfg.radios
+            )));
+        }
+        self.rng = SmallRng::from_state(s.rng);
+        self.next_holder = s.next_holder as usize;
+        self.turn_end = s.turn_end;
+        self.control_until = s.control_until;
+        self.pending = s.pending;
+        self.participants = s.participants;
+        self.stats = s.stats;
+        Ok(())
     }
 }
 

@@ -74,7 +74,9 @@ pub use token_mac::TokenMac;
 pub use transceiver::TransceiverSpec;
 
 /// Shared MAC bookkeeping exposed by both MAC implementations.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize,
+)]
 pub struct MacStats {
     /// Completed transmission turns (control MAC) or token visits
     /// (token MAC).

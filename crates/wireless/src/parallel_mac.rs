@@ -28,6 +28,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize, Value};
 
 use wimnet_energy::EnergyCategory;
 use wimnet_noc::radio::{MediumActions, MediumView, RadioId, SharedMedium};
@@ -42,6 +43,19 @@ struct ShadowVc {
     owner: Option<PacketId>,
     len: usize,
     capacity: usize,
+}
+
+/// Checkpointed dynamic state of a [`ParallelMac`] (configuration and
+/// the per-WI rate are rebuilt by the constructor and deliberately
+/// excluded).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ParallelMacState {
+    rng: [u64; 4],
+    tx_credit: Vec<f64>,
+    rx_credit: Vec<f64>,
+    tx_vc_rr: Vec<usize>,
+    wi_rr: u64,
+    stats: MacStats,
 }
 
 /// Concurrent per-WI wireless links.
@@ -306,6 +320,44 @@ impl SharedMedium for ParallelMac {
                 cycles,
             );
         }
+    }
+
+    fn state_value(&self) -> Value {
+        ParallelMacState {
+            rng: self.rng.state(),
+            tx_credit: self.tx_credit.clone(),
+            rx_credit: self.rx_credit.clone(),
+            tx_vc_rr: self.tx_vc_rr.clone(),
+            wi_rr: self.wi_rr as u64,
+            stats: self.stats,
+        }
+        .to_value()
+    }
+
+    fn restore_state_value(&mut self, v: &Value) -> Result<(), serde::Error> {
+        let s = ParallelMacState::from_value(v)?;
+        let n = self.cfg.radios;
+        if s.tx_credit.len() != n || s.rx_credit.len() != n || s.tx_vc_rr.len() != n {
+            return Err(serde::Error::msg(format!(
+                "credit vectors sized {}/{}/{} for {n} radios",
+                s.tx_credit.len(),
+                s.rx_credit.len(),
+                s.tx_vc_rr.len()
+            )));
+        }
+        if s.wi_rr as usize >= n.max(1) {
+            return Err(serde::Error::msg(format!(
+                "round-robin pointer {} out of range for {n} radios",
+                s.wi_rr
+            )));
+        }
+        self.rng = SmallRng::from_state(s.rng);
+        self.tx_credit = s.tx_credit;
+        self.rx_credit = s.rx_credit;
+        self.tx_vc_rr = s.tx_vc_rr;
+        self.wi_rr = s.wi_rr as usize;
+        self.stats = s.stats;
+        Ok(())
     }
 }
 

@@ -34,6 +34,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize, Value};
 
 use wimnet_energy::EnergyCategory;
 use wimnet_noc::radio::{MediumActions, MediumView, RadioId, SharedMedium};
@@ -41,7 +42,7 @@ use wimnet_noc::radio::{MediumActions, MediumView, RadioId, SharedMedium};
 use crate::config::ChannelConfig;
 use crate::MacStats;
 
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 enum TokenState {
     /// Token travelling to the holder; usable from `until`.
     Passing { until: u64 },
@@ -54,6 +55,16 @@ enum TokenState {
         remaining: u32,
         next_ready: u64,
     },
+}
+
+/// Checkpointed dynamic state of a [`TokenMac`] (the configuration is
+/// rebuilt by the constructor and deliberately excluded).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TokenMacState {
+    rng: [u64; 4],
+    holder: u64,
+    state: TokenState,
+    stats: MacStats,
 }
 
 /// The token-passing MAC baseline.
@@ -292,6 +303,31 @@ impl SharedMedium for TokenMac {
 
     fn idle_advance(&mut self, now: u64, cycles: u64, actions: &mut MediumActions) {
         TokenMac::idle_advance(self, now, cycles, actions);
+    }
+
+    fn state_value(&self) -> Value {
+        TokenMacState {
+            rng: self.rng.state(),
+            holder: self.holder as u64,
+            state: self.state,
+            stats: self.stats,
+        }
+        .to_value()
+    }
+
+    fn restore_state_value(&mut self, v: &Value) -> Result<(), serde::Error> {
+        let s = TokenMacState::from_value(v)?;
+        if s.holder as usize >= self.cfg.radios.max(1) {
+            return Err(serde::Error::msg(format!(
+                "token holder {} out of range for {} radios",
+                s.holder, self.cfg.radios
+            )));
+        }
+        self.rng = SmallRng::from_state(s.rng);
+        self.holder = s.holder as usize;
+        self.state = s.state;
+        self.stats = s.stats;
+        Ok(())
     }
 }
 

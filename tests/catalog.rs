@@ -9,49 +9,23 @@
 //! damage the catalog in every one of those ways and check exactly
 //! that.
 
+mod common;
+
 use std::fs;
 use std::path::PathBuf;
 
-use wimnet::core::{Catalog, CatalogEntry, RunOutcome, Scale, ScenarioGrid, ENGINE_VERSION};
+use common::{splitmix, temp_dir, vector_bytes};
+
+use wimnet::core::{Catalog, CatalogEntry, ScenarioGrid, ENGINE_VERSION};
 
 /// A fresh per-test catalog directory under the system temp dir.
 fn temp_catalog(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "wimnet-catalog-harness-{tag}-{}",
-        std::process::id()
-    ));
-    let _ = fs::remove_dir_all(&dir);
-    dir
+    temp_dir("wimnet-catalog-harness", tag)
 }
 
-/// A small grid that still exercises several axes: 2 architectures x
-/// 2 loads x 2 seeds = 8 points at quick scale.
+/// The shared 8-point quick grid (2 architectures x 2 loads x 2 seeds).
 fn grid() -> ScenarioGrid {
-    use wimnet::topology::Architecture;
-    ScenarioGrid::new("catalog-harness")
-        .scale(Scale::Quick)
-        .architectures(&[Architecture::Wireless, Architecture::Substrate])
-        .chips(&[2])
-        .stacks(&[2])
-        .loads(&[0.002, 0.006])
-        .seeds(&[11, 12])
-}
-
-/// Canonical bytes of an outcome vector — "bit-identical" below means
-/// equal through this, not just `PartialEq`.
-fn vector_bytes(outcomes: &[RunOutcome]) -> String {
-    serde_json::to_string(&outcomes.to_vec()).unwrap()
-}
-
-/// A tiny deterministic generator for damage-site selection (the
-/// proptest shim's rng is per-test-name; this keeps the subset stable
-/// and printable on failure).
-fn splitmix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    common::small_grid("catalog-harness")
 }
 
 /// Kill a sweep mid-flight (miss budget), damage the partial catalog —

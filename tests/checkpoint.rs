@@ -1,0 +1,489 @@
+//! Differential resume-equivalence harness for full-engine snapshots
+//! (`wimnet::core::checkpoint`, `docs/checkpoint.md`).
+//!
+//! The headline invariant: **snapshot → restore → run is bit-identical
+//! to the uninterrupted run** — the full [`RunOutcome`] (meter limbs,
+//! latency bits, every energy category, per-stack memory statistics)
+//! and the engine's bit-level fingerprint, for every architecture,
+//! both serialized MACs, closed-loop memory traffic, and with idle
+//! fast-forward engaged.  The corruption tests mirror
+//! `tests/catalog.rs`: whatever happens to the checkpoint directory,
+//! a resume either serves a validated snapshot or pays a cold start —
+//! never a wrong answer, never an abort.
+
+mod common;
+
+use std::fs;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use common::{quick, system_fingerprint, temp_dir, vector_bytes};
+
+use wimnet::core::{
+    Catalog, CheckpointEntry, CheckpointStore, MacKind, MultichipSystem, SystemConfig,
+    WirelessModel, ENGINE_VERSION,
+};
+use wimnet::topology::Architecture;
+use wimnet::traffic::{InjectionProcess, UniformRandom, Workload};
+
+/// A fresh per-test checkpoint directory under the system temp dir.
+fn temp_store(tag: &str) -> PathBuf {
+    temp_dir("wimnet-checkpoint-harness", tag)
+}
+
+/// The canonical closed-loop workload: uniform-random writes plus a
+/// `read_share` of memory reads that return through the stacks'
+/// controllers and the reply scheduler.
+fn reads(cfg: &SystemConfig, rate: f64, read_share: f64) -> UniformRandom {
+    UniformRandom::new(
+        cfg.multichip.total_cores(),
+        cfg.multichip.num_stacks,
+        0.9,
+        InjectionProcess::Bernoulli { rate },
+        cfg.packet_flits,
+        cfg.seed,
+    )
+    .with_memory_reads(read_share, 8)
+}
+
+/// The differential proof, one scenario at a time:
+///
+/// 1. run `cfg` + `make_workload()` uninterrupted (the reference);
+/// 2. run a *fresh* pair to `stop`, snapshot, throw the system away;
+/// 3. build another fresh system, restore the snapshot, resume with a
+///    *fresh* workload (generation is a pure function of the cycle, so
+///    the workload is rebuilt, not snapshotted);
+/// 4. assert outcome equality (full `PartialEq` *and* canonical JSON
+///    bytes), bit-level engine fingerprints, and per-stack memory
+///    statistics.
+///
+/// Returns the reference system for scenario-specific follow-ups
+/// (e.g. "fast-forward actually engaged").
+fn assert_resume_equivalent(
+    what: &str,
+    cfg: &SystemConfig,
+    make_workload: &dyn Fn() -> Box<dyn Workload>,
+    stop: u64,
+) -> MultichipSystem {
+    let mut reference = MultichipSystem::build(cfg).expect("system builds");
+    let mut w = make_workload();
+    let ref_outcome = reference.run(w.as_mut()).expect("uninterrupted run");
+
+    let snapshot = {
+        let mut first = MultichipSystem::build(cfg).expect("system builds");
+        let mut w = make_workload();
+        let reached = first.run_until(w.as_mut(), 0, stop).expect("partial run");
+        let snap = first.snapshot();
+        assert_eq!(snap.cycle, reached, "{what}: snapshot cursor != cursor reached");
+        snap
+    };
+    assert!(
+        snapshot.cycle < reference.run_total_cycles_public(),
+        "{what}: snapshot landed past the end — the scenario no longer interrupts anything"
+    );
+
+    let mut resumed = MultichipSystem::build(cfg).expect("system builds");
+    resumed.restore(&snapshot).expect("restore succeeds");
+    let mut w = make_workload();
+    let res_outcome = resumed
+        .run_from(w.as_mut(), snapshot.cycle)
+        .expect("resumed run");
+
+    assert_eq!(
+        res_outcome, ref_outcome,
+        "{what}: resumed RunOutcome diverged from the uninterrupted run"
+    );
+    assert_eq!(
+        vector_bytes(std::slice::from_ref(&res_outcome)),
+        vector_bytes(std::slice::from_ref(&ref_outcome)),
+        "{what}: resumed outcome bytes diverged"
+    );
+    assert_eq!(
+        system_fingerprint(&resumed, res_outcome.avg_latency_cycles),
+        system_fingerprint(&reference, ref_outcome.avg_latency_cycles),
+        "{what}: bit-level engine fingerprint diverged"
+    );
+    assert_eq!(
+        resumed.memory_stats(),
+        reference.memory_stats(),
+        "{what}: per-stack memory statistics diverged"
+    );
+    assert!(
+        res_outcome.packets_delivered() > 0,
+        "{what}: sanity — the scenario carried traffic"
+    );
+    reference
+}
+
+/// `run_total_cycles` is crate-private; the public config carries the
+/// same sum.
+trait TotalCycles {
+    fn run_total_cycles_public(&self) -> u64;
+}
+impl TotalCycles for MultichipSystem {
+    fn run_total_cycles_public(&self) -> u64 {
+        self.config().warmup_cycles + self.config().measure_cycles
+    }
+}
+
+/// The acceptance differential for every architecture: closed-loop
+/// memory traffic (`read_share = 1.0`) at a load sparse enough that
+/// idle fast-forward provably engages, interrupted mid-measurement.
+#[test]
+fn resume_equals_uninterrupted_for_every_architecture() {
+    for arch in Architecture::ALL {
+        let cfg = quick(arch);
+        let stop = cfg.warmup_cycles + cfg.measure_cycles / 3;
+        let reference = assert_resume_equivalent(
+            &format!("arch/{arch}"),
+            &cfg,
+            &|| Box::new(reads(&cfg, 0.0004, 1.0)),
+            stop,
+        );
+        assert!(
+            reference.network().fast_forwarded_cycles() > 0,
+            "{arch}: fast-forward never engaged — the differential lost its hard case"
+        );
+    }
+}
+
+/// The acceptance differential for both serialized-channel MACs: the
+/// token and control-packet media carry per-cycle arbitration state
+/// (turn owners, grant queues, in-flight control exchanges) that the
+/// snapshot must capture exactly.
+#[test]
+fn resume_equals_uninterrupted_for_both_serialized_macs() {
+    for mac in [MacKind::Token, MacKind::ControlPacket] {
+        let mut cfg = quick(Architecture::Wireless);
+        cfg.wireless = WirelessModel::SharedChannel { mac };
+        let stop = cfg.warmup_cycles + cfg.measure_cycles / 2;
+        let reference = assert_resume_equivalent(
+            &format!("shared-channel/{mac:?}"),
+            &cfg,
+            &|| Box::new(reads(&cfg, 0.0002, 0.5)),
+            stop,
+        );
+        assert!(
+            reference.network().fast_forwarded_cycles() > 0,
+            "{mac:?}: fast-forward never engaged on the drained shared channel"
+        );
+    }
+}
+
+/// Edge case: snapshots at and around the warmup/measurement boundary.
+/// `begin_measurement` fires at the top of the iteration where
+/// `cycle == warmup_cycles`, so a snapshot taken exactly *at* the
+/// boundary must resume into a run that still opens the window once —
+/// and only once.  Cycle 0 (nothing has happened yet) and the cycle
+/// right after the boundary ride along.
+#[test]
+fn snapshots_at_the_measurement_boundary_resume_exactly() {
+    let cfg = quick(Architecture::Wireless);
+    for stop in [0, cfg.warmup_cycles, cfg.warmup_cycles + 1] {
+        assert_resume_equivalent(
+            &format!("boundary/stop={stop}"),
+            &cfg,
+            &|| Box::new(reads(&cfg, 0.004, 0.5)),
+            stop,
+        );
+    }
+}
+
+/// Edge case: snapshots landed by a fast-forward jump.  `run_until`
+/// stops at the first iteration boundary **at or past** `stop`, so at
+/// a sparse load the snapshot cursor regularly overshoots the
+/// requested cycle — the snapshot is taken exactly where a
+/// mid-fast-forward checkpoint mark would fire.
+#[test]
+fn snapshots_landed_by_a_fast_forward_jump_resume_exactly() {
+    let cfg = quick(Architecture::Substrate);
+    let make = || -> Box<dyn Workload> { Box::new(reads(&cfg, 0.0004, 1.0)) };
+    // Replay the uninterrupted schedule one iteration at a time and
+    // record every boundary, so the stop lines below can be placed in
+    // the *middle* of real fast-forward jumps — `run_until` then lands
+    // past the stop by construction.
+    let total = cfg.warmup_cycles + cfg.measure_cycles;
+    let mut probe = MultichipSystem::build(&cfg).unwrap();
+    let mut w = make();
+    let mut boundaries = vec![0u64];
+    let mut cursor = 0;
+    while cursor < total {
+        cursor = probe.run_until(w.as_mut(), cursor, cursor + 1).unwrap();
+        boundaries.push(cursor);
+    }
+    let stops: Vec<u64> = boundaries
+        .windows(2)
+        .filter(|w| w[1] - w[0] > 4 && w[1] < total)
+        .map(|w| w[0] + (w[1] - w[0]) / 2)
+        .take(3)
+        .collect();
+    assert!(
+        !stops.is_empty(),
+        "no fast-forward jump at this load — the edge case went untested"
+    );
+    for stop in stops {
+        assert_resume_equivalent(&format!("ff-jump/stop={stop}"), &cfg, &make, stop);
+    }
+}
+
+/// Edge case: snapshots *inside a control turn*.  At a busy load the
+/// control-packet MAC is mid-exchange (request sent, grant pending,
+/// data serializing) on most cycles, so snapshotting a run of
+/// consecutive cycles is guaranteed to cut through live turns.
+#[test]
+fn snapshots_inside_a_control_turn_resume_exactly() {
+    let mut cfg = quick(Architecture::Wireless);
+    cfg.wireless = WirelessModel::SharedChannel { mac: MacKind::ControlPacket };
+    let base = cfg.warmup_cycles + 200;
+    for offset in 0..6 {
+        let stop = base + offset;
+        assert_resume_equivalent(
+            &format!("control-turn/stop={stop}"),
+            &cfg,
+            &|| Box::new(reads(&cfg, 0.004, 0.5)),
+            stop,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Random scenarios — architecture x wireless model x load x
+    /// read share x fast-forward on/off — interrupted at a random
+    /// cycle must resume bit-identically.  This is the randomized
+    /// closure over the hand-picked cases above.
+    #[test]
+    fn random_interruptions_resume_bit_identically(
+        arch_idx in 0usize..3,
+        wireless_idx in 0usize..3,
+        seed in 0u64..1_000,
+        load in 0.0005f64..0.005,
+        read_share in prop_oneof![Just(0.0), Just(0.5), Just(1.0)],
+        disable_ff in any::<bool>(),
+        stop_frac in 0.05f64..0.95,
+    ) {
+        let arch = [
+            Architecture::Substrate,
+            Architecture::Interposer,
+            Architecture::Wireless,
+        ][arch_idx];
+        let mut cfg = SystemConfig::xcym(2, 2, arch).quick_test_profile();
+        cfg.seed = seed;
+        cfg.disable_fast_forward = disable_ff;
+        if arch == Architecture::Wireless {
+            cfg.wireless = [
+                WirelessModel::default(),
+                WirelessModel::SharedChannel { mac: MacKind::Token },
+                WirelessModel::SharedChannel { mac: MacKind::ControlPacket },
+            ][wireless_idx];
+        }
+        let total = cfg.warmup_cycles + cfg.measure_cycles;
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let stop = (total as f64 * stop_frac) as u64;
+        assert_resume_equivalent(
+            &format!("prop/{arch}/w{wireless_idx}/seed={seed}/stop={stop}"),
+            &cfg,
+            &|| Box::new(reads(&cfg, load, read_share)),
+            stop,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption harness: the checkpoint store's quarantine discipline,
+// mirroring tests/catalog.rs.
+// ---------------------------------------------------------------------------
+
+/// Take a real mid-run snapshot and its scenario fingerprint.
+fn snapshot_fixture(
+    cfg: &SystemConfig,
+) -> (wimnet::core::Snapshot, wimnet::core::Fingerprint) {
+    let mut sys = MultichipSystem::build(cfg).unwrap();
+    let mut w = reads(cfg, 0.004, 0.5);
+    sys.run_until(&mut w, 0, 500).unwrap();
+    let grid = wimnet::core::ScenarioGrid::new("ckpt-harness").seeds(&[cfg.seed]);
+    let fp = grid.point_fingerprint(&grid.points()[0]);
+    (sys.snapshot(), fp)
+}
+
+/// Truncated snapshot files, doctored fingerprints, doctored state
+/// bytes, and foreign engine versions are all quarantined and reported
+/// as misses — never served, never fatal.
+#[test]
+fn corrupt_checkpoints_are_quarantined_never_served() {
+    let cfg = quick(Architecture::Wireless);
+    let dir = temp_store("corruption");
+    let store = CheckpointStore::open(&dir).unwrap();
+    let (snap, fp) = snapshot_fixture(&cfg);
+    let path = dir.join(format!("{}.ckpt.json", fp.hex()));
+
+    // Corruption 1: a truncated file (writer killed mid-write would
+    // leave a temp, but a torn disk can truncate the entry itself).
+    store.store(&fp, &snap).unwrap();
+    let bytes = fs::read(&path).unwrap();
+    fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(store.contains(&fp), "the probe still sees the file");
+    assert!(store.lookup(&fp).is_none(), "a truncated entry must not serve");
+    assert_eq!(store.quarantined(), 1);
+    assert!(!store.contains(&fp), "quarantine moved the file aside");
+
+    // Corruption 2: a well-formed envelope whose fingerprint field was
+    // doctored to a different scenario.
+    store.store(&fp, &snap).unwrap();
+    let mut entry: CheckpointEntry =
+        serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
+    entry.fingerprint = format!("{:032x}", 0xbad);
+    fs::write(&path, serde_json::to_string_pretty(&entry).unwrap()).unwrap();
+    assert!(store.lookup(&fp).is_none(), "a foreign fingerprint must not serve");
+    assert_eq!(store.quarantined(), 2);
+
+    // Corruption 3: a foreign engine version wrapping otherwise valid
+    // state — the versioning rule refuses it even though everything
+    // else checks out.
+    store.store(&fp, &snap).unwrap();
+    let mut entry: CheckpointEntry =
+        serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
+    "wimnet-engine-v7".clone_into(&mut entry.engine_version);
+    assert_ne!(entry.engine_version, ENGINE_VERSION);
+    fs::write(&path, serde_json::to_string_pretty(&entry).unwrap()).unwrap();
+    assert!(store.lookup(&fp).is_none(), "a foreign engine version must not serve");
+    assert_eq!(store.quarantined(), 3);
+
+    // Corruption 4: doctored state — the envelope parses, version and
+    // fingerprint check out, but the snapshot bytes changed under the
+    // recorded content hash (here: a shifted cursor).
+    store.store(&fp, &snap).unwrap();
+    let mut entry: CheckpointEntry =
+        serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
+    entry.snapshot.cycle = entry.snapshot.cycle.wrapping_add(1);
+    fs::write(&path, serde_json::to_string_pretty(&entry).unwrap()).unwrap();
+    assert!(store.lookup(&fp).is_none(), "doctored state must fail the content hash");
+    assert_eq!(store.quarantined(), 4);
+
+    // The quarantine directory preserved all four bodies for forensics.
+    let quarantine: Vec<_> = fs::read_dir(dir.join("quarantine"))
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    assert_eq!(quarantine.len(), 4);
+    assert!(quarantine.iter().all(|f| f.starts_with(&fp.hex())));
+
+    // None of it was fatal: a fresh store stores and serves again.
+    store.store(&fp, &snap).unwrap();
+    assert_eq!(store.lookup(&fp).unwrap().cycle, snap.cycle);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A store littered with abandoned temp files (crashed writers) sweeps
+/// them without touching live entries.
+#[test]
+fn abandoned_temps_are_swept_and_live_entries_survive() {
+    let cfg = quick(Architecture::Wireless);
+    let dir = temp_store("temps");
+    let store = CheckpointStore::open(&dir).unwrap();
+    let (snap, fp) = snapshot_fixture(&cfg);
+    store.store(&fp, &snap).unwrap();
+    fs::write(
+        dir.join(format!("{}.ckpt.json.tmp-999-0", fp.hex())),
+        "{\"engine_version\": \"wim",
+    )
+    .unwrap();
+    fs::write(dir.join("feedfacefeedface.ckpt.json.tmp-999-1"), "").unwrap();
+
+    assert_eq!(store.len(), 1, "temp debris is not a checkpoint");
+    assert_eq!(store.sweep_temps(), 2);
+    assert_eq!(store.sweep_temps(), 0, "sweep is idempotent");
+    assert_eq!(store.lookup(&fp).unwrap().cycle, snap.cycle);
+    assert_eq!(store.quarantined(), 0);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep-level warm start: kill -> resume -> bit-identical vector.
+// ---------------------------------------------------------------------------
+
+/// The CLI-visible contract end to end: a checkpointing sweep killed
+/// mid-run leaves snapshots behind; the resumed sweep warm-starts from
+/// them, lands the bit-identical outcome vector an uncached sweep
+/// produces, and retires every spent checkpoint.
+#[test]
+fn killed_sweep_resumes_from_checkpoints_to_the_uncached_vector() {
+    let g = common::small_grid("ckpt-sweep").checkpoint_every(200);
+    let n = g.len();
+
+    // Reference: a plain uncached run in its own catalog.
+    let ref_dir = temp_store("sweep-reference");
+    let reference = g.run_cached(&Catalog::open(&ref_dir).unwrap(), 2, 2).unwrap();
+    assert_eq!(reference.misses, n);
+
+    // The victim sweep: every point is killed at cycle 600, three
+    // cadence marks in (200, 400, 600 — the kill check runs before the
+    // iteration, so the 600 mark itself may or may not have landed).
+    let cat_dir = temp_store("sweep-catalog");
+    let ckpt_dir = temp_store("sweep-checkpoints");
+    let catalog = Catalog::open(&cat_dir).unwrap();
+    let checkpoints = CheckpointStore::open(&ckpt_dir).unwrap();
+    let killed = g
+        .run_cached_resumable(&catalog, &checkpoints, 2, 2, Some(600))
+        .unwrap();
+    assert_eq!(killed.pending, n, "every point was killed");
+    assert!(killed.outcomes.is_empty(), "a killed sweep carries no vector");
+    assert_eq!(checkpoints.len(), n, "each killed point left its latest snapshot");
+
+    // Resume: warm-start every point from its snapshot.
+    let resumed = g
+        .run_cached_resumable(&catalog, &checkpoints, 2, 2, None)
+        .unwrap();
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.misses, n, "nothing was in the catalog yet");
+    assert_eq!(
+        vector_bytes(&resumed.outcomes),
+        vector_bytes(&reference.outcomes),
+        "warm-started vector must be bit-identical to the uncached run"
+    );
+    assert!(
+        checkpoints.is_empty(),
+        "spent checkpoints must be retired once outcomes reach the catalog"
+    );
+
+    // The catalog is now warm; a third call simulates nothing, and
+    // the checkpoint path is a no-op.
+    let warm = g
+        .run_cached_resumable(&catalog, &checkpoints, 2, 2, None)
+        .unwrap();
+    assert_eq!((warm.hits, warm.misses, warm.pending), (n, 0, 0));
+    assert_eq!(vector_bytes(&warm.outcomes), vector_bytes(&reference.outcomes));
+
+    for d in [&ref_dir, &cat_dir, &ckpt_dir] {
+        let _ = fs::remove_dir_all(d);
+    }
+}
+
+/// Shape-mismatched snapshots are a checkpoint error, not a panic:
+/// restoring a 2x2 wireless snapshot into a substrate system (or a
+/// different MAC) fails cleanly and leaves the target runnable.
+#[test]
+fn restore_rejects_cross_scenario_snapshots_cleanly() {
+    let wireless = quick(Architecture::Wireless);
+    let (snap, _) = snapshot_fixture(&wireless);
+
+    // Different architecture: the media split differs.
+    let substrate = quick(Architecture::Substrate);
+    let mut target = MultichipSystem::build(&substrate).unwrap();
+    assert!(target.restore(&snap).is_err(), "cross-architecture restore must fail");
+
+    // The failed restore left the system untouched and runnable.
+    let mut w = reads(&substrate, 0.004, 0.5);
+    let outcome = target.run(&mut w).unwrap();
+    assert!(outcome.packets_delivered() > 0);
+
+    // Different scale: the component counts differ.
+    let mut big = quick(Architecture::Wireless);
+    big.multichip = wimnet::topology::MultichipConfig::xcym(8, 4, Architecture::Wireless);
+    let mut target = MultichipSystem::build(&big).unwrap();
+    assert!(target.restore(&snap).is_err(), "cross-scale restore must fail");
+}

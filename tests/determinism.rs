@@ -10,66 +10,15 @@
 //! data-dependent order, or skips a cycle it should not, breaks these
 //! tests immediately.
 
+mod common;
+
+use common::{assert_ff_bit_identical, quick, run_fingerprint, NoFastForward};
+
 use wimnet::core::experiments::run_all;
 use wimnet::core::sweeps::{run_pool, run_pool_batched, ScenarioGrid};
 use wimnet::core::{Experiment, MultichipSystem, Scale, SystemConfig};
 use wimnet::topology::Architecture;
-use wimnet::traffic::{InjectionProcess, TrafficEvent, UniformRandom, Workload};
-
-/// Full bit-level fingerprint of a finished simulation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Fingerprint {
-    packets_injected: u64,
-    packets_delivered: u64,
-    flits_delivered: u64,
-    window_packets: u64,
-    window_flits: u64,
-    latency_sum_bits: u64,
-    latency_max: Option<u64>,
-    latency_min: Option<u64>,
-    energy_total_bits: u64,
-    energy_breakdown_bits: Vec<u64>,
-}
-
-fn run_fingerprint(config: &SystemConfig, load: InjectionProcess) -> Fingerprint {
-    let mut sys = MultichipSystem::build(config).expect("system builds");
-    let mut workload = UniformRandom::new(
-        config.multichip.total_cores(),
-        config.multichip.num_stacks,
-        0.20,
-        load,
-        config.packet_flits,
-        config.seed,
-    );
-    let outcome = sys.run(&mut workload).expect("run completes");
-    let net = sys.network();
-    let stats = net.stats();
-    Fingerprint {
-        packets_injected: stats.packets_injected(),
-        packets_delivered: stats.packets_delivered(),
-        flits_delivered: stats.flits_delivered(),
-        window_packets: stats.window_packets_delivered(),
-        window_flits: stats.window_flits_delivered(),
-        latency_sum_bits: outcome
-            .avg_latency_cycles
-            .unwrap_or(f64::NAN)
-            .to_bits(),
-        latency_max: stats.max_latency(),
-        latency_min: stats.min_latency(),
-        energy_total_bits: net.meter().total().picojoules().to_bits(),
-        energy_breakdown_bits: net
-            .meter()
-            .breakdown()
-            .entries
-            .iter()
-            .map(|(_, e)| e.picojoules().to_bits())
-            .collect(),
-    }
-}
-
-fn quick(arch: Architecture) -> SystemConfig {
-    SystemConfig::xcym(4, 4, arch).quick_test_profile()
-}
+use wimnet::traffic::{InjectionProcess, UniformRandom};
 
 #[test]
 fn repeated_runs_are_bit_identical_per_architecture() {
@@ -141,27 +90,6 @@ fn fast_forward_stops_at_the_measurement_boundary() {
     }
 }
 
-/// Disables fast-forward on any workload by reporting "cannot predict".
-/// Generation is forwarded untouched, so the only difference between a
-/// wrapped and an unwrapped run is whether the driver skips idle
-/// cycles.
-struct NoFastForward<W>(W);
-
-impl<W: Workload> Workload for NoFastForward<W> {
-    fn generate(&mut self, now: u64) -> Vec<TrafficEvent> {
-        self.0.generate(now)
-    }
-    fn name(&self) -> &str {
-        self.0.name()
-    }
-    fn shape(&self) -> (usize, usize) {
-        self.0.shape()
-    }
-    fn next_event_at(&self, _now: u64) -> Option<u64> {
-        None
-    }
-}
-
 /// The counter-based injection RNG makes Bernoulli generation a pure
 /// function of `(seed, core, cycle)`, so the driver may fast-forward
 /// over quiet low-load stretches.  The whole point of that soundness
@@ -228,70 +156,6 @@ fn bernoulli_fast_forward_is_bit_identical_to_full_stepping() {
             "{arch}: sanity — the low-load run still carried traffic"
         );
     }
-}
-
-/// Full-fingerprint comparison of a fast-forwarded and a full-stepped
-/// run of the same system + workload pair: stats, latency bits and
-/// every energy category must match to the last bit.  `make_sys`
-/// rebuilds the system, `make_workload` the workload, per run.
-fn assert_ff_bit_identical(
-    what: &str,
-    cfg: &SystemConfig,
-    make_workload: &dyn Fn() -> Box<dyn Workload>,
-) {
-    let run = |disable_ff: bool| {
-        let mut cfg = cfg.clone();
-        cfg.disable_fast_forward = disable_ff;
-        let mut sys = MultichipSystem::build(&cfg).expect("system builds");
-        let mut w = make_workload();
-        sys.run(w.as_mut()).expect("run completes");
-        sys
-    };
-    let fast = run(false);
-    let full = run(true);
-    assert!(
-        full.network().fast_forwarded_cycles() == 0,
-        "{what}: the full-stepping baseline must not skip"
-    );
-    assert!(
-        fast.network().fast_forwarded_cycles() > 0,
-        "{what}: fast-forward never engaged — the scenario no longer exercises it"
-    );
-    assert_eq!(
-        fast.network().stats().packets_delivered(),
-        full.network().stats().packets_delivered(),
-        "{what}: delivered packets diverged"
-    );
-    assert_eq!(
-        fast.network().stats().window_flits_delivered(),
-        full.network().stats().window_flits_delivered(),
-        "{what}: window flits diverged"
-    );
-    assert_eq!(
-        fast.network().meter().total().picojoules().to_bits(),
-        full.network().meter().total().picojoules().to_bits(),
-        "{what}: energy totals must match to the last bit"
-    );
-    let breakdown = |sys: &MultichipSystem| -> Vec<u64> {
-        sys.network()
-            .meter()
-            .breakdown()
-            .entries
-            .iter()
-            .map(|(_, e)| e.picojoules().to_bits())
-            .collect()
-    };
-    assert_eq!(breakdown(&fast), breakdown(&full), "{what}: breakdown diverged");
-    // The per-stack controller statistics are part of the contract too:
-    // skipped cycles replay their occupancy integrals in closed form
-    // (MemoryController::idle_advance), so queue-depth and
-    // bank-parallelism figures must not depend on whether the driver
-    // stepped or jumped.
-    assert_eq!(
-        fast.memory_stats(),
-        full.memory_stats(),
-        "{what}: memory-controller statistics diverged"
-    );
 }
 
 /// The tentpole contract for application traffic: `AppWorkload`'s

@@ -2,19 +2,15 @@
 //! configurations and workload parameters must never violate the
 //! system's invariants.
 
+mod common;
+
 use proptest::prelude::*;
 
-use wimnet::core::{Experiment, ReplicaBatch, RunOutcome, SystemConfig};
+use common::{arch_strategy, quick};
+
+use wimnet::core::{Experiment, ReplicaBatch, RunOutcome};
 use wimnet::routing::{deadlock, Routes, RoutingPolicy};
 use wimnet::topology::{Architecture, MultichipConfig, MultichipLayout};
-
-fn arch_strategy() -> impl Strategy<Value = Architecture> {
-    prop_oneof![
-        Just(Architecture::Substrate),
-        Just(Architecture::Interposer),
-        Just(Architecture::Wireless),
-    ]
-}
 
 proptest! {
     #![proptest_config(ProptestConfig {
@@ -87,7 +83,7 @@ proptest! {
         seed in 0u64..1_000,
         load in 0.0005f64..0.004,
     ) {
-        let mut cfg = SystemConfig::xcym(4, 4, arch).quick_test_profile();
+        let mut cfg = quick(arch);
         cfg.seed = seed;
         let outcome = Experiment::uniform_random(&cfg, load).run().unwrap();
         prop_assert!(outcome.packets_delivered() > 0);
@@ -132,7 +128,7 @@ proptest! {
                     Architecture::Interposer,
                     Architecture::Wireless,
                 ][arch_idx];
-                let mut cfg = SystemConfig::xcym(4, 4, arch).quick_test_profile();
+                let mut cfg = quick(arch);
                 cfg.seed = seed;
                 cfg.disable_fast_forward = disable_ff;
                 if reads {

@@ -5,12 +5,18 @@
 //! JSON layer is not guaranteed bit-exact for every f64, and the
 //! archives only need analysable precision.
 
+mod common;
+
 use proptest::prelude::*;
+
+use common::gnarly_f64;
 
 use wimnet::core::catalog;
 use wimnet::core::experiments::Scale;
 use wimnet::core::system::MacKind;
-use wimnet::core::{Experiment, RunOutcome, ScenarioPoint, SystemConfig, WirelessModel};
+use wimnet::core::{
+    Experiment, MultichipSystem, RunOutcome, ScenarioPoint, Snapshot, SystemConfig, WirelessModel,
+};
 use wimnet::energy::{Energy, EnergyBreakdown, EnergyCategory};
 use wimnet::memory::{MemoryStackStats, SchedulerPolicy};
 use wimnet::topology::Architecture;
@@ -96,18 +102,6 @@ fn figure_rows_serialize_for_the_harness() {
 // because the result catalog's resume/dedupe guarantees
 // (`docs/sweeps.md`) are stated in terms of byte-identical entries.
 // ---------------------------------------------------------------------------
-
-/// A finite f64 with a full random mantissa — stresses the shortest
-/// round-trip float codec much harder than "nice" decimal literals.
-fn gnarly_f64(bits: u64) -> f64 {
-    let f = f64::from_bits(bits);
-    if f.is_finite() {
-        f
-    } else {
-        // Clear the exponent's top bit: the result is always finite.
-        f64::from_bits(bits & !(1u64 << 62))
-    }
-}
 
 fn arch_from(idx: usize) -> Architecture {
     match idx % 3 {
@@ -293,5 +287,105 @@ proptest! {
         // Byte-identical re-serialization is what lets overlapping
         // catalog shards overwrite each other's entries benignly.
         prop_assert_eq!(serde_json::to_string_pretty(&back).unwrap(), json);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Full-engine snapshots (`wimnet::core::checkpoint`): the checkpoint
+// store validates entries by recomputing the content hash from a
+// *re-serialized parse*, so `bytes(parse(bytes(s))) == bytes(s)` is a
+// correctness requirement, not a nicety — a snapshot that drifted
+// through one round trip would quarantine itself on every lookup.
+// ---------------------------------------------------------------------------
+
+/// Replace every fractional number in a JSON document with a finite
+/// full-mantissa float — the snapshot schema with worst-case payloads.
+/// Integer-typed fields (cycle counters, queue contents) are left
+/// alone; doctoring those would break nothing serde-wise but would
+/// make the document lie about its own shape.
+fn doctor_floats(value: &mut serde::Value, rng: &mut u64) {
+    match value {
+        serde::Value::Float(f) => {
+            *rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *f = gnarly_f64(*rng);
+        }
+        serde::Value::Seq(items) => {
+            for item in items {
+                doctor_floats(item, rng);
+            }
+        }
+        serde::Value::Map(entries) => {
+            for (_, item) in entries {
+                doctor_floats(item, rng);
+            }
+        }
+        _ => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Mid-run [`Snapshot`]s — taken at a random cycle of a random
+    /// (architecture, seed, load, read-share) run — survive JSON
+    /// byte-exactly, both as captured and after every float in the
+    /// document is doctored to a gnarly full-mantissa value.
+    #[test]
+    fn snapshots_round_trip_bit_exactly(
+        arch_idx in 0usize..3,
+        seed in 0u64..1_000,
+        load in 0.001f64..0.006,
+        stop_frac in 0.1f64..0.9,
+        reads in any::<bool>(),
+        float_seed in any::<u64>(),
+    ) {
+        use wimnet::traffic::{InjectionProcess, UniformRandom, Workload};
+
+        let mut cfg = SystemConfig::xcym(2, 2, arch_from(arch_idx)).quick_test_profile();
+        cfg.seed = seed;
+        let mut sys = MultichipSystem::build(&cfg).unwrap();
+        let base = UniformRandom::new(
+            cfg.multichip.total_cores(),
+            cfg.multichip.num_stacks,
+            if reads { 0.9 } else { 0.20 },
+            InjectionProcess::Bernoulli { rate: load },
+            cfg.packet_flits,
+            cfg.seed,
+        );
+        let mut workload: Box<dyn Workload> = if reads {
+            Box::new(base.with_memory_reads(1.0, 8))
+        } else {
+            Box::new(base)
+        };
+        let total = cfg.warmup_cycles + cfg.measure_cycles;
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let stop = (total as f64 * stop_frac) as u64;
+        sys.run_until(workload.as_mut(), 0, stop).unwrap();
+
+        // As captured: one round trip reproduces the exact bytes.
+        let snap = sys.snapshot();
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&serde_json::to_string_pretty(&back).unwrap(), &json);
+
+        // Doctored: every float in the document replaced with a finite
+        // full-mantissa value.  The parsed snapshot must reach a
+        // byte-stable serialization in one round.
+        let mut value: serde::Value = serde_json::from_str(&json).unwrap();
+        let mut rng = float_seed;
+        doctor_floats(&mut value, &mut rng);
+        let doctored: Snapshot =
+            serde_json::from_str(&serde_json::to_string(&value).unwrap()).unwrap();
+        let first = serde_json::to_string_pretty(&doctored).unwrap();
+        let reparsed: Snapshot = serde_json::from_str(&first).unwrap();
+        prop_assert_eq!(serde_json::to_string_pretty(&reparsed).unwrap(), first);
+
+        // A restored-from-JSON snapshot is as good as the original: it
+        // lands the rebuilt system on the same cycle.
+        let mut fresh = MultichipSystem::build(&cfg).unwrap();
+        fresh.restore(&back).unwrap();
+        prop_assert_eq!(fresh.network().now(), snap.cycle);
     }
 }
