@@ -14,14 +14,21 @@
 //!
 //! Includes the sleepy-receiver on/off comparison (part of §III.D's
 //! motivation).
+//!
+//! Pass `--trace FILE` to additionally export a Chrome-trace/Perfetto
+//! JSON view (packet lifetimes + MAC turns) of the control-packet-MAC
+//! run — the observed run's table row is bit-identical to the
+//! unobserved one (`docs/observability.md`).
 
-use wimnet_bench::{banner, results_dir, scale_from_args};
+use wimnet_bench::{banner, results_dir, scale_from_args, trace_path_from_args};
 use wimnet_core::report::{format_table, write_csv};
-use wimnet_core::{Experiment, MacKind, SystemConfig, WirelessModel};
+use wimnet_core::{Experiment, MacKind, SystemConfig, TelemetryConfig, WirelessModel};
+use wimnet_telemetry::validate_chrome_trace;
 use wimnet_topology::Architecture;
 
 fn main() {
     let scale = scale_from_args();
+    let trace_path = trace_path_from_args();
     banner("Ablation — wireless channel models and MACs (4C4M)", scale);
 
     let variants: Vec<(&str, WirelessModel, bool)> = vec![
@@ -60,7 +67,29 @@ fn main() {
         let mut cfg = scale.apply(SystemConfig::xcym(4, 4, Architecture::Wireless));
         cfg.wireless = wireless;
         cfg.sleepy_receivers = sleepy;
-        let outcome = Experiment::uniform_random(&cfg, load).run();
+        // `--trace` records the paper's own protocol run — the sleepy
+        // control-packet MAC — without moving its table row.
+        let trace_this = trace_path.is_some()
+            && name == "shared channel, control MAC (sleepy)";
+        if trace_this {
+            cfg.telemetry = TelemetryConfig::tracing();
+        }
+        let outcome = if trace_this {
+            Experiment::uniform_random(&cfg, load).run_traced().map(|(o, trace)| {
+                let path = trace_path.as_ref().expect("trace_this implies a path");
+                let json = trace.expect("tracing was enabled");
+                let events = validate_chrome_trace(&json)
+                    .expect("emitted trace passes its own schema validator");
+                std::fs::write(path, json).expect("write trace file");
+                println!(
+                    "wrote {events} trace event(s) for {name:?} to {}",
+                    path.display()
+                );
+                o
+            })
+        } else {
+            Experiment::uniform_random(&cfg, load).run()
+        };
         match outcome {
             Ok(o) => table.push(vec![
                 name.to_string(),

@@ -13,10 +13,21 @@
 //!       --archs wireless,substrate --loads 0.001,0.004     # simulate misses
 //! sweep submit ... --shard 0/4                             # this process's quarter
 //! sweep status ...                                         # cached / missing counts
+//! sweep status ... --shard 0/4 --json                      # machine-readable, per shard
 //! sweep fetch  ... > outcomes.json                         # full JSON result vector
 //! sweep checkpoint ... --every 200 --kill-at 500           # run, snapshot, die mid-point
 //! sweep resume ...                                         # finish from the snapshots
+//! sweep trace  ... --out run.trace.json                    # Perfetto trace of point 0
 //! ```
+//!
+//! `status --json` emits one document with hit / miss / pending /
+//! quarantine counts per shard (the shard count comes from `--shard
+//! I/N`; default one shard), so fleet drivers can poll convergence
+//! without scraping the human text.  `trace` re-runs the grid's first
+//! point with `TelemetryConfig::tracing()` and writes validated
+//! Chrome-trace/Perfetto JSON (`docs/observability.md` "Trace
+//! schema") — by the zero-observer-effect contract the traced run's
+//! outcome is bit-identical to the cataloged one.
 //!
 //! `checkpoint`/`resume` add **mid-point** resumability on top of the
 //! catalog's per-point kind: misses snapshot their full engine state
@@ -39,14 +50,15 @@ use wimnet_bench::results_dir;
 use wimnet_core::catalog::Catalog;
 use wimnet_core::checkpoint::CheckpointStore;
 use wimnet_core::sweeps::default_threads;
-use wimnet_core::{Scale, ScenarioGrid, WirelessModel};
+use wimnet_core::{Scale, ScenarioGrid, TelemetryConfig, WirelessModel, ENGINE_VERSION};
 use wimnet_core::system::MacKind;
+use wimnet_telemetry::validate_chrome_trace;
 use wimnet_memory::SchedulerPolicy;
 use wimnet_topology::Architecture;
 use wimnet_traffic::{AddressStreamSpec, InjectionProcess};
 
 fn usage() -> String {
-    "usage: sweep <submit|status|fetch|checkpoint|resume> [options]\n\
+    "usage: sweep <submit|status|fetch|checkpoint|resume|trace> [options]\n\
      \n\
      grid axes (defaults: the paper's 4C4M wireless saturation point):\n\
        --name NAME            grid name (reporting only)\n\
@@ -69,7 +81,8 @@ fn usage() -> String {
        --chunk N              steal/batch width (default: 4)\n\
        --shard I/N            submit only shard I of N (default 0/1)\n\
        --abort-after-misses K simulate a crash after K fresh points (exit 3)\n\
-       --out FILE             fetch: write JSON here instead of stdout\n\
+       --json                 status: machine-readable per-shard counts\n\
+       --out FILE             fetch/trace: write JSON here instead of stdout\n\
      \n\
      checkpoint / resume options:\n\
        --checkpoints DIR      snapshot store (default: results/checkpoints)\n\
@@ -89,6 +102,7 @@ struct Cli {
     shard: (usize, usize),
     abort_after_misses: Option<usize>,
     kill_at: Option<u64>,
+    json: bool,
     out: Option<PathBuf>,
 }
 
@@ -209,7 +223,7 @@ fn parse_cli() -> Result<Cli, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = match args.first() {
         Some(c)
-            if ["submit", "status", "fetch", "checkpoint", "resume"]
+            if ["submit", "status", "fetch", "checkpoint", "resume", "trace"]
                 .contains(&c.as_str()) =>
         {
             c.clone()
@@ -238,6 +252,7 @@ fn parse_cli() -> Result<Cli, String> {
     let mut chunk = 4usize;
     let mut shard = (0usize, 1usize);
     let mut abort_after_misses: Option<usize> = None;
+    let mut json = false;
     let mut out: Option<PathBuf> = None;
 
     let mut it = args[1..].iter();
@@ -323,6 +338,7 @@ fn parse_cli() -> Result<Cli, String> {
                         .map_err(|e| format!("--abort-after-misses: {e}"))?,
                 )
             }
+            "--json" => json = true,
             "--out" => out = Some(PathBuf::from(value("--out")?)),
             other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
         }
@@ -386,6 +402,7 @@ fn parse_cli() -> Result<Cli, String> {
         shard,
         abort_after_misses,
         kill_at,
+        json,
         out,
     })
 }
@@ -438,6 +455,9 @@ fn submit(cli: &Cli, catalog: &Catalog) -> Result<ExitCode, String> {
 }
 
 fn status(cli: &Cli, catalog: &Catalog) -> Result<ExitCode, String> {
+    if cli.json {
+        return status_json(cli, catalog);
+    }
     let points = cli.grid.points();
     let mut missing: Vec<&str> = Vec::new();
     for point in &points {
@@ -462,6 +482,103 @@ fn status(cli: &Cli, catalog: &Catalog) -> Result<ExitCode, String> {
         if missing.len() > 8 {
             println!("  ... and {} more", missing.len() - 8);
         }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `status --json`: one machine-readable document with hit / miss /
+/// pending / quarantine counts per shard (shard count from `--shard
+/// I/N`), plus grid-level totals.  Unlike the human `status`, this
+/// *opens* every cached envelope (`Catalog::lookup`), so entries that
+/// cannot be served — wrong engine version, corrupt payload — count as
+/// `quarantined` rather than inflating `hits`; `pending` is what a
+/// submit would still have to simulate (`misses + quarantined`).
+fn status_json(cli: &Cli, catalog: &Catalog) -> Result<ExitCode, String> {
+    let points = cli.grid.points();
+    let (_, shards) = cli.shard;
+    let mut shard_rows = Vec::with_capacity(shards);
+    let (mut hits, mut misses, mut quarantined) = (0u64, 0u64, 0u64);
+    for shard in 0..shards {
+        let range = cli.grid.shard_range(shard, shards);
+        let (mut h, mut m, mut q) = (0u64, 0u64, 0u64);
+        for point in &points[range.clone()] {
+            let fp = cli.grid.point_fingerprint(point);
+            if !catalog.contains(&fp) {
+                m += 1;
+            } else if catalog.lookup(&fp).is_some() {
+                h += 1;
+            } else {
+                q += 1;
+            }
+        }
+        hits += h;
+        misses += m;
+        quarantined += q;
+        shard_rows.push(Value::Map(vec![
+            ("shard".to_string(), Value::UInt(shard as u64)),
+            ("of".to_string(), Value::UInt(shards as u64)),
+            ("points".to_string(), Value::UInt(range.len() as u64)),
+            ("hits".to_string(), Value::UInt(h)),
+            ("misses".to_string(), Value::UInt(m)),
+            ("pending".to_string(), Value::UInt(m + q)),
+            ("quarantined".to_string(), Value::UInt(q)),
+        ]));
+    }
+    let doc = Value::Map(vec![
+        ("grid".to_string(), Value::Str(cli.grid.name().to_string())),
+        ("engine".to_string(), Value::Str(ENGINE_VERSION.to_string())),
+        ("catalog".to_string(), Value::Str(cli.catalog_dir.display().to_string())),
+        ("points".to_string(), Value::UInt(points.len() as u64)),
+        ("hits".to_string(), Value::UInt(hits)),
+        ("misses".to_string(), Value::UInt(misses)),
+        ("pending".to_string(), Value::UInt(misses + quarantined)),
+        ("quarantined".to_string(), Value::UInt(quarantined)),
+        ("complete".to_string(), Value::Bool(misses + quarantined == 0)),
+        ("shards".to_string(), Value::Seq(shard_rows)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).map_err(|e| format!("{e}"))?;
+    match &cli.out {
+        Some(path) => std::fs::write(path, json)
+            .map_err(|e| format!("write {}: {e}", path.display()))?,
+        None => println!("{json}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `trace`: re-run the grid's first point with full trace recording and
+/// emit validated Chrome-trace/Perfetto JSON (load into
+/// `chrome://tracing` or <https://ui.perfetto.dev>).  The traced run
+/// never touches the catalog — telemetry is excluded from scenario
+/// fingerprints, and by the zero-observer-effect contract its outcome
+/// is bit-identical to the cataloged one anyway.
+fn trace(cli: &Cli) -> Result<ExitCode, String> {
+    let points = cli.grid.points();
+    let point = points.first().ok_or("trace: the grid has no points")?;
+    if points.len() > 1 {
+        eprintln!(
+            "trace: grid has {} points; tracing point 0 ({})",
+            points.len(),
+            point.label
+        );
+    }
+    let mut exp = cli.grid.experiment(point);
+    exp.config_mut().telemetry = TelemetryConfig::tracing();
+    let (outcome, trace) = exp.run_traced().map_err(|e| format!("{e}"))?;
+    let json = trace.ok_or("trace: the engine produced no trace buffer")?;
+    let events = validate_chrome_trace(&json)
+        .map_err(|e| format!("trace: emitted JSON failed schema validation: {e}"))?;
+    match &cli.out {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+            println!(
+                "wrote {events} trace event(s) for {:?} ({} packets delivered) to {}",
+                point.label,
+                outcome.packets_delivered(),
+                path.display()
+            );
+        }
+        None => println!("{json}"),
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -557,6 +674,16 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    // `trace` never touches the catalog — don't create its directory.
+    if cli.command == "trace" {
+        return match trace(&cli) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::from(2)
+            }
+        };
+    }
     let catalog = match Catalog::open(&cli.catalog_dir) {
         Ok(c) => c,
         Err(e) => {

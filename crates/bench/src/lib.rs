@@ -20,6 +20,22 @@ pub fn scale_from_args() -> Scale {
     }
 }
 
+/// Parses the optional `--trace FILE` flag carried by experiment
+/// binaries that can export a Chrome-trace/Perfetto JSON view of one
+/// of their runs (`docs/observability.md` "Trace schema").  Returns
+/// the destination path, or `None` when tracing was not requested.
+pub fn trace_path_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return Some(PathBuf::from(
+                args.next().expect("--trace needs a FILE argument"),
+            ));
+        }
+    }
+    None
+}
+
 /// Where CSV outputs land (`results/` under the workspace root, or the
 /// current directory as a fallback).
 pub fn results_dir() -> PathBuf {

@@ -17,7 +17,8 @@ const FINGERPRINTLESS: &[&str] = &["idle", "fig3_sweep"];
 /// measured scenarios (the quiescence-capable MAC comparison and the
 /// event-driven app workload), the replica-batch tentpole's A/B rows
 /// (per-replica `run_pool` vs `run_pool_batched` over the masked fast
-/// stepper), and the long-standing engine rows.
+/// stepper), the observability tentpole's zero-observer-effect A/B
+/// (`telemetry_overhead`), and the long-standing engine rows.
 const REQUIRED_ROWS: &[&str] = &[
     "idle",
     "fig3_anchor_load",
@@ -28,6 +29,7 @@ const REQUIRED_ROWS: &[&str] = &[
     "app_blackscholes",
     "memory_bound_ff",
     "saturated",
+    "telemetry_overhead",
     "sweep_grid_pool",
     "fig3_sweep_batched",
     "sweep_grid_pool_batched",
@@ -147,6 +149,33 @@ fn required_rows_are_present_in_both_blocks() {
             );
         }
     }
+}
+
+/// The observability tentpole's cost ceiling: on `telemetry_overhead`
+/// the blocks compare telemetry-off (`before`) against counters + time
+/// series attached (`after`) at uniform saturation — the worst case,
+/// every hook firing every cycle.  Attached observation must stay
+/// within ~5% of the unobserved wall clock (small slack on top for
+/// measurement noise in the recorded minima; the *outcome* equality is
+/// asserted separately by `before_and_after_fingerprints_are_bit_identical`
+/// and at measurement time inside `bench_engine` itself).
+#[test]
+fn telemetry_overhead_stays_within_five_percent() {
+    let root = load();
+    let wall = |block: &str| {
+        let rows = scenarios(&root, block);
+        let (_, row) = rows
+            .iter()
+            .find(|(k, _)| k == "telemetry_overhead")
+            .expect("required_rows_are_present_in_both_blocks covers absence");
+        number(field(row, "wall_ms", "telemetry_overhead"))
+    };
+    let (off, on) = (wall("before"), wall("after"));
+    assert!(
+        on <= off * 1.08,
+        "telemetry on ({on:.3} ms) exceeds ~5% overhead budget over \
+         telemetry off ({off:.3} ms) at saturation"
+    );
 }
 
 #[test]

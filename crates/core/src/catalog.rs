@@ -77,7 +77,10 @@ use crate::system::WirelessModel;
 /// docs' versioning rule); keep when a PR only proves bit-identity.
 /// v8: the exact-sum energy meter — correctly-rounded superaccumulator
 /// read-outs move energy bits relative to v7's sequential f64 adds.
-pub const ENGINE_VERSION: &str = "wimnet-engine-v8";
+/// v9: rank-exact percentiles from the full log-linear latency
+/// histogram — `p99_latency_cycles` was a power-of-two bucket upper
+/// bound in v8, so latency read-out bits move (p50/p999 are new).
+pub const ENGINE_VERSION: &str = "wimnet-engine-v9";
 
 /// A 128-bit canonical content fingerprint of one cacheable scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -395,7 +398,9 @@ mod tests {
             avg_packet_energy_nj: Some(0.875),
             avg_latency_cycles: Some(31.5),
             max_latency_cycles: Some(211),
+            p50_latency_cycles: Some(30),
             p99_latency_cycles: Some(96),
+            p999_latency_cycles: Some(180),
             fast_forwarded_cycles: 0,
             meter_ops: 0,
             meter_charges: 0,
@@ -404,6 +409,7 @@ mod tests {
                 total: wimnet_energy::Energy::from_nj(total_packets as f64),
             },
             memory: Vec::new(),
+            telemetry: None,
         }
     }
 

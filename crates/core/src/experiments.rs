@@ -232,6 +232,24 @@ impl Experiment {
         system.run(workload.as_mut())
     }
 
+    /// Like [`Experiment::run`], but also exports the Chrome-trace JSON
+    /// when `config.telemetry.trace` is set (`None` otherwise) — the
+    /// plumbing behind the experiment binaries' `--trace FILE` flag and
+    /// the `sweep trace` verb.  The outcome is bit-identical to an
+    /// untraced run (`tests/determinism.rs`); only the side channel
+    /// differs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures and stalls.
+    pub fn run_traced(&self) -> Result<(RunOutcome, Option<String>), CoreError> {
+        let mut system = MultichipSystem::build(&self.config)?;
+        let mut workload = self.build_workload();
+        let outcome = system.run(workload.as_mut())?;
+        let trace = system.export_chrome_trace();
+        Ok((outcome, trace))
+    }
+
     /// Runs with checkpointing against `store` under the scenario key
     /// `fp`: resumes from the latest serveable snapshot, persists one at
     /// every `config.checkpoint_every` mark, and — `kill_at` aside —

@@ -69,3 +69,4 @@ pub use metrics::{percentage_gain, RunOutcome};
 pub use replica::ReplicaBatch;
 pub use sweeps::{run_pool, run_pool_batched, CachedSweep, ScenarioGrid, ScenarioPoint};
 pub use system::{MacKind, MultichipSystem, SystemConfig, SystemState, WirelessModel};
+pub use wimnet_telemetry::TelemetryConfig;

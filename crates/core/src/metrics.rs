@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 use wimnet_energy::EnergyBreakdown;
 use wimnet_memory::MemoryStackStats;
 use wimnet_noc::Network;
+use wimnet_telemetry::TelemetrySummary;
 
 use crate::system::SystemConfig;
 
@@ -37,8 +38,18 @@ pub struct RunOutcome {
     pub avg_latency_cycles: Option<f64>,
     /// Worst packet latency in cycles.
     pub max_latency_cycles: Option<u64>,
-    /// Approximate 99th-percentile latency (log-histogram bucket bound).
+    /// Median end-to-end latency in cycles, rank-exact from the full
+    /// log-linear histogram (defaulted so pre-v9 catalog entries parse).
+    #[serde(default)]
+    pub p50_latency_cycles: Option<u64>,
+    /// 99th-percentile latency, rank-exact from the full log-linear
+    /// histogram.  Pre-v9 entries stored a power-of-two bucket upper
+    /// *bound* here — the histogram upgrade is why ENGINE_VERSION
+    /// moved to v9.
     pub p99_latency_cycles: Option<u64>,
+    /// 99.9th-percentile latency, rank-exact (defaulted like `p50`).
+    #[serde(default)]
+    pub p999_latency_cycles: Option<u64>,
     /// Cycles the engine skipped via idle fast-forward (warmup +
     /// window) — zero on busy runs or with
     /// [`SystemConfig::disable_fast_forward`] set.  Surfaces how much
@@ -62,6 +73,13 @@ pub struct RunOutcome {
     /// simulation start — see `docs/memory.md` and
     /// [`crate::report::format_memory_table`].
     pub memory: Vec<MemoryStackStats>,
+    /// End-of-run telemetry digest — per-link/switch/MAC/stack
+    /// counters, the delivery time series and the full latency
+    /// histogram — when the run observed itself
+    /// (`SystemConfig::telemetry`); `None`, and absent from the JSON,
+    /// otherwise.  Serde-defaulted so pre-v9 catalog entries parse.
+    #[serde(default)]
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl RunOutcome {
@@ -72,6 +90,7 @@ impl RunOutcome {
         net: &Network,
         cores: usize,
         memory: Vec<MemoryStackStats>,
+        telemetry: Option<TelemetrySummary>,
     ) -> Self {
         let stats = net.stats();
         let flits_per_cycle_per_core =
@@ -93,12 +112,15 @@ impl RunOutcome {
             avg_packet_energy_nj,
             avg_latency_cycles: stats.average_latency(),
             max_latency_cycles: stats.max_latency(),
+            p50_latency_cycles: stats.latency_percentile(0.5),
             p99_latency_cycles: stats.latency_percentile(0.99),
+            p999_latency_cycles: stats.latency_percentile(0.999),
             fast_forwarded_cycles: net.fast_forwarded_cycles(),
             meter_ops: net.meter().ops(),
             meter_charges: net.meter().charges(),
             energy: net.meter().breakdown(),
             memory,
+            telemetry,
         }
     }
 

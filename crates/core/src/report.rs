@@ -157,6 +157,49 @@ pub fn format_energy_table(energy: &wimnet_energy::EnergyBreakdown) -> String {
     format_table(&["category", "energy (nJ)", "share"], &rows)
 }
 
+/// Formats a run's per-link telemetry (`TelemetrySummary::links`) as a
+/// utilization/stall heatmap table: one row per link with its kind,
+/// flits carried, busy share of the run, and the fraction of busy
+/// cycles lost to downstream credit exhaustion.  Links that never
+/// carried a flit are folded into a single `(idle)` summary row so a
+/// large mesh doesn't drown the hot paths.
+pub fn format_link_utilization_table(
+    telemetry: &wimnet_telemetry::TelemetrySummary,
+) -> String {
+    let pct = |n: u64, d: u64| {
+        if d == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * n as f64 / d as f64)
+        }
+    };
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut idle = 0usize;
+    for (i, l) in telemetry.links.iter().enumerate() {
+        if l.flits == 0 && l.busy_cycles == 0 {
+            idle += 1;
+            continue;
+        }
+        rows.push(vec![
+            i.to_string(),
+            l.kind.clone(),
+            l.flits.to_string(),
+            format!("{:.1}%", 100.0 * l.utilization),
+            pct(l.credit_stalls, l.busy_cycles),
+        ]);
+    }
+    if idle > 0 {
+        rows.push(vec![
+            "(idle)".to_string(),
+            format!("{idle} links"),
+            "0".to_string(),
+            "0.0%".to_string(),
+            "-".to_string(),
+        ]);
+    }
+    format_table(&["link", "kind", "flits", "busy", "stalled"], &rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,5 +279,25 @@ mod tests {
         assert!(t.contains("60.0%"), "{t}");
         assert!(t.contains("1.25"), "{t}");
         assert!(t.contains("blp"), "{t}");
+    }
+
+    #[test]
+    fn link_table_shows_hot_links_and_folds_idle_ones() {
+        use wimnet_telemetry::{LinkTelemetry, TelemetrySummary};
+        let mut s = TelemetrySummary { cycles: 1000, ..Default::default() };
+        s.links.push(LinkTelemetry {
+            kind: "mesh".into(),
+            flits: 640,
+            busy_cycles: 500,
+            credit_stalls: 50,
+            utilization: 0.5,
+        });
+        s.links.push(LinkTelemetry { kind: "mesh".into(), ..Default::default() });
+        s.links.push(LinkTelemetry { kind: "serial".into(), ..Default::default() });
+        let t = format_link_utilization_table(&s);
+        assert!(t.contains("640"), "{t}");
+        assert!(t.contains("50.0%"), "{t}");
+        assert!(t.contains("10.0%"), "stall share of busy cycles: {t}");
+        assert!(t.contains("2 links"), "idle links fold into one row: {t}");
     }
 }

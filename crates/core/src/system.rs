@@ -12,6 +12,9 @@ use wimnet_memory::{
 };
 use wimnet_noc::{Network, NetworkState, NocConfig, PacketDesc, PacketId, WirelessMode};
 use wimnet_routing::{Routes, RoutingPolicy};
+use wimnet_telemetry::{
+    LinkTelemetry, SeriesSummary, StackCounters, TelemetryConfig, TelemetrySummary,
+};
 use wimnet_topology::{Architecture, MultichipConfig, MultichipLayout, NodeId};
 use wimnet_traffic::{
     AddressStream, AddressStreamSpec, Endpoint, MessageKind, TrafficEvent, Workload,
@@ -125,6 +128,14 @@ pub struct SystemConfig {
     /// bit-identical to an uninterrupted run (`docs/checkpoint.md`).
     #[serde(skip, default)]
     pub checkpoint_every: u64,
+    /// What the run observes about itself — counters, time series,
+    /// trace recording (see `docs/observability.md`).  Excluded from
+    /// serialization and therefore from scenario fingerprints: by the
+    /// zero-observer-effect contract a telemetry-on run and a
+    /// telemetry-off run are the *same* scenario with the identical
+    /// outcome (proven by `tests/determinism.rs`).
+    #[serde(skip, default)]
+    pub telemetry: TelemetryConfig,
     /// RNG seed for workloads and channel error injection.
     pub seed: u64,
     /// Technology energy constants.
@@ -158,6 +169,7 @@ impl SystemConfig {
             stall_threshold: 20_000,
             disable_fast_forward: false,
             checkpoint_every: 0,
+            telemetry: TelemetryConfig::default(),
             seed: 0x5177,
             energy: EnergyModel::paper_65nm(),
             stack: StackConfig::paper(),
@@ -378,6 +390,14 @@ impl MultichipSystem {
                     )));
                 }
             }
+        }
+
+        // After the media are attached, so trace recording reaches them.
+        if config.telemetry.any() {
+            net.enable_telemetry(
+                config.telemetry.sample_interval,
+                config.telemetry.trace,
+            );
         }
 
         let num_stacks = config.multichip.num_stacks;
@@ -840,15 +860,83 @@ impl MultichipSystem {
         Ok(cycle)
     }
 
-    /// Collects the [`RunOutcome`] of a finished run.
-    pub(crate) fn collect_outcome(&self, workload_name: &str) -> RunOutcome {
+    /// Collects the [`RunOutcome`] of a finished run (`&mut` because
+    /// harvesting telemetry flushes the open time-series bucket).
+    pub(crate) fn collect_outcome(&mut self, workload_name: &str) -> RunOutcome {
+        let telemetry = self.collect_telemetry();
         RunOutcome::collect(
             &self.config,
             workload_name,
             &self.net,
             self.layout.total_cores(),
             self.memory_stats(),
+            telemetry,
         )
+    }
+
+    /// Harvests the end-of-run [`TelemetrySummary`] from the live sink
+    /// — `None` when telemetry was off.  Flushes the open time-series
+    /// bucket and drains MAC turn spans into the trace buffer first,
+    /// so calling this (or the outcome-collection path that wraps it)
+    /// more than once is safe and idempotent.
+    pub fn collect_telemetry(&mut self) -> Option<TelemetrySummary> {
+        self.net.finish_telemetry()?;
+        let cycles = self.net.now();
+        let kinds = self.net.link_kinds();
+        let macs = self.net.medium_counters();
+        let latency = self.net.stats().latency_histogram().clone();
+        let stacks: Vec<StackCounters> = self
+            .controllers
+            .iter()
+            .map(|c| {
+                let s = c.stats();
+                StackCounters {
+                    requests: s.accesses,
+                    queue_depth_integral: c.queued_cycle_sum(),
+                    mean_queue_depth: s.avg_queue_depth,
+                }
+            })
+            .collect();
+        let t = self.net.telemetry()?;
+        let links = t
+            .links
+            .iter()
+            .zip(&kinds)
+            .map(|(lc, kind)| LinkTelemetry {
+                kind: (*kind).to_string(),
+                flits: lc.flits,
+                busy_cycles: lc.busy_cycles,
+                credit_stalls: lc.credit_stalls,
+                utilization: if cycles == 0 {
+                    0.0
+                } else {
+                    lc.busy_cycles as f64 / cycles as f64
+                },
+            })
+            .collect();
+        Some(TelemetrySummary {
+            cycles,
+            links,
+            switches: t.switches.clone(),
+            macs,
+            stacks,
+            series: SeriesSummary {
+                interval: t.series.interval(),
+                points: t.series.points().to_vec(),
+            },
+            latency,
+        })
+    }
+
+    /// Renders the recorded packet lifetimes and MAC turn intervals as
+    /// Chrome-trace/Perfetto JSON — `None` unless the run was built
+    /// with [`wimnet_telemetry::TelemetryConfig::tracing`].  Load the
+    /// result in `chrome://tracing` or <https://ui.perfetto.dev>; the
+    /// schema is documented in `docs/observability.md`.
+    pub fn export_chrome_trace(&mut self) -> Option<String> {
+        let t = self.net.finish_telemetry()?;
+        let tb = t.trace.as_ref()?;
+        Some(wimnet_telemetry::ChromeTrace::from_buffer(tb).render())
     }
 
     /// Runs with no traffic for `cycles` (useful for leakage baselines).

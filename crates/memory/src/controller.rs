@@ -627,6 +627,13 @@ impl MemoryController {
         self.counters = s.counters;
     }
 
+    /// Exact queued-requests-over-cycles integral (the numerator of
+    /// [`MemoryStackStats::avg_queue_depth`], exposed for telemetry so
+    /// the queue-depth integral survives without float round-trips).
+    pub fn queued_cycle_sum(&self) -> u64 {
+        self.counters.queued_cycle_sum
+    }
+
     /// Statistics snapshot.
     pub fn stats(&self) -> MemoryStackStats {
         let c = &self.counters;

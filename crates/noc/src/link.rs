@@ -92,6 +92,17 @@ impl Link {
         self.kind
     }
 
+    /// Short kind name for telemetry/report tables.
+    pub fn kind_name(&self) -> &'static str {
+        match self.kind {
+            EdgeKind::Mesh => "mesh",
+            EdgeKind::SerialIo => "serial",
+            EdgeKind::WideIo => "wide-io",
+            EdgeKind::Wireless => "wireless",
+            EdgeKind::Interposer => "interposer",
+        }
+    }
+
     /// Physical length in millimetres.
     pub fn length_mm(&self) -> f64 {
         self.length_mm

@@ -13,6 +13,7 @@
 use serde::{Deserialize, Serialize, Value};
 use wimnet_energy::{ChargeBatch, Energy, EnergyCategory, EnergyMeter, EnergyModel, Power};
 use wimnet_routing::Routes;
+use wimnet_telemetry::{MacCounters, NetworkTelemetry};
 use wimnet_topology::{EdgeKind, MultichipLayout};
 
 use crate::active::ActiveSet;
@@ -334,6 +335,15 @@ pub struct Network {
     /// meter once per cycle, replaying the exact unbatched add order so
     /// totals stay bit-identical (see [`ChargeBatch`]).
     charge_log: ChargeBatch,
+    /// Optional observability sink (`docs/observability.md`).  The
+    /// disabled path is a branch on `None` at every hook; the enabled
+    /// path only reads decision state the engine computed anyway and
+    /// increments sink-local counters — no RNG, meter, stats or
+    /// allocator touch on the hot path — so outcomes are bit-identical
+    /// either way (the zero-observer-effect contract, proven in
+    /// `tests/determinism.rs`).  Deliberately absent from
+    /// [`NetworkState`]: telemetry is observational, not engine state.
+    telemetry: Option<Box<NetworkTelemetry>>,
 }
 
 impl std::fmt::Debug for Network {
@@ -715,12 +725,66 @@ impl Network {
             radio_backlog_flits: 0,
             ff_cycles: 0,
             last_progress: 0,
+            telemetry: None,
         })
     }
 
     /// Attaches a shared medium (the wireless channel + MAC).
     pub fn attach_medium(&mut self, medium: Box<dyn SharedMedium>) {
         self.media.push(medium);
+    }
+
+    /// Attaches the observability sink: per-link/per-switch counters
+    /// and a time series bucketed every `sample_interval` cycles;
+    /// `trace` additionally records packet-hop waypoints and asks the
+    /// attached media to record MAC turn intervals.  Counters are
+    /// pre-sized here so the hooks never allocate.  Telemetry is
+    /// observational only — it is excluded from [`Network::state`]
+    /// snapshots and never influences a decision (see
+    /// `docs/observability.md`).
+    pub fn enable_telemetry(&mut self, sample_interval: u64, trace: bool) {
+        self.telemetry = Some(Box::new(NetworkTelemetry::new(
+            self.links.len(),
+            self.switches.len(),
+            sample_interval,
+            trace,
+        )));
+        if trace {
+            for m in &mut self.media {
+                m.set_trace_enabled(true);
+            }
+        }
+    }
+
+    /// The live telemetry sink, when enabled.
+    pub fn telemetry(&self) -> Option<&NetworkTelemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Flushes the open time-series bucket and drains MAC turn spans
+    /// into the trace buffer, then hands out the sink for export.
+    /// `None` when telemetry was never enabled.
+    pub fn finish_telemetry(&mut self) -> Option<&NetworkTelemetry> {
+        let t = self.telemetry.as_deref_mut()?;
+        t.series.finish();
+        if let Some(tb) = &mut t.trace {
+            for m in &mut self.media {
+                m.drain_turn_records(&mut tb.turns);
+            }
+        }
+        Some(t)
+    }
+
+    /// Per-medium MAC counters (one entry per attached medium), from
+    /// the statistics each MAC already keeps.
+    pub fn medium_counters(&self) -> Vec<MacCounters> {
+        self.media.iter().map(|m| m.mac_counters()).collect()
+    }
+
+    /// Kind names of all links, dense link order (report surface for
+    /// the per-link telemetry tables).
+    pub fn link_kinds(&self) -> Vec<&'static str> {
+        self.links.iter().map(|l| l.kind_name()).collect()
     }
 
     /// The engine configuration.
@@ -995,6 +1059,13 @@ impl Network {
         self.media = media;
         self.scratch_actions = actions;
         self.stats.on_cycles(cycles);
+        // Telemetry's closed form for the jumped span: the quiescence
+        // precondition above makes every per-cycle delta zero, so the
+        // sampler fills the skipped buckets by cursor arithmetic —
+        // sampling never forces full stepping.
+        if let Some(t) = &mut self.telemetry {
+            t.series.fast_forward(self.now, cycles);
+        }
         self.now += cycles;
         self.ff_cycles += cycles;
         cycles
@@ -1036,6 +1107,17 @@ impl Network {
                 self.active_switches.insert(sw);
                 set_bit(&mut self.switch_mask, sw);
             }
+            // Observability: the link was active this cycle; a busy
+            // cycle that delivered nothing with the credit window
+            // exhausted is downstream backpressure.  Reads already-
+            // computed facts only (zero observer effect).
+            if let Some(t) = &mut self.telemetry {
+                let lc = &mut t.links[li];
+                lc.busy_cycles += 1;
+                if arrivals.is_empty() && self.links[li].available() == 0 {
+                    lc.credit_stalls += 1;
+                }
+            }
         }
         self.scratch_arrivals = arrivals;
 
@@ -1057,6 +1139,11 @@ impl Network {
             let lut_row = &self.lut[si * n_switches..(si + 1) * n_switches];
             self.switches[si].alloc_phase(now, lut_row, &mut grants);
             self.resolve_radio_targets(si, &grants);
+            if let Some(t) = &mut self.telemetry {
+                let sc = &mut t.switches[si];
+                sc.active_cycles += 1;
+                sc.occupancy_integral += self.switches[si].buffered_flits() as u64;
+            }
         }
         self.scratch_grants = grants;
 
@@ -1127,6 +1214,16 @@ impl Network {
             // after the one-cycle switch traversal.
             if let Some(p) = self.reassembler.push(m.flit, now + 1) {
                 self.stats.on_deliver(&p);
+                if let Some(t) = &mut self.telemetry {
+                    t.series.on_deliver(now, p.flits);
+                    t.record_packet(
+                        p.id.0,
+                        p.src.index() as u64,
+                        p.dest.index() as u64,
+                        p.created_at,
+                        p.arrived_at,
+                    );
+                }
                 self.arrivals.push(p);
             }
             self.flits_in_network -= 1;
@@ -1145,6 +1242,18 @@ impl Network {
             self.links[li].send(&mut self.flight, li, m.flit, m.out_vc, now);
             self.active_links.insert(li);
             set_bit(&mut self.links_mask, li);
+            if let Some(t) = &mut self.telemetry {
+                t.links[li].flits += 1;
+            }
+        }
+        // Observability: one ST grant consumed; head flits leave a
+        // per-hop waypoint for the Chrome-trace exporter.  Counter
+        // writes only — the move above was already decided.
+        if let Some(t) = &mut self.telemetry {
+            t.switches[si].grants += 1;
+            if m.flit.kind.is_head() {
+                t.record_hop(m.flit.packet.0, si as u64, now);
+            }
         }
     }
 
@@ -1223,6 +1332,9 @@ impl Network {
             );
         }
         self.stats.on_cycle();
+        if let Some(t) = &mut self.telemetry {
+            t.series.on_cycle(now, self.flits_in_network);
+        }
         self.now = now + 1;
     }
 
@@ -1277,6 +1389,14 @@ impl Network {
                     self.active_switches.insert(sw);
                     set_bit(&mut self.switch_mask, sw);
                 }
+                // Observability hook, mirroring the legacy phase 0.
+                if let Some(t) = &mut self.telemetry {
+                    let lc = &mut t.links[li];
+                    lc.busy_cycles += 1;
+                    if arrivals.is_empty() && self.links[li].available() == 0 {
+                        lc.credit_stalls += 1;
+                    }
+                }
             }
         }
         self.scratch_arrivals = arrivals;
@@ -1309,6 +1429,11 @@ impl Network {
             let lut_row = &self.lut[si * n_switches..(si + 1) * n_switches];
             self.switches[si].alloc_phase_fast(now, lut_row, &mut grants);
             self.resolve_radio_targets(si, &grants);
+            if let Some(t) = &mut self.telemetry {
+                let sc = &mut t.switches[si];
+                sc.active_cycles += 1;
+                sc.occupancy_integral += self.switches[si].buffered_flits() as u64;
+            }
         }
         self.scratch_grants = grants;
         order.retain(|&si| si != usize::MAX);

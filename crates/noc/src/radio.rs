@@ -383,6 +383,31 @@ pub trait SharedMedium {
             ))),
         }
     }
+
+    // --- Observability hooks (`docs/observability.md`).  All three
+    // are read-only with respect to MAC decisions: counters map the
+    // statistics a MAC already keeps, and turn recording may only
+    // *append to a side buffer* — never touch arbitration state or an
+    // RNG — so enabling them cannot change an outcome.
+
+    /// The medium's arbitration counters, mapped from the statistics
+    /// it already keeps.  The default (for test media) reports zeros.
+    fn mac_counters(&self) -> wimnet_telemetry::MacCounters {
+        wimnet_telemetry::MacCounters::default()
+    }
+
+    /// Asks the medium to record transmission-turn intervals for trace
+    /// export.  Recording must be purely additive (a side buffer);
+    /// media without turn structure ignore this.
+    fn set_trace_enabled(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Drains recorded turn intervals into `out` (no-op unless
+    /// [`SharedMedium::set_trace_enabled`] was called with `true`).
+    fn drain_turn_records(&mut self, out: &mut Vec<wimnet_telemetry::TurnRecord>) {
+        let _ = out;
+    }
 }
 
 #[cfg(test)]

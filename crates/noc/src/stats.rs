@@ -8,11 +8,9 @@
 //! the window, so warmup transients never contaminate it.
 
 use serde::{Deserialize, Serialize};
+use wimnet_telemetry::LogHistogram;
 
 use crate::packet::ArrivedPacket;
-
-/// Bucketed latency histogram (powers of two up to 2^20 cycles).
-const HIST_BUCKETS: usize = 21;
 
 /// Throughput and latency accounting for one simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -33,7 +31,7 @@ pub struct NetworkStats {
     latency_count: u64,
     latency_max: u64,
     latency_min: u64,
-    latency_hist: Vec<u64>,
+    latency_hist: LogHistogram,
 }
 
 impl Default for NetworkStats {
@@ -53,7 +51,7 @@ impl Default for NetworkStats {
             latency_count: 0,
             latency_max: 0,
             latency_min: u64::MAX,
-            latency_hist: vec![0; HIST_BUCKETS],
+            latency_hist: LogHistogram::new(),
         }
     }
 }
@@ -76,7 +74,7 @@ impl NetworkStats {
         self.latency_count = 0;
         self.latency_max = 0;
         self.latency_min = u64::MAX;
-        self.latency_hist = vec![0; HIST_BUCKETS];
+        self.latency_hist = LogHistogram::new();
     }
 
     /// The cycle the measurement window opened at, if it has.
@@ -123,9 +121,7 @@ impl NetworkStats {
                 self.latency_count += 1;
                 self.latency_max = self.latency_max.max(lat);
                 self.latency_min = self.latency_min.min(lat);
-                let bucket = (64 - u64::leading_zeros(lat.max(1)) as usize - 1)
-                    .min(HIST_BUCKETS - 1);
-                self.latency_hist[bucket] += 1;
+                self.latency_hist.record(lat);
             }
         }
     }
@@ -186,34 +182,24 @@ impl NetworkStats {
         self.latency_count
     }
 
-    /// Log₂-bucketed latency histogram; bucket `i` counts latencies in
-    /// `[2^i, 2^(i+1))`.
-    pub fn latency_histogram(&self) -> &[u64] {
+    /// Full log-linear latency histogram over window packets —
+    /// mergeable across shards, rank-exact percentiles below 128
+    /// cycles, ≤ 1/64 relative error above.
+    pub fn latency_histogram(&self) -> &LogHistogram {
         &self.latency_hist
     }
 
-    /// Approximate latency percentile from the log₂ histogram (upper
-    /// bucket bound), e.g. `latency_percentile(0.99)` for the p99.
-    /// `None` until at least one packet was measured.
+    /// Latency percentile from the full log-linear histogram, e.g.
+    /// `latency_percentile(0.99)` for the p99: rank-exact (values,
+    /// not power-of-two bounds — the pre-telemetry approximation this
+    /// replaced), clamped to the observed maximum.  `None` until at
+    /// least one packet was measured.
     ///
     /// # Panics
     ///
     /// Panics unless `0.0 < q <= 1.0`.
     pub fn latency_percentile(&self, q: f64) -> Option<u64> {
-        assert!(q > 0.0 && q <= 1.0, "quantile {q} outside (0, 1]");
-        if self.latency_count == 0 {
-            return None;
-        }
-        let rank = (q * self.latency_count as f64).ceil() as u64;
-        let mut seen = 0u64;
-        for (i, &n) in self.latency_hist.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                // Upper bound of bucket i, clamped to the observed max.
-                return Some(((1u64 << (i + 1)) - 1).min(self.latency_max));
-            }
-        }
-        Some(self.latency_max)
+        self.latency_hist.percentile(q)
     }
 
     /// Delivered flits per cycle per endpoint over the window — the
@@ -278,9 +264,13 @@ mod tests {
         assert_eq!(s.max_latency(), Some(1000));
         assert_eq!(s.average_latency(), Some(505.0));
         let hist = s.latency_histogram();
-        assert_eq!(hist.iter().sum::<u64>(), 2);
-        assert_eq!(hist[3], 1); // 10 is in [8, 16)
-        assert_eq!(hist[9], 1); // 1000 is in [512, 1024)
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.min(), Some(10));
+        assert_eq!(hist.max(), Some(1000));
+        // 10 sits in an exact (width-1) bucket; 1000 in a width-16 one.
+        let buckets: Vec<(u64, u64)> = hist.nonzero_buckets().collect();
+        assert_eq!(buckets[0], (10, 1));
+        assert!(buckets[1].0 >= 1000 && buckets[1].0 - 1000 <= 1000 / 64);
     }
 
     #[test]
@@ -307,11 +297,12 @@ mod tests {
             s.on_deliver(&arrived(0, 10, 1));
         }
         s.on_deliver(&arrived(0, 900, 1));
-        // p50 falls in the [8,16) bucket; upper bound 15.
-        assert_eq!(s.latency_percentile(0.5), Some(15));
+        // p50 is rank-exact (the old log₂ histogram could only say
+        // "at most 15" here).
+        assert_eq!(s.latency_percentile(0.5), Some(10));
         // p100 is clamped to the observed maximum.
         assert_eq!(s.latency_percentile(1.0), Some(900));
-        assert!(s.latency_percentile(0.95).unwrap() >= 15);
+        assert!(s.latency_percentile(0.95).unwrap() >= 10);
     }
 
     #[test]

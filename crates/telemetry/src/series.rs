@@ -1,0 +1,185 @@
+//! Cycle-bucketed, fast-forward-aware time series.
+//!
+//! The sampler folds per-cycle observations (delivered flits/packets,
+//! network occupancy) into fixed-width cycle buckets.  Storage is
+//! sparse: only buckets with non-zero content are kept, so a mostly
+//! idle run costs near nothing.
+//!
+//! **Fast-forward awareness** is the load-bearing property: the engine
+//! only jumps a span when the network is provably quiescent (no flits
+//! buffered, in flight, or pending injection — the same facts the
+//! energy meter's closed forms rely on, `docs/fast_forward.md`).
+//! Under that precondition every per-cycle delta inside the span is
+//! *exactly zero*, so the skipped buckets' contents are known in
+//! closed form — they are empty — and [`TimeSeries::fast_forward`]
+//! fills them by advancing the bucket cursor in O(1).  Sampling never
+//! forces full stepping, and a sampled run's series equals the
+//! full-stepped run's series bucket for bucket.
+
+use serde::{Deserialize, Serialize};
+
+/// One closed, non-empty bucket of the series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplePoint {
+    /// Bucket index: covers cycles `[bucket·interval, (bucket+1)·interval)`.
+    pub bucket: u64,
+    /// Flits delivered to endpoints inside the bucket.
+    pub flits_delivered: u64,
+    /// Packets delivered inside the bucket.
+    pub packets_delivered: u64,
+    /// Sum over the bucket's cycles of flits resident in the network —
+    /// divide by the interval for mean occupancy.
+    pub occupancy_integral: u64,
+}
+
+impl SamplePoint {
+    fn is_empty(&self) -> bool {
+        self.flits_delivered == 0 && self.packets_delivered == 0 && self.occupancy_integral == 0
+    }
+}
+
+/// The sampler: owns the open bucket and the closed sparse history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeSeries {
+    interval: u64,
+    points: Vec<SamplePoint>,
+    cur: SamplePoint,
+    /// Exclusive upper bound of the bucket range accounted so far
+    /// (closed buckets plus implicit empty ones).
+    closed_through: u64,
+}
+
+impl TimeSeries {
+    /// A fresh series with `interval`-cycle buckets (clamped to ≥ 1).
+    pub fn new(interval: u64) -> Self {
+        TimeSeries {
+            interval: interval.max(1),
+            points: Vec::new(),
+            cur: SamplePoint::default(),
+            closed_through: 0,
+        }
+    }
+
+    /// Bucket width in cycles.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    fn roll_to(&mut self, bucket: u64) {
+        if bucket <= self.cur.bucket {
+            return;
+        }
+        if !self.cur.is_empty() {
+            self.points.push(self.cur);
+        }
+        self.cur = SamplePoint { bucket, ..SamplePoint::default() };
+        self.closed_through = bucket;
+    }
+
+    /// Per-cycle sample: `occupancy` is the flits resident in the
+    /// network at cycle `now`.  Rolls the open bucket forward as `now`
+    /// crosses bucket boundaries.
+    pub fn on_cycle(&mut self, now: u64, occupancy: u64) {
+        self.roll_to(now / self.interval);
+        self.cur.occupancy_integral += occupancy;
+    }
+
+    /// A packet of `flits` flits was delivered at cycle `now`.
+    pub fn on_deliver(&mut self, now: u64, flits: u32) {
+        self.roll_to(now / self.interval);
+        self.cur.packets_delivered += 1;
+        self.cur.flits_delivered += u64::from(flits);
+    }
+
+    /// Closed-form accounting for a fast-forwarded idle span
+    /// `[now, now + cycles)`: the quiescence precondition makes every
+    /// skipped delta zero, so the span's buckets are filled (empty) by
+    /// moving the cursor — O(1) regardless of span length, and
+    /// bit-identical to stepping the span cycle by cycle (each stepped
+    /// cycle would have called [`TimeSeries::on_cycle`] with
+    /// occupancy 0, which changes nothing but the cursor).
+    pub fn fast_forward(&mut self, now: u64, cycles: u64) {
+        self.roll_to((now + cycles) / self.interval);
+    }
+
+    /// Closed buckets so far, ascending, empties omitted.  The open
+    /// bucket is *not* included; call this after the run completes (the
+    /// last partial bucket is flushed by [`TimeSeries::finish`]).
+    pub fn points(&self) -> &[SamplePoint] {
+        &self.points
+    }
+
+    /// Flushes the open bucket into the history.
+    pub fn finish(&mut self) {
+        if !self.cur.is_empty() {
+            let cur = self.cur;
+            self.points.push(cur);
+            self.cur = SamplePoint { bucket: cur.bucket, ..SamplePoint::default() };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_roll_and_accumulate() {
+        let mut s = TimeSeries::new(10);
+        s.on_cycle(0, 5);
+        s.on_cycle(1, 7);
+        s.on_deliver(3, 4);
+        s.on_cycle(10, 1); // rolls into bucket 1
+        s.finish();
+        assert_eq!(
+            s.points(),
+            &[
+                SamplePoint {
+                    bucket: 0,
+                    flits_delivered: 4,
+                    packets_delivered: 1,
+                    occupancy_integral: 12,
+                },
+                SamplePoint { bucket: 1, occupancy_integral: 1, ..Default::default() },
+            ]
+        );
+    }
+
+    #[test]
+    fn fast_forward_equals_stepping_idle_cycles() {
+        // A jumped idle span must leave the series exactly where
+        // stepping the same span with zero occupancy would.
+        let mut jumped = TimeSeries::new(8);
+        let mut stepped = TimeSeries::new(8);
+        for s in [&mut jumped, &mut stepped] {
+            s.on_cycle(0, 3);
+            s.on_deliver(2, 1);
+        }
+        jumped.fast_forward(3, 1000);
+        for c in 3..1003 {
+            stepped.on_cycle(c, 0);
+        }
+        // Resume activity after the span.
+        for s in [&mut jumped, &mut stepped] {
+            s.on_cycle(1003, 9);
+            s.finish();
+        }
+        assert_eq!(jumped, stepped);
+    }
+
+    #[test]
+    fn empty_buckets_are_not_stored() {
+        let mut s = TimeSeries::new(4);
+        s.on_cycle(0, 1);
+        s.fast_forward(1, 10_000);
+        s.on_cycle(10_001, 2);
+        s.finish();
+        assert_eq!(s.points().len(), 2, "only the two active buckets persist");
+    }
+
+    #[test]
+    fn zero_interval_is_clamped() {
+        let s = TimeSeries::new(0);
+        assert_eq!(s.interval(), 1);
+    }
+}

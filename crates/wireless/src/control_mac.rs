@@ -101,6 +101,14 @@ pub struct ControlPacketMac {
     /// Radios participating in the current data phase (awake).
     participants: Vec<bool>,
     stats: MacStats,
+    /// Turn-interval recording for trace export (`Some` once
+    /// [`SharedMedium::set_trace_enabled`] asked for it).  Purely
+    /// additive side state — nothing in the MAC reads it back, so
+    /// recording cannot change a decision or an RNG draw — and excluded
+    /// from [`ControlMacState`] snapshots (observational, not engine
+    /// state).  Spans are the *scheduled* data windows; retransmissions
+    /// extend the real turn but not the record.
+    turn_log: Option<Vec<wimnet_telemetry::TurnRecord>>,
 }
 
 impl ControlPacketMac {
@@ -116,6 +124,7 @@ impl ControlPacketMac {
             pending: VecDeque::new(),
             participants: vec![false; radios],
             stats: MacStats::default(),
+            turn_log: None,
         }
     }
 
@@ -369,7 +378,17 @@ impl SharedMedium for ControlPacketMac {
         if now >= self.turn_end && self.pending.is_empty() {
             let holder = self.next_holder;
             self.next_holder = (self.next_holder + 1) % self.cfg.radios;
-            self.start_turn(now, holder, view, actions);
+            let carries_data = self.start_turn(now, holder, view, actions);
+            if carries_data {
+                if let Some(log) = &mut self.turn_log {
+                    log.push(wimnet_telemetry::TurnRecord {
+                        radio: holder as u64,
+                        start: now,
+                        end: self.turn_end,
+                        flits: self.pending.len() as u64,
+                    });
+                }
+            }
         }
 
         // Deliver data flits whose serialisation completes this cycle.
@@ -432,6 +451,26 @@ impl SharedMedium for ControlPacketMac {
 
     fn idle_advance(&mut self, now: u64, cycles: u64, actions: &mut MediumActions) {
         ControlPacketMac::idle_advance(self, now, cycles, actions);
+    }
+
+    fn mac_counters(&self) -> wimnet_telemetry::MacCounters {
+        wimnet_telemetry::MacCounters {
+            turns: self.stats.turns,
+            passes: self.stats.passes,
+            control_flits: self.stats.control_flits,
+            data_flits: self.stats.data_flits,
+            collisions: self.stats.retransmissions,
+        }
+    }
+
+    fn set_trace_enabled(&mut self, on: bool) {
+        self.turn_log = on.then(Vec::new);
+    }
+
+    fn drain_turn_records(&mut self, out: &mut Vec<wimnet_telemetry::TurnRecord>) {
+        if let Some(log) = &mut self.turn_log {
+            out.append(log);
+        }
     }
 
     fn state_value(&self) -> Value {

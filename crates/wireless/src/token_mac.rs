@@ -75,6 +75,14 @@ pub struct TokenMac {
     holder: usize,
     state: TokenState,
     stats: MacStats,
+    /// Turn-interval recording for trace export (`Some` once
+    /// [`SharedMedium::set_trace_enabled`] asked for it).  Purely
+    /// additive side state: nothing below ever reads it, so recording
+    /// cannot change a MAC decision or an RNG draw.  Excluded from
+    /// [`TokenMacState`] snapshots (observational, not engine state).
+    turn_log: Option<Vec<wimnet_telemetry::TurnRecord>>,
+    turn_start: u64,
+    turn_flits: u64,
 }
 
 impl TokenMac {
@@ -89,6 +97,9 @@ impl TokenMac {
             holder: 0,
             state: TokenState::Deciding,
             stats: MacStats::default(),
+            turn_log: None,
+            turn_start: 0,
+            turn_flits: 0,
         }
     }
 
@@ -207,6 +218,10 @@ impl SharedMedium for TokenMac {
                 });
             match choice {
                 Some((tx_vc, to, len)) => {
+                    if self.turn_log.is_some() {
+                        self.turn_start = now;
+                        self.turn_flits = 0;
+                    }
                     self.state = TokenState::Transmitting {
                         tx_vc,
                         to,
@@ -259,7 +274,16 @@ impl SharedMedium for TokenMac {
                             );
                             actions.transmit(RadioId(self.holder), tx_vc, rx_vc);
                             self.stats.data_flits += 1;
+                            self.turn_flits += 1;
                             if remaining == 1 {
+                                if let Some(log) = &mut self.turn_log {
+                                    log.push(wimnet_telemetry::TurnRecord {
+                                        radio: self.holder as u64,
+                                        start: self.turn_start,
+                                        end: now + 1,
+                                        flits: self.turn_flits,
+                                    });
+                                }
                                 self.pass_token(now, actions);
                             } else {
                                 self.state = TokenState::Transmitting {
@@ -303,6 +327,26 @@ impl SharedMedium for TokenMac {
 
     fn idle_advance(&mut self, now: u64, cycles: u64, actions: &mut MediumActions) {
         TokenMac::idle_advance(self, now, cycles, actions);
+    }
+
+    fn mac_counters(&self) -> wimnet_telemetry::MacCounters {
+        wimnet_telemetry::MacCounters {
+            turns: self.stats.turns,
+            passes: self.stats.passes,
+            control_flits: self.stats.control_flits,
+            data_flits: self.stats.data_flits,
+            collisions: self.stats.retransmissions,
+        }
+    }
+
+    fn set_trace_enabled(&mut self, on: bool) {
+        self.turn_log = on.then(Vec::new);
+    }
+
+    fn drain_turn_records(&mut self, out: &mut Vec<wimnet_telemetry::TurnRecord>) {
+        if let Some(log) = &mut self.turn_log {
+            out.append(log);
+        }
     }
 
     fn state_value(&self) -> Value {

@@ -8,7 +8,9 @@
 //! cargo run --release --example mac_comparison
 //! ```
 
+use wimnet::core::report::{format_energy_table, format_link_utilization_table, format_memory_table};
 use wimnet::core::{Experiment, MacKind, SystemConfig, WirelessModel};
+use wimnet::telemetry::TelemetryConfig;
 use wimnet::topology::Architecture;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -85,5 +87,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          repeated adds (the meter-adds-saved column), so low-load \
          MAC-comparison sweeps run at the per-packet work floor."
     );
+
+    // The inside view: re-run the paper's MAC with telemetry attached
+    // (zero observer effect — the outcome above is bit-identical with
+    // or without it, tests/determinism.rs) and show where the flits
+    // went, where the channel time went, and what each table costs.
+    let mut cfg = SystemConfig::xcym(4, 4, Architecture::Wireless).quick_test_profile();
+    cfg.wireless = WirelessModel::SharedChannel { mac: MacKind::ControlPacket };
+    cfg.telemetry = TelemetryConfig::counters();
+    let o = Experiment::uniform_random(&cfg, load).run()?;
+    let t = o.telemetry.as_ref().expect("telemetry was enabled");
+    println!("\nper-link utilization / credit-stall heatmap (control-packet MAC):");
+    println!("{}", format_link_utilization_table(t));
+    for m in &t.macs {
+        println!(
+            "MAC turns: {} ({} passes), control flits {}, data flits {}, \
+             retransmissions {}",
+            m.turns, m.passes, m.control_flits, m.data_flits, m.collisions
+        );
+    }
+    println!(
+        "latency percentiles (rank-exact): p50 {:?}  p99 {:?}  p99.9 {:?}  max {:?}",
+        o.p50_latency_cycles, o.p99_latency_cycles, o.p999_latency_cycles, o.max_latency_cycles
+    );
+    println!("\nenergy by category:");
+    println!("{}", format_energy_table(&o.energy));
+    println!("memory stacks:");
+    println!("{}", format_memory_table(&o.memory));
     Ok(())
 }

@@ -20,6 +20,9 @@
 //! * [`memory`] — in-package stacked DRAM with TSVs and wide I/O.
 //! * [`traffic`] — uniform-random, permutation and SynFull-style
 //!   application workloads.
+//! * [`telemetry`] — zero-observer-effect counters, fast-forward-aware
+//!   time series, mergeable latency histograms and Chrome-trace export
+//!   (`docs/observability.md`).
 //! * [`core`] — the paper's framework: architecture presets, full-system
 //!   assembly, metrics and the Fig 2–6 experiment suite.
 //!
@@ -44,6 +47,7 @@ pub use wimnet_energy as energy;
 pub use wimnet_memory as memory;
 pub use wimnet_noc as noc;
 pub use wimnet_routing as routing;
+pub use wimnet_telemetry as telemetry;
 pub use wimnet_topology as topology;
 pub use wimnet_traffic as traffic;
 pub use wimnet_wireless as wireless;

@@ -250,30 +250,30 @@ fn concurrent_shards_share_a_catalog_without_torn_entries() {
     let _ = fs::remove_dir_all(&dir2);
 }
 
-/// The v8 engine bump (`wimnet-engine-v8`, the exact-sum meter)
-/// invalidates every `wimnet-engine-v7` entry, through both layers of
-/// the versioning rule (`docs/sweeps.md` §4):
+/// The v9 engine bump (`wimnet-engine-v9`, rank-exact latency
+/// percentiles) invalidates every `wimnet-engine-v8` entry, through
+/// both layers of the versioning rule (`docs/sweeps.md` §4):
 ///
 /// 1. The engine version participates in the point fingerprint, so a
-///    genuine pre-bump catalog keys its entries under v7 hashes that a
-///    v8 sweep never probes — the first post-bump run is all misses
+///    genuine pre-bump catalog keys its entries under v8 hashes that a
+///    v9 sweep never probes — the first post-bump run is all misses
 ///    and simply recomputes, leaving the stale files inert.
 /// 2. Even an entry planted *at* the current fingerprint path (a
 ///    copied or hand-edited file) is refused by the envelope check
-///    when it claims `wimnet-engine-v7`, quarantined, and recomputed —
+///    when it claims `wimnet-engine-v8`, quarantined, and recomputed —
 ///    its doctored energy bits are never served.
 #[test]
-fn pre_bump_v7_entries_are_never_served_and_resume_recomputes() {
-    assert_eq!(ENGINE_VERSION, "wimnet-engine-v8");
+fn pre_bump_v8_entries_are_never_served_and_resume_recomputes() {
+    assert_eq!(ENGINE_VERSION, "wimnet-engine-v9");
     let g = grid();
     let n = g.len();
-    let dir = temp_catalog("v7-quarantine");
+    let dir = temp_catalog("v8-quarantine");
     let catalog = Catalog::open(&dir).unwrap();
     let reference = g.run_cached(&catalog, 2, 2).unwrap();
     assert_eq!(reference.misses, n);
 
-    // Layer 1: a "pre-bump catalog" — v7 envelopes under hashes a v8
-    // sweep never computes.  Wipe the v8 entries first so any hit at
+    // Layer 1: a "pre-bump catalog" — v8 envelopes under hashes a v9
+    // sweep never computes.  Wipe the v9 entries first so any hit at
     // all would have to come from the stale files.
     for entry in fs::read_dir(&dir).unwrap() {
         let path = entry.unwrap().path();
@@ -286,7 +286,7 @@ fn pre_bump_v7_entries_are_never_served_and_resume_recomputes() {
         // Doctor the outcome so serving it would be caught below.
         stale.total_packets = stale.total_packets.wrapping_add(999);
         let entry = CatalogEntry {
-            engine_version: "wimnet-engine-v7".to_string(),
+            engine_version: "wimnet-engine-v8".to_string(),
             fingerprint: format!("{i:032x}"),
             point: point.clone(),
             outcome: stale,
@@ -302,18 +302,18 @@ fn pre_bump_v7_entries_are_never_served_and_resume_recomputes() {
     assert_eq!(
         (resumed.hits, resumed.misses),
         (0, n),
-        "a v8 sweep must never hit a v7-keyed entry"
+        "a v9 sweep must never hit a v8-keyed entry"
     );
     assert_eq!(resumed.outcomes, reference.outcomes);
     assert_eq!(vector_bytes(&resumed.outcomes), vector_bytes(&reference.outcomes));
 
-    // Layer 2: plant a v7 envelope at the *current* fingerprint path.
+    // Layer 2: plant a v8 envelope at the *current* fingerprint path.
     let victim = &g.points()[3];
     let fp = g.point_fingerprint(victim);
     let mut doctored = reference.outcomes[3].clone();
     doctored.total_packets = doctored.total_packets.wrapping_add(123_456);
     let planted = CatalogEntry {
-        engine_version: "wimnet-engine-v7".to_string(),
+        engine_version: "wimnet-engine-v8".to_string(),
         fingerprint: fp.hex(),
         point: victim.clone(),
         outcome: doctored,
@@ -327,13 +327,13 @@ fn pre_bump_v7_entries_are_never_served_and_resume_recomputes() {
     assert_eq!(
         resumed_catalog.lookup(&fp),
         None,
-        "a v7 envelope at a v8 path must be refused"
+        "a v8 envelope at a v9 path must be refused"
     );
     let healed = g.run_cached(&resumed_catalog, 2, 2).unwrap();
     assert_eq!((healed.hits, healed.misses), (n - 1, 1));
     assert_eq!(vector_bytes(&healed.outcomes), vector_bytes(&reference.outcomes));
 
-    // The heal sticks, and the stale v7 files stay inert.
+    // The heal sticks, and the stale v8 files stay inert.
     let warm = g.run_cached(&resumed_catalog, 2, 2).unwrap();
     assert_eq!((warm.hits, warm.misses), (n, 0));
 

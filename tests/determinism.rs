@@ -444,6 +444,67 @@ fn background_power_fast_forward_is_bit_identical_to_full_stepping() {
     );
 }
 
+/// The observability tentpole's contract (`docs/observability.md`):
+/// attaching telemetry — per-component counters, the cycle-bucketed
+/// time series, even full trace recording — must not move a single
+/// outcome bit.  Covered across all three architectures at a load
+/// where fast-forward provably engages (so the ff-aware sampling path
+/// runs, not just per-cycle bucketing) and both serialized-channel
+/// MACs (whose turn logging rides the hottest decision paths).  The
+/// observed run's `RunOutcome` must equal the unobserved run's in
+/// every field except the telemetry payload itself, with latency and
+/// energy additionally compared at the bit level.
+#[test]
+fn telemetry_has_zero_observer_effect() {
+    use wimnet::core::{MacKind, TelemetryConfig, WirelessModel};
+    let mut scenarios: Vec<(String, SystemConfig, f64)> = Architecture::ALL
+        .iter()
+        .map(|&arch| (format!("{arch}"), quick(arch), 0.0005))
+        .collect();
+    for mac in [MacKind::Token, MacKind::ControlPacket] {
+        let mut cfg = quick(Architecture::Wireless);
+        cfg.wireless = WirelessModel::SharedChannel { mac };
+        scenarios.push((format!("shared-channel/{mac:?}"), cfg, 0.0002));
+    }
+    for (what, cfg, load) in scenarios {
+        let plain = Experiment::uniform_random(&cfg, load)
+            .run()
+            .expect("unobserved run");
+        assert!(
+            plain.fast_forwarded_cycles > 0,
+            "{what}: the scenario must engage fast-forward"
+        );
+        assert!(plain.packets_delivered() > 0, "{what}: sanity — traffic flowed");
+        assert!(plain.telemetry.is_none(), "{what}: telemetry defaults to off");
+
+        let mut observed_cfg = cfg.clone();
+        observed_cfg.telemetry = TelemetryConfig::tracing();
+        let mut observed = Experiment::uniform_random(&observed_cfg, load)
+            .run()
+            .expect("observed run");
+        let summary = observed
+            .telemetry
+            .take()
+            .unwrap_or_else(|| panic!("{what}: telemetry was enabled"));
+        assert!(summary.cycles > 0, "{what}: summary covers the run");
+        assert!(!summary.links.is_empty(), "{what}: per-link counters present");
+
+        assert_eq!(
+            observed.avg_latency_cycles.unwrap_or(f64::NAN).to_bits(),
+            plain.avg_latency_cycles.unwrap_or(f64::NAN).to_bits(),
+            "{what}: latency bits moved under observation"
+        );
+        assert_eq!(
+            observed.total_energy_nj().to_bits(),
+            plain.total_energy_nj().to_bits(),
+            "{what}: energy bits moved under observation"
+        );
+        // Everything else — counts, percentiles, memory and energy
+        // breakdowns — via the full structural comparison.
+        assert_eq!(observed, plain, "{what}: telemetry changed the outcome");
+    }
+}
+
 /// Idle fast-forward must not change what an idle system reports:
 /// leakage accrues cycle-exactly even when the cycles are skipped.
 #[test]

@@ -79,7 +79,11 @@ fn readme_and_docs_links_resolve() {
             docs.push(path);
         }
     }
-    assert!(docs.len() >= 4, "README + at least three docs expected, got {docs:?}");
+    assert!(
+        docs.len() >= 7,
+        "README + the six docs (engine, fast_forward, sweeps, memory, \
+         checkpoint, observability) expected, got {docs:?}"
+    );
     let broken: Vec<String> =
         docs.iter().flat_map(|d| check_file(&repo, d)).collect();
     assert!(broken.is_empty(), "broken intra-repo links:\n{}", broken.join("\n"));

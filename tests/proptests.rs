@@ -148,3 +148,45 @@ proptest! {
         prop_assert_eq!(batched, sequential);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32, ..ProptestConfig::default()
+    })]
+
+    /// The mergeability contract behind sharded observation
+    /// (`docs/observability.md`): recording a latency stream into
+    /// per-shard [`wimnet::telemetry::LogHistogram`]s and merging them
+    /// is *exactly* the histogram of the whole stream — structural
+    /// equality plus every percentile read-out, for any shard count
+    /// and any interleaving (round-robin here; merge is counter
+    /// addition, so assignment order cannot matter).
+    #[test]
+    fn merged_shard_histograms_equal_the_single_run(
+        samples in prop::collection::vec(0u64..200_000, 1..300),
+        shards in 1usize..6,
+    ) {
+        use wimnet::telemetry::LogHistogram;
+        let mut whole = LogHistogram::default();
+        for &s in &samples {
+            whole.record(s);
+        }
+        let mut parts = vec![LogHistogram::default(); shards];
+        for (i, &s) in samples.iter().enumerate() {
+            parts[i % shards].record(s);
+        }
+        let mut merged = LogHistogram::default();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(&merged, &whole, "merged shards diverge structurally");
+        prop_assert_eq!(merged.count(), samples.len() as u64);
+        for q in [0.001, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(
+                merged.percentile(q),
+                whole.percentile(q),
+                "p{q} diverged between merged shards and the single run"
+            );
+        }
+    }
+}

@@ -268,12 +268,15 @@ proptest! {
             avg_latency_cycles: with_latency
                 .then(|| gnarly_f64(bw_bits.rotate_left(29)).abs()),
             max_latency_cycles: with_latency.then_some(stat_seed % 1_000_000),
+            p50_latency_cycles: with_latency.then_some(stat_seed % 100_000),
             p99_latency_cycles: with_latency.then_some(stat_seed % 500_000),
+            p999_latency_cycles: with_latency.then_some(stat_seed % 900_000),
             fast_forwarded_cycles: fast_forwarded,
             meter_ops: stat_seed.rotate_left(11),
             meter_charges: stat_seed.rotate_left(17),
             energy,
             memory,
+            telemetry: None,
         };
 
         let json = serde_json::to_string_pretty(&outcome).unwrap();
